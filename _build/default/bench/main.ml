@@ -1,0 +1,363 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation, plus Bechamel wall-clock microbenchmarks of the
+   compiler passes themselves and two ablations of the hardware model.
+
+   Usage:
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table-6.2 figure-6.3 ...
+   Targets: table-1.1 table-6.1 table-6.2 table-6.3 figure-2 figure-2.4
+            figure-4 figure-6.1 figure-6.2 figure-6.3 figure-6.4
+            ablation-ports ablation-registers micro *)
+
+open Uas_ir
+module S = Uas_bench_suite
+module E = Uas_core.Experiments
+module N = Uas_core.Nimble
+
+let header title = Fmt.pr "@.==== %s ====@." title
+
+(* Table 6.2 is the expensive part (50 transformed programs, each
+   replayed in the interpreter); computed once and shared. *)
+let rows_cache : E.bench_row list option ref = ref None
+
+let rows () =
+  match !rows_cache with
+  | Some r -> r
+  | None ->
+    let r = E.table_6_2 ~verify:true () in
+    rows_cache := Some r;
+    r
+
+(* --- Table 1.1 --- *)
+
+let table_1_1 () =
+  header "Table 1.1: program execution time in loops";
+  Fmt.pr "%-28s %8s %12s %10s   %s@." "benchmark" "# loops" "# loops>1%"
+    "total %" "(paper: loops/hot/%)";
+  List.iter
+    (fun (r : S.Profile.row) ->
+      let pl, ph, pp = r.S.Profile.paper in
+      Fmt.pr "%-28s %8d %12d %9.0f%%   (%d/%d/%d%%)@." r.S.Profile.row_app
+        r.S.Profile.loops r.S.Profile.hot_loops r.S.Profile.hot_percent pl ph
+        pp)
+    (S.Profile.table ())
+
+(* --- Table 6.1 --- *)
+
+let table_6_1 () =
+  header "Table 6.1: benchmark description";
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      Fmt.pr "%-14s %s@." b.S.Registry.b_name b.S.Registry.b_description)
+    (S.Registry.all ())
+
+(* --- Figure 2.1-2.3: the motivating example, transformed --- *)
+
+let figure_2 () =
+  header "Figure 2.1-2.3: the f/g loop nest, original / jam(2) / squash(2)";
+  let p = S.Simple.fg_loop ~m:4 ~n:4 in
+  Fmt.pr "--- original (Figure 2.1) ---@.%a@." Pp.pp_program p;
+  let nest = Uas_analysis.Loop_nest.find_by_outer_index p "i" in
+  let jam = Uas_transform.Unroll_and_jam.apply p nest ~ds:2 in
+  Fmt.pr "--- unroll-and-jam by 2 (Figure 2.2) ---@.%a@." Pp.pp_program
+    jam.Uas_transform.Unroll_and_jam.program;
+  let sq = Uas_transform.Squash.apply p nest ~ds:2 in
+  Fmt.pr "--- unroll-and-squash by 2 (Figure 2.3) ---@.%a@." Pp.pp_program
+    sq.Uas_transform.Squash.program;
+  (* the headline claim: same throughput as jam, without doubling ops *)
+  let ii q index pipelined =
+    (Uas_hw.Estimate.kernel ~pipelined q ~index).Uas_hw.Estimate.r_ii
+  in
+  Fmt.pr "original:  II=%d (non-pipelined schedule)@." (ii p "j" false);
+  Fmt.pr "jam(2):    II=%d, operators x2@."
+    (ii jam.Uas_transform.Unroll_and_jam.program "j" true);
+  Fmt.pr "squash(2): II=%d, operators unchanged@."
+    (ii sq.Uas_transform.Squash.program sq.Uas_transform.Squash.new_inner_index
+       true)
+
+(* --- Figure 2.4 --- *)
+
+let figure_2_4 () =
+  header "Figure 2.4: operator usage over time (jam vs squash)";
+  List.iter
+    (fun (name, cells) ->
+      Fmt.pr "@.%s@." name;
+      let ops =
+        List.sort_uniq compare (List.map (fun c -> c.E.u_operator) cells)
+      in
+      List.iter
+        (fun op ->
+          Fmt.pr "  %-3s |" op;
+          List.iter
+            (fun c ->
+              if String.equal c.E.u_operator op then
+                match c.E.u_data_set with
+                | Some d -> Fmt.pr " %d" (d + 1)
+                | None -> Fmt.pr " .")
+            cells;
+          Fmt.pr "@.")
+        ops)
+    (E.figure_2_4 ~cycles:10)
+
+(* --- Figure 4.1/4.2: DFG build and stage assignment --- *)
+
+let figure_4 () =
+  header "Figure 4.1/4.2: DFG of the chapter-4 kernel and its 4 stages";
+  let p = S.Simple.ch4_loop ~m:8 ~n:4 in
+  let nest = Uas_analysis.Loop_nest.find_by_outer_index p "i" in
+  let g, _ =
+    Uas_dfg.Build.build ~inner_index:"j" nest.Uas_analysis.Loop_nest.inner_body
+  in
+  Fmt.pr "%a@." Uas_dfg.Graph.pp g;
+  Fmt.pr "RecMII=%d  critical path=%d@."
+    (Uas_dfg.Graph.recurrence_mii g)
+    (Uas_dfg.Graph.critical_path g);
+  let slices =
+    Uas_dfg.Stage.partition ~stages:4 nest.Uas_analysis.Loop_nest.inner_body
+  in
+  let costs = Uas_dfg.Stage.stage_costs slices in
+  List.iteri
+    (fun s slice ->
+      Fmt.pr "stage %d (delay %d):@." (s + 1) (List.nth costs s);
+      List.iter (fun st -> Fmt.pr "  %s@." (Pp.stmt_to_string st)) slice)
+    slices
+
+(* --- Tables 6.2/6.3 and figures 6.1-6.4 --- *)
+
+let table_6_2 () =
+  header "Table 6.2";
+  Fmt.pr "%a@." E.pp_table_6_2 (rows ())
+
+let table_6_3 () =
+  header "Table 6.3";
+  Fmt.pr "%a@." E.pp_table_6_3 (rows ())
+
+let figure_6_1 () =
+  header "Figure 6.1: speedup factor";
+  Fmt.pr "%a@."
+    (E.pp_series ~unit_label:"speedup vs original")
+    (E.figure_6_1 (rows ()))
+
+let figure_6_2 () =
+  header "Figure 6.2: area increase factor";
+  Fmt.pr "%a@."
+    (E.pp_series ~unit_label:"area vs original")
+    (E.figure_6_2 (rows ()))
+
+let figure_6_3 () =
+  header "Figure 6.3: efficiency factor (speedup/area) — higher is better";
+  Fmt.pr "%a@."
+    (E.pp_series ~unit_label:"speedup/area")
+    (E.figure_6_3 (rows ()))
+
+let figure_6_4 () =
+  header "Figure 6.4: operators as percent of the area";
+  Fmt.pr "%a@."
+    (E.pp_series ~unit_label:"% of area")
+    (E.figure_6_4 (rows ()))
+
+(* --- ablations --- *)
+
+let ablation_ports () =
+  header "Ablation: memory ports (II of squash(8) per benchmark)";
+  Fmt.pr "%-14s %8s %8s %8s@." "benchmark" "1 port" "2 ports" "4 ports";
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      let built =
+        N.build_version b.S.Registry.b_program
+          ~outer_index:b.S.Registry.b_outer_index
+          ~inner_index:b.S.Registry.b_inner_index (N.Squashed 8)
+      in
+      let ii target = (N.estimate ~target built).Uas_hw.Estimate.r_ii in
+      Fmt.pr "%-14s %8d %8d %8d@." b.S.Registry.b_name
+        (ii Uas_hw.Datapath.single_port)
+        (ii Uas_hw.Datapath.default)
+        (ii Uas_hw.Datapath.quad_port))
+    (S.Registry.all ())
+
+let ablation_registers () =
+  header
+    "Ablation: packed shift registers (area of squash(16); §6.3 argues the \
+     1-row-per-register figures are conservative)";
+  Fmt.pr "%-14s %12s %12s@." "benchmark" "1 reg/row" "4 regs/row";
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      let built =
+        N.build_version b.S.Registry.b_program
+          ~outer_index:b.S.Registry.b_outer_index
+          ~inner_index:b.S.Registry.b_inner_index (N.Squashed 16)
+      in
+      let area target = (N.estimate ~target built).Uas_hw.Estimate.r_area_rows in
+      Fmt.pr "%-14s %12d %12d@." b.S.Registry.b_name
+        (area Uas_hw.Datapath.default)
+        (area Uas_hw.Datapath.packed_registers))
+    (S.Registry.all ())
+
+(* --- the §2 composition: jam to fill the datapath, squash on top --- *)
+
+let combined () =
+  header
+    "Combined jam+squash (§2: \"quadruples the performance but only \
+     doubles the area\")";
+  Fmt.pr "%-18s %6s %8s %9s %8s %10s@." "version" "II" "area" "speedup"
+    "areaX" "efficiency";
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      Fmt.pr "@.%s@." b.S.Registry.b_name;
+      let versions =
+        [ N.Original; N.Jammed 2; N.Squashed 4; N.Combined (2, 2);
+          N.Combined (2, 4); N.Combined (4, 2) ]
+      in
+      let rows =
+        N.sweep ~versions b.S.Registry.b_program
+          ~outer_index:b.S.Registry.b_outer_index
+          ~inner_index:b.S.Registry.b_inner_index
+      in
+      let base =
+        List.find_map
+          (fun (v, _, r) -> if v = N.Original then Some r else None)
+          rows
+      in
+      match base with
+      | None -> ()
+      | Some base ->
+        List.iter
+          (fun (v, _, (r : Uas_hw.Estimate.report)) ->
+            let speedup =
+              float_of_int base.Uas_hw.Estimate.r_total_cycles
+              /. float_of_int r.Uas_hw.Estimate.r_total_cycles
+            in
+            let area =
+              float_of_int r.Uas_hw.Estimate.r_area_rows
+              /. float_of_int base.Uas_hw.Estimate.r_area_rows
+            in
+            Fmt.pr "%-18s %6d %8d %9.2f %8.2f %10.2f@." (N.version_name v)
+              r.Uas_hw.Estimate.r_ii r.Uas_hw.Estimate.r_area_rows speedup
+              area (speedup /. area))
+          rows)
+    (S.Registry.all ())
+
+let ablation_width () =
+  header
+    "Ablation: width-aware operator sizing (the back-end sizing of §5.4; \
+     operator rows scaled to inferred bit widths)";
+  Fmt.pr "%-14s %12s %12s %8s@." "benchmark" "32-bit rows" "width-aware"
+    "ratio";
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      let nest =
+        Uas_analysis.Loop_nest.find_by_outer_index b.S.Registry.b_program
+          b.S.Registry.b_outer_index
+      in
+      let detail =
+        Uas_dfg.Build.build_detailed ~inner_index:b.S.Registry.b_inner_index
+          nest.Uas_analysis.Loop_nest.inner_body
+      in
+      let roms =
+        List.map
+          (fun (r : Uas_ir.Stmt.rom_decl) ->
+            (r.Uas_ir.Stmt.r_name, r.Uas_ir.Stmt.r_data))
+          b.S.Registry.b_program.Uas_ir.Stmt.roms
+      in
+      (* back-end knowledge: loop index bounds and 16/32-bit data words *)
+      let entry name =
+        if String.equal name b.S.Registry.b_inner_index then
+          Some { Uas_hw.Bitwidth.lo = 0; hi = 64 }
+        else if String.length name >= 1 && name.[0] = 'w' then
+          Some { Uas_hw.Bitwidth.lo = 0; hi = 0xffff }
+        else None
+      in
+      let default = Uas_dfg.Graph.total_operator_area detail.Uas_dfg.Build.d_graph in
+      let aware = Uas_hw.Bitwidth.width_aware_operator_area ~entry detail ~roms in
+      Fmt.pr "%-14s %12d %12d %8.2f@." b.S.Registry.b_name default aware
+        (float_of_int aware /. float_of_int default))
+    (S.Registry.all ())
+
+(* --- Bechamel microbenchmarks of the passes --- *)
+
+let micro () =
+  header "Microbenchmarks: wall-clock time of the compiler passes";
+  (* NB: [open Bechamel] would shadow the [S] alias with Bechamel.S *)
+  let module Sj = Uas_bench_suite.Skipjack in
+  let open Bechamel in
+  let p = Sj.skipjack_mem ~m:16 in
+  let nest = Uas_analysis.Loop_nest.find_by_outer_index p "i" in
+  let tests =
+    [ Test.make ~name:"squash(2) skipjack"
+        (Staged.stage (fun () -> ignore (Uas_transform.Squash.apply p nest ~ds:2)));
+      Test.make ~name:"squash(8) skipjack"
+        (Staged.stage (fun () -> ignore (Uas_transform.Squash.apply p nest ~ds:8)));
+      Test.make ~name:"jam(2) skipjack"
+        (Staged.stage (fun () ->
+             ignore (Uas_transform.Unroll_and_jam.apply p nest ~ds:2)));
+      Test.make ~name:"jam(8) skipjack"
+        (Staged.stage (fun () ->
+             ignore (Uas_transform.Unroll_and_jam.apply p nest ~ds:8)));
+      Test.make ~name:"estimate skipjack kernel"
+        (Staged.stage (fun () -> ignore (Uas_hw.Estimate.kernel p ~index:"j")));
+      Test.make ~name:"dfg build skipjack body"
+        (Staged.stage (fun () ->
+             ignore
+               (Uas_dfg.Build.build ~inner_index:"j"
+                  nest.Uas_analysis.Loop_nest.inner_body)));
+      Test.make ~name:"legality check (ds=8)"
+        (Staged.stage (fun () -> ignore (Uas_analysis.Legality.check nest ~ds:8)));
+      (let w =
+         Sj.workload_mem ~key:(Sj.random_key ~seed:1)
+           (Sj.random_words ~seed:2 64)
+       in
+       Test.make ~name:"interpret skipjack (16 blocks)"
+         (Staged.stage (fun () -> ignore (Interp.run p w)))) ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          instance raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Fmt.pr "  %-34s %12.1f ns/run@." name t
+          | Some _ | None -> Fmt.pr "  %-34s (no estimate)@." name)
+        results)
+    tests
+
+let targets =
+  [ ("table-1.1", table_1_1);
+    ("table-6.1", table_6_1);
+    ("table-6.2", table_6_2);
+    ("table-6.3", table_6_3);
+    ("figure-2", figure_2);
+    ("figure-2.4", figure_2_4);
+    ("figure-4", figure_4);
+    ("figure-6.1", figure_6_1);
+    ("figure-6.2", figure_6_2);
+    ("figure-6.3", figure_6_3);
+    ("figure-6.4", figure_6_4);
+    ("combined", combined);
+    ("ablation-ports", ablation_ports);
+    ("ablation-registers", ablation_registers);
+    ("ablation-width", ablation_width);
+    ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst targets
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown target %s; available: %s@." name
+          (String.concat " " (List.map fst targets));
+        exit 1)
+    requested

@@ -1,0 +1,270 @@
+(* nimblec — a command-line front door to the unroll-and-squash flow,
+   in the spirit of the Nimble Compiler driver (§5.2).
+
+     nimblec list                        benchmarks and their kernels
+     nimblec show skipjack-hw -v squash:4    print a transformed program
+     nimblec estimate des-mem            Table 6.2 row for one benchmark
+     nimblec run iir -v jam:2            execute + verify vs host reference
+     nimblec dfg skipjack-hw             dump the kernel DFG
+     nimblec profile                     the Table 1.1 study *)
+
+open Cmdliner
+module S = Uas_bench_suite
+module N = Uas_core.Nimble
+module E = Uas_core.Experiments
+
+let find_benchmark name =
+  match S.Registry.find name with
+  | Some b -> b
+  | None ->
+    Fmt.epr "unknown benchmark %s; try `nimblec list'@." name;
+    exit 2
+
+let parse_version s =
+  let fail () =
+    Fmt.epr
+      "bad version %s (expected original | pipelined | squash:N | jam:N | jam:J+squash:K)@." s;
+    exit 2
+  in
+  match String.lowercase_ascii s with
+  | "original" -> N.Original
+  | "pipelined" -> N.Pipelined
+  | s -> (
+    match String.split_on_char '+' s with
+    | [ one ] -> (
+      match String.split_on_char ':' one with
+      | [ "squash"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> N.Squashed n
+        | None -> fail ())
+      | [ "jam"; n ] -> (
+        match int_of_string_opt n with Some n -> N.Jammed n | None -> fail ())
+      | _ -> fail ())
+    | [ jam_part; squash_part ] -> (
+      match
+        ( String.split_on_char ':' jam_part,
+          String.split_on_char ':' squash_part )
+      with
+      | [ "jam"; j ], [ "squash"; k ] -> (
+        match (int_of_string_opt j, int_of_string_opt k) with
+        | Some j, Some k -> N.Combined (j, k)
+        | _ -> fail ())
+      | _ -> fail ())
+    | _ -> fail ())
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let version_arg =
+  Arg.(
+    value
+    & opt string "original"
+    & info [ "v"; "version" ] ~docv:"VERSION"
+        ~doc:"original | pipelined | squash:N | jam:N | jam:J+squash:K")
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : S.Registry.benchmark) ->
+        Fmt.pr "%-14s kernel: outer %s / inner %s — %s@." b.S.Registry.b_name
+          b.S.Registry.b_outer_index b.S.Registry.b_inner_index
+          b.S.Registry.b_description)
+      (S.Registry.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the Table 6.1 benchmarks")
+    Term.(const run $ const ())
+
+(* --- show --- *)
+
+let show_cmd =
+  let run name version =
+    let b = find_benchmark name in
+    let built =
+      N.build_version b.S.Registry.b_program
+        ~outer_index:b.S.Registry.b_outer_index
+        ~inner_index:b.S.Registry.b_inner_index (parse_version version)
+    in
+    Fmt.pr "%a@." Uas_ir.Pp.pp_program built.N.bv_program
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the (transformed) program of a benchmark")
+    Term.(const run $ bench_arg $ version_arg)
+
+(* --- estimate --- *)
+
+let estimate_cmd =
+  let run name verify =
+    let b = find_benchmark name in
+    let row = E.run_benchmark ~verify b in
+    Fmt.pr "%a@." E.pp_table_6_2 [ row ];
+    Fmt.pr "%a@." E.pp_table_6_3 [ row ]
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Replay every version in the interpreter against the host \
+                reference (slower)")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate all paper versions of a benchmark (Table 6.2/6.3 rows)")
+    Term.(const run $ bench_arg $ verify)
+
+(* --- run --- *)
+
+let run_cmd =
+  let run name version =
+    let b = find_benchmark name in
+    let built =
+      N.build_version b.S.Registry.b_program
+        ~outer_index:b.S.Registry.b_outer_index
+        ~inner_index:b.S.Registry.b_inner_index (parse_version version)
+    in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Uas_ir.Interp.run built.N.bv_program b.S.Registry.b_workload
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr "executed %d statements in %.3fs (estimated %d kernel cycles)@."
+      result.Uas_ir.Interp.profile.Uas_ir.Interp.stmts_executed dt
+      result.Uas_ir.Interp.profile.Uas_ir.Interp.total_cycles;
+    match S.Registry.check_against_reference b built.N.bv_program with
+    | Ok () -> Fmt.pr "outputs match the host reference: yes@."
+    | Error m ->
+      Fmt.pr "outputs match the host reference: NO (%s)@." m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a (transformed) benchmark and verify its outputs")
+    Term.(const run $ bench_arg $ version_arg)
+
+(* --- dfg --- *)
+
+let dfg_cmd =
+  let run name dot_path =
+    let b = find_benchmark name in
+    let nest =
+      Uas_analysis.Loop_nest.find_by_outer_index b.S.Registry.b_program
+        b.S.Registry.b_outer_index
+    in
+    let g, _ =
+      Uas_dfg.Build.build ~inner_index:b.S.Registry.b_inner_index
+        nest.Uas_analysis.Loop_nest.inner_body
+    in
+    (match dot_path with
+    | Some path ->
+      Uas_dfg.Dot.write_file ~name:b.S.Registry.b_name g ~path;
+      Fmt.pr "wrote %s@." path
+    | None -> Fmt.pr "%a@." Uas_dfg.Graph.pp g);
+    Fmt.pr "RecMII=%d ResMII=%d critical-path=%d@."
+      (Uas_dfg.Graph.recurrence_mii g)
+      (Uas_dfg.Sched.resource_mii Uas_dfg.Sched.default_config g)
+      (Uas_dfg.Graph.critical_path g)
+  in
+  let dot_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write a Graphviz rendering to FILE")
+  in
+  Cmd.v
+    (Cmd.info "dfg" ~doc:"Dump the kernel data-flow graph of a benchmark")
+    Term.(const run $ bench_arg $ dot_path)
+
+(* --- export: emit C for a (transformed) benchmark --- *)
+
+let export_cmd =
+  let run name version path =
+    let b = find_benchmark name in
+    let built =
+      N.build_version b.S.Registry.b_program
+        ~outer_index:b.S.Registry.b_outer_index
+        ~inner_index:b.S.Registry.b_inner_index (parse_version version)
+    in
+    Uas_ir.C_export.write_standalone built.N.bv_program
+      ~workload:b.S.Registry.b_workload ~path;
+    Fmt.pr "wrote %s (compile with `cc %s && ./a.out`)@." path path
+  in
+  let path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT.c")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Emit a standalone C program for a (transformed) benchmark, \
+             with its reference workload baked in")
+    Term.(const run $ bench_arg $ version_arg $ path)
+
+(* --- compile: transform a kernel from a source file --- *)
+
+let compile_cmd =
+  let run path version estimate_flag =
+    let p =
+      try Uas_ir.Parser.program_of_file path
+      with Uas_ir.Parser.Parse_error e ->
+        Fmt.epr "%s:%d:%d: %s@." path e.line e.col e.msg;
+        exit 1
+    in
+    (match Uas_ir.Validate.errors p with
+    | [] -> ()
+    | errs ->
+      Fmt.epr "%a@." (Fmt.list Uas_ir.Validate.pp_error) errs;
+      exit 1);
+    let nests = Uas_analysis.Loop_nest.find p in
+    match nests with
+    | [] ->
+      Fmt.epr "no 2-deep loop nest found in %s@." path;
+      exit 1
+    | nest :: _ ->
+      let outer = nest.Uas_analysis.Loop_nest.outer_index in
+      let inner = nest.Uas_analysis.Loop_nest.inner_index in
+      let built =
+        N.build_version p ~outer_index:outer ~inner_index:inner
+          (parse_version version)
+      in
+      Fmt.pr "%a@." Uas_ir.Pp.pp_program built.N.bv_program;
+      if estimate_flag then begin
+        let r = N.estimate built in
+        Fmt.pr "// %a@." Uas_hw.Estimate.pp_report r
+      end
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let estimate_flag =
+    Arg.(value & flag & info [ "estimate" ] ~doc:"Also print the hardware estimate")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Parse a kernel source file, transform its first loop nest, \
+             print the result")
+    Term.(const run $ path $ version_arg $ estimate_flag)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run () =
+    Fmt.pr "%-28s %8s %12s %9s@." "benchmark" "# loops" "# loops>1%" "total %";
+    List.iter
+      (fun (r : S.Profile.row) ->
+        Fmt.pr "%-28s %8d %12d %8.0f%%@." r.S.Profile.row_app
+          r.S.Profile.loops r.S.Profile.hot_loops r.S.Profile.hot_percent)
+      (S.Profile.table ())
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Run the Table 1.1 loop-profiling study")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "nimblec"
+      ~doc:"Unroll-and-squash loop pipelining flow"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; estimate_cmd; run_cmd; dfg_cmd; profile_cmd;
+            compile_cmd; export_cmd ]))

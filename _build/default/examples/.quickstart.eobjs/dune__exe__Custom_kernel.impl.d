@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Builder Fmt Interp List Pp Stmt Types Uas_analysis Uas_hw Uas_ir Uas_transform

@@ -1,0 +1,1 @@
+examples/decrypt_roundtrip.ml: Array Char Fmt Interp List Printf String Types Uas_analysis Uas_bench_suite Uas_hw Uas_ir Uas_transform

@@ -1,0 +1,1 @@
+examples/decrypt_roundtrip.mli:

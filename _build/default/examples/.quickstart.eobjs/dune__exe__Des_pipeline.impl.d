@@ -1,0 +1,1 @@
+examples/des_pipeline.ml: Array Fmt List Uas_bench_suite Uas_core Uas_hw Uas_ir

@@ -1,0 +1,1 @@
+examples/des_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/file_kernel.ml: Array Fmt List Parser Stmt Sys Uas_analysis Uas_core Uas_hw Uas_ir Validate

@@ -1,0 +1,1 @@
+examples/iir_filter.ml: Array Fmt List Option Uas_analysis Uas_bench_suite Uas_core Uas_hw Uas_ir Uas_transform

@@ -1,0 +1,1 @@
+examples/iir_filter.mli:

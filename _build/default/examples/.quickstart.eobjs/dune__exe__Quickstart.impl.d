@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Fmt Interp Pp Types Uas_analysis Uas_hw Uas_ir Uas_transform

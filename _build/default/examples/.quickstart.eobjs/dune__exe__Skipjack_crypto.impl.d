@@ -1,0 +1,1 @@
+examples/skipjack_crypto.ml: Array Char Fmt List String Uas_bench_suite Uas_core Uas_hw Uas_ir

@@ -1,0 +1,1 @@
+examples/skipjack_crypto.mli:

@@ -1,0 +1,1 @@
+lib/analysis/def_use.ml: Expr List Loop_nest Stmt Uas_ir

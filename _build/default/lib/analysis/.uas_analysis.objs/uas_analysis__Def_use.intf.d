@@ -1,0 +1,1 @@
+lib/analysis/def_use.mli: Loop_nest Uas_ir

@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Expr Fmt Induction List Loop_nest Map Option Stmt String Types Uas_ir

@@ -1,0 +1,1 @@
+lib/analysis/dependence.mli: Expr Fmt Loop_nest Types Uas_ir

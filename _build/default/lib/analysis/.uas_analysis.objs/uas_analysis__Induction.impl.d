@@ -1,0 +1,1 @@
+lib/analysis/induction.ml: Expr List Loop_nest Stmt String Types Uas_ir

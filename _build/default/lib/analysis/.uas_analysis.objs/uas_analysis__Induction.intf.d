@@ -1,0 +1,1 @@
+lib/analysis/induction.mli: Expr Loop_nest Stmt Types Uas_ir

@@ -1,0 +1,1 @@
+lib/analysis/legality.ml: Def_use Dependence Expr Fmt Induction List Loop_nest Printf Stmt Uas_ir

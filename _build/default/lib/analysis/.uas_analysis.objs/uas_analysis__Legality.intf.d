@@ -1,0 +1,1 @@
+lib/analysis/legality.mli: Dependence Fmt Induction Loop_nest Uas_ir

@@ -1,0 +1,1 @@
+lib/analysis/loop_nest.ml: Expr List Stmt String Types Uas_ir

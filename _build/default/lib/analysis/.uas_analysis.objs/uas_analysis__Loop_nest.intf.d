@@ -1,0 +1,1 @@
+lib/analysis/loop_nest.mli: Expr Stmt Types Uas_ir

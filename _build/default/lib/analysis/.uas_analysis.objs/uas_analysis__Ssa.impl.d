@@ -1,0 +1,1 @@
+lib/analysis/ssa.ml: Expr List Map Printf Stmt String Types Uas_ir

@@ -1,0 +1,1 @@
+lib/analysis/ssa.mli: Map Stmt Uas_ir

@@ -1,0 +1,252 @@
+(* Array dependence analysis for 2-deep loop nests (§3.2, §4.2).
+
+   Index expressions are abstracted as affine forms
+
+       ci * i  +  cj * j  +  c0  +  Σ symbolic invariants
+
+   in the outer index [i] and inner index [j].  Two accesses to the same
+   array are compared with the classic ZIV / strong-SIV / GCD tests to
+   bound the *outer-loop dependence distance* — the quantity the
+   unroll-and-squash legality cases of §4.2 are stated over. *)
+
+open Uas_ir
+module Smap = Map.Make (String)
+
+type affine = {
+  ci : int;            (** coefficient of the outer index *)
+  cj : int;            (** coefficient of the inner index *)
+  c0 : int;            (** constant part *)
+  sym : string list;   (** sorted additive loop-invariant symbols *)
+}
+
+let affine_const n = { ci = 0; cj = 0; c0 = n; sym = [] }
+
+let pp_affine ppf a =
+  Fmt.pf ppf "%d*i + %d*j + %d%a" a.ci a.cj a.c0
+    Fmt.(list ~sep:(any "") (fun ppf s -> Fmt.pf ppf " + %s" s))
+    a.sym
+
+(* Unique straight-line definitions usable for substitution when
+   extracting affine forms: scalars assigned exactly once in [pre] and
+   nowhere else in the nest.  Loop-body definitions are iteration-variant
+   and must not be chased across iterations, so they are excluded. *)
+let pre_defs (nest : Loop_nest.t) : Expr.t Smap.t =
+  let all = Loop_nest.all_stmts nest in
+  List.fold_left
+    (fun m s ->
+      match s with
+      | Stmt.Assign (v, e) when Induction.count_defs v all = 1 ->
+        Smap.add v e m
+      | _ -> m)
+    Smap.empty nest.Loop_nest.pre
+
+let add_sym a b =
+  { ci = a.ci + b.ci;
+    cj = a.cj + b.cj;
+    c0 = a.c0 + b.c0;
+    sym = List.sort String.compare (a.sym @ b.sym) }
+
+let scale k a =
+  if a.sym <> [] && k <> 1 then None
+  else Some { ci = k * a.ci; cj = k * a.cj; c0 = k * a.c0; sym = a.sym }
+
+(** Affine form of [e] in terms of the nest's indices; [None] when the
+    expression is not (recognizably) affine. *)
+let affine_of (nest : Loop_nest.t) (e : Expr.t) : affine option =
+  let defs = pre_defs nest in
+  let defined = Stmt.defs (Loop_nest.all_stmts nest) in
+  let rec go depth (e : Expr.t) : affine option =
+    if depth > 16 then None
+    else
+      match Expr.simplify e with
+      | Expr.Int n -> Some (affine_const n)
+      | Expr.Var v ->
+        if String.equal v nest.outer_index then
+          (* in terms of the index *value*; distances are converted to
+             iteration units in [outer_distance] *)
+          Some { ci = 1; cj = 0; c0 = 0; sym = [] }
+        else if String.equal v nest.inner_index then
+          Some { ci = 0; cj = 1; c0 = 0; sym = [] }
+        else if Smap.mem v defs then go (depth + 1) (Smap.find v defs)
+        else if Stmt.Sset.mem v defined then None  (* iteration-variant *)
+        else Some { ci = 0; cj = 0; c0 = 0; sym = [ v ] }
+      | Expr.Binop (Types.Add, a, b) -> (
+        match (go (depth + 1) a, go (depth + 1) b) with
+        | Some x, Some y -> Some (add_sym x y)
+        | _ -> None)
+      | Expr.Binop (Types.Sub, a, b) -> (
+        match (go (depth + 1) a, go (depth + 1) b) with
+        | Some x, Some y when y.sym = [] ->
+          Some { ci = x.ci - y.ci; cj = x.cj - y.cj; c0 = x.c0 - y.c0;
+                 sym = x.sym }
+        | _ -> None)
+      | Expr.Binop (Types.Mul, Expr.Int k, a)
+      | Expr.Binop (Types.Mul, a, Expr.Int k) ->
+        Option.bind (go (depth + 1) a) (scale k)
+      | Expr.Binop (Types.Shl, a, Expr.Int k) when k >= 0 && k < 31 ->
+        Option.bind (go (depth + 1) a) (scale (1 lsl k))
+      | _ -> None
+  in
+  go 0 e
+
+(** Outer-loop dependence distance between two accesses, in *outer
+    iterations* (index-space distance divided by the outer step is the
+    caller's concern; we report index-space distances of the outer
+    index variable's values, normalized to iteration counts using the
+    step). *)
+type outer_distance =
+  | No_dependence           (** accesses can never conflict *)
+  | Exact of int            (** conflicts only at this outer-iteration distance *)
+  | Within of int * int     (** all conflicts at distances in [lo, hi] *)
+  | Any                     (** unknown / unbounded *)
+
+let pp_outer_distance ppf = function
+  | No_dependence -> Fmt.string ppf "independent"
+  | Exact d -> Fmt.pf ppf "distance %d" d
+  | Within (a, b) -> Fmt.pf ppf "distance in [%d, %d]" a b
+  | Any -> Fmt.string ppf "unknown"
+
+type access = {
+  acc_array : Types.array_id;
+  acc_index : Expr.t;
+  acc_is_write : bool;
+  acc_in_inner : bool;  (** the access sits in the inner-loop body *)
+}
+
+(** Every array access of the nest. *)
+let accesses (nest : Loop_nest.t) : access list =
+  let of_expr in_inner e =
+    List.rev
+      (Expr.fold
+         (fun acc e ->
+           match e with
+           | Expr.Load (a, i) ->
+             { acc_array = a; acc_index = i; acc_is_write = false;
+               acc_in_inner = in_inner }
+             :: acc
+           | _ -> acc)
+         [] e)
+  in
+  let rec of_stmts in_inner stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Stmt.Assign (_, e) -> of_expr in_inner e
+        | Stmt.Store (a, i, e) ->
+          of_expr in_inner i @ of_expr in_inner e
+          @ [ { acc_array = a; acc_index = i; acc_is_write = true;
+                acc_in_inner = in_inner } ]
+        | Stmt.If (c, t, f) ->
+          of_expr in_inner c @ of_stmts in_inner t @ of_stmts in_inner f
+        | Stmt.For l -> of_stmts in_inner l.body)
+      stmts
+  in
+  of_stmts false nest.Loop_nest.pre
+  @ of_stmts true nest.inner_body
+  @ of_stmts false nest.post
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Solve a*di + b*dj = delta for the range of di, with dj ranging over
+   the inner index-value differences {-(n-1)*s, ..., (n-1)*s} when the
+   inner trip count [n] and step [s] are known, and di bounded by the
+   outer iteration range when [outer_trips] is known. *)
+let solve_distance ~inner_trips ~inner_step ~outer_trips a b delta :
+    outer_distance =
+  let di_possible di =
+    match outer_trips with None -> true | Some m -> abs di <= m - 1
+  in
+  if a = 0 && b = 0 then if delta = 0 then Exact 0 else No_dependence
+  else if b = 0 then
+    (* strong SIV on the outer index *)
+    if delta mod a = 0 && di_possible (delta / a) then Exact (delta / a)
+    else No_dependence
+  else if a = 0 then
+    (* the index ignores the outer loop: when the inner equation
+       b*dj = delta has a solution in range, the same element recurs in
+       every outer iteration *)
+    if delta mod b <> 0 || delta / b mod inner_step <> 0 then No_dependence
+    else (
+      match inner_trips with
+      | Some n when abs (delta / b / inner_step) > n - 1 -> No_dependence
+      | Some _ | None -> Any)
+  else if delta mod gcd a b <> 0 then No_dependence
+  else
+    match inner_trips with
+    | None -> Any
+    | Some n ->
+      (* di = (delta - b*dj)/a over integer solutions *)
+      let candidates = ref [] in
+      for t = -(n - 1) to n - 1 do
+        let dj = t * inner_step in
+        let num = delta - (b * dj) in
+        if num mod a = 0 && di_possible (num / a) then
+          candidates := (num / a) :: !candidates
+      done;
+      (match !candidates with
+      | [] -> No_dependence
+      | ds ->
+        let lo = List.fold_left min max_int ds in
+        let hi = List.fold_left max min_int ds in
+        if lo = hi then Exact lo else Within (lo, hi))
+
+(** Outer dependence distance between two accesses of the same array.
+    The result is in units of outer *iterations* (the affine outer
+    coefficients already absorb the index step because the index
+    variable itself advances by [outer_step]; we renormalize below). *)
+let outer_distance (nest : Loop_nest.t) (x : access) (y : access) :
+    outer_distance =
+  if not (String.equal x.acc_array y.acc_array) then No_dependence
+  else if not (x.acc_is_write || y.acc_is_write) then No_dependence
+  else
+    match (affine_of nest x.acc_index, affine_of nest y.acc_index) with
+    | Some ax, Some ay
+      when ax.ci = ay.ci && ax.cj = ay.cj
+           && List.length ax.sym = List.length ay.sym
+           && List.for_all2 String.equal ax.sym ay.sym ->
+      let inner_trips = Loop_nest.inner_trip_count nest in
+      let d =
+        solve_distance ~inner_trips ~inner_step:nest.inner_step
+          ~outer_trips:(Loop_nest.outer_trip_count nest) ax.ci ax.cj
+          (ay.c0 - ax.c0)
+      in
+      (* index-space distance -> iteration distance *)
+      let step = nest.outer_step in
+      let norm v =
+        if step = 1 then Some v
+        else if v mod step = 0 then Some (v / step)
+        else None
+      in
+      (match d with
+      | No_dependence -> No_dependence
+      | Any -> Any
+      | Exact v -> (
+        match norm v with Some v -> Exact v | None -> No_dependence)
+      | Within (a, b) ->
+        if step = 1 then Within (a, b)
+        else
+          (* conservative: round the interval outward in iteration units *)
+          Within
+            ( (if a >= 0 then a / step else -((-a + step - 1) / step)),
+              if b >= 0 then (b + step - 1) / step
+              else -(-b / step) ))
+    | _ -> Any
+
+(** All dependent pairs of the nest (at least one write, same array),
+    with their outer distances. *)
+let all_pairs (nest : Loop_nest.t) : (access * access * outer_distance) list =
+  let accs = accesses nest in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest ->
+      List.filter_map
+        (fun y ->
+          if
+            String.equal x.acc_array y.acc_array
+            && (x.acc_is_write || y.acc_is_write)
+          then Some (x, y, outer_distance nest x y)
+          else None)
+        (x :: rest)  (* include self-pairs: a store conflicts with itself *)
+      @ pairs rest
+  in
+  pairs accs

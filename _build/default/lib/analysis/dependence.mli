@@ -1,0 +1,48 @@
+(** Array dependence analysis for 2-deep nests (§3.2, §4.2): index
+    expressions are abstracted as affine forms in the two loop indices
+    (plus symbolic invariants) and compared with ZIV / strong-SIV / GCD
+    tests to bound the outer-loop dependence distance — the quantity
+    the squash legality cases are stated over. *)
+
+open Uas_ir
+
+type affine = {
+  ci : int;  (** coefficient of the outer index *)
+  cj : int;  (** coefficient of the inner index *)
+  c0 : int;  (** constant part *)
+  sym : string list;  (** sorted additive loop-invariant symbols *)
+}
+
+val affine_const : int -> affine
+val pp_affine : affine Fmt.t
+
+(** Affine form of an index expression in the nest's indices, chasing
+    unique pre-header definitions; [None] when unrecognizable. *)
+val affine_of : Loop_nest.t -> Expr.t -> affine option
+
+type outer_distance =
+  | No_dependence  (** provably never conflict *)
+  | Exact of int  (** conflicts only at this outer-iteration distance *)
+  | Within of int * int  (** all conflicts within this inclusive range *)
+  | Any  (** unknown / unbounded *)
+
+val pp_outer_distance : outer_distance Fmt.t
+
+type access = {
+  acc_array : Types.array_id;
+  acc_index : Expr.t;
+  acc_is_write : bool;
+  acc_in_inner : bool;  (** sits in the inner-loop body *)
+}
+
+(** Every array access of the nest, in program order. *)
+val accesses : Loop_nest.t -> access list
+
+(** Outer dependence distance between two accesses, in outer
+    iterations.  Reads-only pairs and different arrays are
+    [No_dependence]. *)
+val outer_distance : Loop_nest.t -> access -> access -> outer_distance
+
+(** All potentially dependent pairs (same array, at least one write),
+    including a store's self-pair. *)
+val all_pairs : Loop_nest.t -> (access * access * outer_distance) list

@@ -1,0 +1,145 @@
+(* Induction-variable identification for the outer loop of a nest
+   (§4.2): a scalar [v] assigned exactly once per outer iteration as
+   [v = v + c] (or [c + v] / [v - c]) with [c] a constant, and not
+   otherwise written inside the nest.
+
+   Such variables carry a dependence across outer iterations that would
+   make unroll-and-squash illegal; rewriting every use as a closed-form
+   expression of the outer index removes the dependence *and* makes the
+   memory accesses indexed by the variable visible to the affine
+   dependence tests. *)
+
+open Uas_ir
+module Sset = Stmt.Sset
+
+type t = {
+  iv_var : Types.var;
+  iv_step : int;          (** increment per outer iteration *)
+  iv_in_pre : bool;       (** the update sits in [pre] (else in [post]) *)
+}
+
+let as_increment (v : Types.var) (e : Expr.t) : int option =
+  match Expr.simplify e with
+  | Expr.Binop (Types.Add, Expr.Var v', Expr.Int c) when String.equal v v' ->
+    Some c
+  | Expr.Binop (Types.Add, Expr.Int c, Expr.Var v') when String.equal v v' ->
+    Some c
+  | Expr.Binop (Types.Sub, Expr.Var v', Expr.Int c) when String.equal v v' ->
+    Some (-c)
+  | _ -> None
+
+let count_defs v stmts =
+  Stmt.fold_list
+    (fun n s ->
+      match s with
+      | Stmt.Assign (x, _) when String.equal x v -> n + 1
+      | Stmt.For l when String.equal l.index v -> n + 1
+      | _ -> n)
+    0 stmts
+
+(** Induction variables of the nest's outer loop. *)
+let find (nest : Loop_nest.t) : t list =
+  let candidates_in in_pre stmts =
+    List.filter_map
+      (function
+        | Stmt.Assign (v, e) -> (
+          match as_increment v e with
+          | Some c -> Some { iv_var = v; iv_step = c; iv_in_pre = in_pre }
+          | None -> None)
+        | _ -> None)
+      stmts
+  in
+  let all =
+    candidates_in true nest.Loop_nest.pre @ candidates_in false nest.post
+  in
+  (* exactly one def in the whole nest, and never touched by the body *)
+  List.filter
+    (fun iv ->
+      count_defs iv.iv_var (Loop_nest.all_stmts nest) = 1
+      && not (Sset.mem iv.iv_var (Stmt.defs nest.inner_body)))
+    all
+
+(* Closed forms of the IV at outer iteration number t = (i - lo)/step:
+   [before] the update it holds v0 + t*c, [after] it v0 + (t+1)*c. *)
+let closed_forms (nest : Loop_nest.t) (iv : t) ~base : Expr.t * Expr.t =
+  let i = Expr.Var nest.Loop_nest.outer_index in
+  let iter_no =
+    Expr.simplify
+      (Expr.Binop
+         ( Types.Div,
+           Expr.Binop (Types.Sub, i, nest.outer_lo),
+           Expr.Int nest.outer_step ))
+  in
+  let form times =
+    Expr.simplify
+      (Expr.Binop
+         ( Types.Add,
+           Expr.Var base,
+           Expr.Binop (Types.Mul, times, Expr.Int iv.iv_step) ))
+  in
+  ( form iter_no,
+    form (Expr.simplify (Expr.Binop (Types.Add, iter_no, Expr.Int 1))) )
+
+(** Rewrite the nest only: every use of the IV becomes its closed form
+    (pre-update uses see iteration [t]'s value, later uses see the
+    updated value) and the update statement is removed.  [base] is the
+    scalar holding the IV's value at loop entry. *)
+let rewrite_nest (nest : Loop_nest.t) (iv : t) ~base : Loop_nest.t =
+  let before, after = closed_forms nest iv ~base in
+  let subst form stmts =
+    Stmt.map_exprs_list
+      (Expr.subst_vars (fun v ->
+           if String.equal v iv.iv_var then Some form else None))
+      stmts
+  in
+  let rewrite_region ~seen_update stmts =
+    (* returns the rewritten statements; the update itself is dropped *)
+    let seen = ref seen_update in
+    List.filter_map
+      (fun s ->
+        match s with
+        | Stmt.Assign (x, e)
+          when String.equal x iv.iv_var && as_increment x e <> None ->
+          seen := true;
+          None
+        | s -> Some (List.hd (subst (if !seen then after else before) [ s ])))
+      stmts
+  in
+  let pre = rewrite_region ~seen_update:false nest.Loop_nest.pre in
+  let body_form = if iv.iv_in_pre then after else before in
+  let inner_body = subst body_form nest.inner_body in
+  let post = rewrite_region ~seen_update:iv.iv_in_pre nest.post in
+  { nest with Loop_nest.pre; inner_body; post }
+
+(** Rewrite the induction variable inside a whole program: capture the
+    entry value, rewrite the nest, and restore the exit value after the
+    loop.  Returns the modified program with the rewritten nest. *)
+let rewrite (p : Stmt.program) (nest : Loop_nest.t) (iv : t) :
+    Stmt.program * Loop_nest.t =
+  let base = Stmt.fresh_var p (iv.iv_var ^ "@ivbase") in
+  let nest' = rewrite_nest nest iv ~base in
+  let trips =
+    Expr.simplify
+      (Expr.Binop
+         ( Types.Div,
+           Expr.Binop
+             ( Types.Add,
+               Expr.Binop (Types.Sub, nest.outer_hi, nest.outer_lo),
+               Expr.Int (nest.outer_step - 1) ),
+           Expr.Int nest.outer_step ))
+  in
+  let exit_value =
+    Expr.simplify
+      (Expr.Binop
+         ( Types.Add,
+           Expr.Var base,
+           Expr.Binop (Types.Mul, trips, Expr.Int iv.iv_step) ))
+  in
+  let replacement =
+    [ Stmt.Assign (base, Expr.Var iv.iv_var);
+      Loop_nest.to_stmt nest';
+      Stmt.Assign (iv.iv_var, exit_value) ]
+  in
+  let p = Loop_nest.replace p ~outer_index:nest.outer_index replacement in
+  let p = Stmt.add_locals p [ (base, Types.Tint) ] in
+  (p, nest')

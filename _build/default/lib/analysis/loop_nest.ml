@@ -1,0 +1,149 @@
+(* Discovery and manipulation of the inner-outer loop pairs that
+   unroll-and-squash / unroll-and-jam operate on (§4.1).
+
+   A nest is an outer FOR loop whose body is
+
+     pre ; inner-FOR ; post
+
+   where [pre] and [post] are statement lists that do not themselves
+   contain the inner loop.  The transformation requirements (straight-
+   line pre/post/body, invariant inner bounds, ...) are checked
+   separately by [Legality]; this module only captures the shape. *)
+
+open Uas_ir
+
+type t = {
+  outer_index : Types.var;
+  outer_lo : Expr.t;
+  outer_hi : Expr.t;
+  outer_step : int;
+  pre : Stmt.t list;
+  inner_index : Types.var;
+  inner_lo : Expr.t;
+  inner_hi : Expr.t;
+  inner_step : int;
+  inner_body : Stmt.t list;
+  post : Stmt.t list;
+}
+
+(** Rebuild the loop-nest statement from its parts. *)
+let to_stmt (n : t) : Stmt.t =
+  Stmt.For
+    { index = n.outer_index;
+      lo = n.outer_lo;
+      hi = n.outer_hi;
+      step = n.outer_step;
+      body =
+        n.pre
+        @ [ Stmt.For
+              { index = n.inner_index;
+                lo = n.inner_lo;
+                hi = n.inner_hi;
+                step = n.inner_step;
+                body = n.inner_body } ]
+        @ n.post }
+
+(** Try to view an outer loop as a 2-deep nest: its body must contain
+    exactly one loop (at the top level of the body). *)
+let of_loop (l : Stmt.loop) : t option =
+  let contains_loop stmts =
+    List.exists
+      (fun s ->
+        Stmt.fold
+          (fun acc s -> acc || match s with Stmt.For _ -> true | _ -> false)
+          false s)
+      stmts
+  in
+  let rec split pre = function
+    | [] -> None
+    | Stmt.For inner :: post ->
+      if
+        List.exists (function Stmt.For _ -> true | _ -> false) post
+        || contains_loop (pre @ post)
+        || contains_loop inner.body  (* the inner loop must be innermost *)
+      then None
+      else
+        Some
+          { outer_index = l.index;
+            outer_lo = l.lo;
+            outer_hi = l.hi;
+            outer_step = l.step;
+            pre = List.rev pre;
+            inner_index = inner.index;
+            inner_lo = inner.lo;
+            inner_hi = inner.hi;
+            inner_step = inner.step;
+            inner_body = inner.body;
+            post }
+    | s :: rest -> split (s :: pre) rest
+  in
+  split [] l.body
+
+(** All 2-deep nests in a program, outermost first, paired with the
+    outer-loop index that identifies them for [replace]. *)
+let find (p : Stmt.program) : t list =
+  let rec scan acc stmts =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Stmt.For l -> (
+          match of_loop l with
+          | Some n -> n :: acc
+          | None -> scan acc l.body)
+        | Stmt.If (_, t, e) -> scan (scan acc t) e
+        | Stmt.Assign _ | Stmt.Store _ -> acc)
+      acc stmts
+  in
+  List.rev (scan [] p.body)
+
+(** The nest whose outer index is [index].  @raise Not_found *)
+let find_by_outer_index (p : Stmt.program) index : t =
+  match List.find_opt (fun n -> String.equal n.outer_index index) (find p) with
+  | Some n -> n
+  | None -> raise Not_found
+
+(** Replace the (first) outer loop with index [outer_index] by the given
+    statements.  @raise Not_found when no such loop exists. *)
+let replace (p : Stmt.program) ~outer_index (replacement : Stmt.t list) :
+    Stmt.program =
+  let replaced = ref false in
+  let rec go stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Stmt.For l when String.equal l.index outer_index && not !replaced ->
+          replaced := true;
+          replacement
+        | Stmt.For l -> [ Stmt.For { l with body = go l.body } ]
+        | Stmt.If (c, t, e) -> [ Stmt.If (c, go t, go e) ]
+        | Stmt.Assign _ | Stmt.Store _ -> [ s ])
+      stmts
+  in
+  let body = go p.body in
+  if not !replaced then raise Not_found;
+  { p with body }
+
+(** Constant trip count of the outer loop, when bounds are constants. *)
+let outer_trip_count (n : t) : int option =
+  match (Expr.simplify n.outer_lo, Expr.simplify n.outer_hi) with
+  | Expr.Int lo, Expr.Int hi ->
+    Some (if hi <= lo then 0 else (hi - lo + n.outer_step - 1) / n.outer_step)
+  | _ -> None
+
+let inner_trip_count (n : t) : int option =
+  match (Expr.simplify n.inner_lo, Expr.simplify n.inner_hi) with
+  | Expr.Int lo, Expr.Int hi ->
+    Some (if hi <= lo then 0 else (hi - lo + n.inner_step - 1) / n.inner_step)
+  | _ -> None
+
+(** All statements of the nest body (pre, inner body, post). *)
+let all_stmts (n : t) : Stmt.t list = n.pre @ n.inner_body @ n.post
+
+(** Scalars referenced anywhere in the nest (bounds included). *)
+let scalars (n : t) =
+  let s = Stmt.scalars (all_stmts n) in
+  let add_expr e acc = Stmt.Sset.union acc (Expr.var_set e) in
+  s
+  |> add_expr n.inner_lo |> add_expr n.inner_hi
+  |> Stmt.Sset.add n.outer_index
+  |> Stmt.Sset.add n.inner_index

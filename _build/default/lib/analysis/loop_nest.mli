@@ -1,0 +1,50 @@
+(** The 2-deep loop nests unroll-and-squash / unroll-and-jam operate on
+    (§4.1): an outer FOR whose body is [pre; inner-FOR; post] with the
+    inner loop innermost.  Shape only; requirements are checked by
+    {!Legality}. *)
+
+open Uas_ir
+
+type t = {
+  outer_index : Types.var;
+  outer_lo : Expr.t;
+  outer_hi : Expr.t;
+  outer_step : int;
+  pre : Stmt.t list;
+  inner_index : Types.var;
+  inner_lo : Expr.t;
+  inner_hi : Expr.t;
+  inner_step : int;
+  inner_body : Stmt.t list;
+  post : Stmt.t list;
+}
+
+(** Rebuild the nest as a statement. *)
+val to_stmt : t -> Stmt.t
+
+(** View an outer loop as a 2-deep nest, if its body contains exactly
+    one (innermost) loop. *)
+val of_loop : Stmt.loop -> t option
+
+(** All 2-deep nests of the program, outermost first. *)
+val find : Stmt.program -> t list
+
+(** @raise Not_found when no nest has this outer index. *)
+val find_by_outer_index : Stmt.program -> string -> t
+
+(** Replace the first outer loop with the given index.
+    @raise Not_found when absent. *)
+val replace :
+  Stmt.program -> outer_index:string -> Stmt.t list -> Stmt.program
+
+(** Static trip counts, when bounds are constants. *)
+val outer_trip_count : t -> int option
+
+val inner_trip_count : t -> int option
+
+(** [pre @ inner_body @ post]. *)
+val all_stmts : t -> Stmt.t list
+
+(** Scalars referenced anywhere in the nest, bounds and indices
+    included. *)
+val scalars : t -> Stmt.Sset.t

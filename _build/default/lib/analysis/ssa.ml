@@ -1,0 +1,81 @@
+(* Static single assignment for straight-line blocks (§5.3: the inner
+   loop code is converted into SSA form while the DFG is built, so that
+   each variable is defined only once in the body).
+
+   For a single basic block SSA is sequential renaming: the k-th
+   assignment to [v] defines [v#k]; uses refer to the latest version, and
+   upward-exposed uses refer to [v#0] (the value flowing in from outside
+   or from the previous iteration). *)
+
+open Uas_ir
+module Smap = Map.Make (String)
+
+type t = {
+  ssa_body : Stmt.t list;        (** renamed block *)
+  live_in : string Smap.t;       (** original name -> entry version *)
+  live_out : string Smap.t;      (** original name -> exit version *)
+  original : string Smap.t;      (** version name -> original name *)
+}
+
+let version v k = Printf.sprintf "%s#%d" v k
+
+(** Original name of an SSA version (identity for names that are not
+    versions). *)
+let base_name v =
+  match String.index_opt v '#' with
+  | Some i -> String.sub v 0 i
+  | None -> v
+
+let convert (body : Stmt.t list) : t =
+  if not (Stmt.is_straight_line body) then
+    Types.ir_error "SSA conversion requires a straight-line block";
+  let counts = ref Smap.empty in
+  let current = ref Smap.empty in
+  let originals = ref Smap.empty in
+  let live_in = ref Smap.empty in
+  let use v =
+    match Smap.find_opt v !current with
+    | Some v' -> v'
+    | None ->
+      let v0 = version v 0 in
+      current := Smap.add v v0 !current;
+      counts := Smap.add v 0 !counts;
+      originals := Smap.add v0 v !originals;
+      live_in := Smap.add v v0 !live_in;
+      v0
+  in
+  let def v =
+    let k = match Smap.find_opt v !counts with Some k -> k + 1 | None -> 1 in
+    counts := Smap.add v k !counts;
+    let v' = version v k in
+    current := Smap.add v v' !current;
+    originals := Smap.add v' v !originals;
+    (* a def with no prior use still names version 0 as the live-in slot *)
+    if not (Smap.mem v !live_in) then live_in := Smap.add v (version v 0) !live_in;
+    v'
+  in
+  let rename_expr e = Expr.rename use e in
+  let ssa_body =
+    List.map
+      (fun s ->
+        match s with
+        | Stmt.Assign (x, e) ->
+          let e' = rename_expr e in  (* uses before the def *)
+          Stmt.Assign (def x, e')
+        | Stmt.Store (a, i, e) -> Stmt.Store (a, rename_expr i, rename_expr e)
+        | Stmt.If _ | Stmt.For _ -> assert false)
+      body
+  in
+  let live_out =
+    Smap.mapi (fun _v cur -> cur) !current
+  in
+  { ssa_body; live_in = !live_in; live_out; original = !originals }
+
+(** Map an SSA result back to original names (inverse of [convert] up to
+    the single-assignment property; used by tests). *)
+let deconvert (t : t) : Stmt.t list =
+  Stmt.rename_vars_list base_name t.ssa_body
+
+(** Every version name appearing in the converted block. *)
+let versions (t : t) : string list =
+  List.map fst (Smap.bindings t.original)

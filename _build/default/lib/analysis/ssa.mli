@@ -1,0 +1,28 @@
+(** Static single assignment for straight-line blocks (§5.3): the k-th
+    assignment to [v] defines version [v#k]; upward-exposed uses read
+    [v#0]. *)
+
+open Uas_ir
+module Smap : Map.S with type key = string
+
+type t = {
+  ssa_body : Stmt.t list;  (** renamed block *)
+  live_in : string Smap.t;  (** original name -> entry version *)
+  live_out : string Smap.t;  (** original name -> exit version *)
+  original : string Smap.t;  (** version name -> original name *)
+}
+
+(** Version name [v#k]. *)
+val version : string -> int -> string
+
+(** Original name of a version (identity on plain names). *)
+val base_name : string -> string
+
+(** @raise Ir_error when the block is not straight-line. *)
+val convert : Stmt.t list -> t
+
+(** Strip version suffixes (inverse of [convert] on its output). *)
+val deconvert : t -> Stmt.t list
+
+(** Every version name of the converted block. *)
+val versions : t -> string list

@@ -1,0 +1,1 @@
+lib/bench_suite/des.ml: Array Builder Int64 Interp List Printf Random Stdlib Stmt Types Uas_ir

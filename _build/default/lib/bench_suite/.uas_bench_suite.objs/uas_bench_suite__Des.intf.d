@@ -1,0 +1,1 @@
+lib/bench_suite/des.mli: Interp Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/bench_suite/iir.ml: Array Builder Interp List Printf Random Stdlib Stmt Types Uas_ir

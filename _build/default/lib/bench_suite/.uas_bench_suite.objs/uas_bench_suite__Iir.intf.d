@@ -1,0 +1,1 @@
+lib/bench_suite/iir.mli: Interp Stmt Uas_ir

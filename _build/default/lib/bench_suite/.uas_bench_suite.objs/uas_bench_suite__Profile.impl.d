@@ -1,0 +1,1 @@
+lib/bench_suite/profile.ml: Array Builder Interp List Printf Random Skipjack Stdlib Stmt String Types Uas_ir

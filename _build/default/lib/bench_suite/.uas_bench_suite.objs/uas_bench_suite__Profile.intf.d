@@ -1,0 +1,1 @@
+lib/bench_suite/profile.mli: Interp Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/bench_suite/registry.ml: Array Des Fmt Iir Interp List Printf Skipjack Stmt String Types Uas_ir

@@ -1,0 +1,1 @@
+lib/bench_suite/registry.mli: Interp Stmt Types Uas_ir

@@ -1,0 +1,1 @@
+lib/bench_suite/simple.ml: Array Builder Stmt Types Uas_ir

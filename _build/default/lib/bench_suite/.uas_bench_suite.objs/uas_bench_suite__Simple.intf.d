@@ -1,0 +1,1 @@
+lib/bench_suite/simple.mli: Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/bench_suite/skipjack.ml: Array Builder Interp List Random Stmt Types Uas_ir

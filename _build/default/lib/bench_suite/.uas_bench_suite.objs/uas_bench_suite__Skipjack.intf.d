@@ -1,0 +1,1 @@
+lib/bench_suite/skipjack.mli: Interp Stmt Uas_ir

@@ -1,0 +1,317 @@
+(* The DES block cipher (FIPS 46), the paper's second cryptographic
+   benchmark (§6.2).
+
+   The hardware kernel is the 16-round Feistel core on the two 32-bit
+   halves; the initial and final permutations are pure wiring (zero
+   gates in hardware) and are applied by the host-side helpers, exactly
+   as the Nimble flow would leave them outside the datapath.  The round
+   function uses the classic combined SP-boxes (S-box output already
+   run through the P permutation and positioned), so each round costs 8
+   table lookups plus one subkey fetch — in memory for [mem], in local
+   ROM for [hw] (Table 6.1's "SBOX implemented in hardware").
+
+   A pure-OCaml host implementation provides reference outputs and the
+   textbook known-answer test. *)
+
+open Uas_ir
+module B = Builder
+
+(* --- the FIPS tables --- *)
+
+let sbox =
+  [| (* S1 *)
+     [| 14;4;13;1;2;15;11;8;3;10;6;12;5;9;0;7;
+        0;15;7;4;14;2;13;1;10;6;12;11;9;5;3;8;
+        4;1;14;8;13;6;2;11;15;12;9;7;3;10;5;0;
+        15;12;8;2;4;9;1;7;5;11;3;14;10;0;6;13 |];
+     (* S2 *)
+     [| 15;1;8;14;6;11;3;4;9;7;2;13;12;0;5;10;
+        3;13;4;7;15;2;8;14;12;0;1;10;6;9;11;5;
+        0;14;7;11;10;4;13;1;5;8;12;6;9;3;2;15;
+        13;8;10;1;3;15;4;2;11;6;7;12;0;5;14;9 |];
+     (* S3 *)
+     [| 10;0;9;14;6;3;15;5;1;13;12;7;11;4;2;8;
+        13;7;0;9;3;4;6;10;2;8;5;14;12;11;15;1;
+        13;6;4;9;8;15;3;0;11;1;2;12;5;10;14;7;
+        1;10;13;0;6;9;8;7;4;15;14;3;11;5;2;12 |];
+     (* S4 *)
+     [| 7;13;14;3;0;6;9;10;1;2;8;5;11;12;4;15;
+        13;8;11;5;6;15;0;3;4;7;2;12;1;10;14;9;
+        10;6;9;0;12;11;7;13;15;1;3;14;5;2;8;4;
+        3;15;0;6;10;1;13;8;9;4;5;11;12;7;2;14 |];
+     (* S5 *)
+     [| 2;12;4;1;7;10;11;6;8;5;3;15;13;0;14;9;
+        14;11;2;12;4;7;13;1;5;0;15;10;3;9;8;6;
+        4;2;1;11;10;13;7;8;15;9;12;5;6;3;0;14;
+        11;8;12;7;1;14;2;13;6;15;0;9;10;4;5;3 |];
+     (* S6 *)
+     [| 12;1;10;15;9;2;6;8;0;13;3;4;14;7;5;11;
+        10;15;4;2;7;12;9;5;6;1;13;14;0;11;3;8;
+        9;14;15;5;2;8;12;3;7;0;4;10;1;13;11;6;
+        4;3;2;12;9;5;15;10;11;14;1;7;6;0;8;13 |];
+     (* S7 *)
+     [| 4;11;2;14;15;0;8;13;3;12;9;7;5;10;6;1;
+        13;0;11;7;4;9;1;10;14;3;5;12;2;15;8;6;
+        1;4;11;13;12;3;7;14;10;15;6;8;0;5;9;2;
+        6;11;13;8;1;4;10;7;9;5;0;15;14;2;3;12 |];
+     (* S8 *)
+     [| 13;2;8;4;6;15;11;1;10;9;3;14;5;0;12;7;
+        1;15;13;8;10;3;7;4;12;5;6;11;0;14;9;2;
+        7;11;4;1;9;12;14;2;0;6;10;13;15;3;5;8;
+        2;1;14;7;4;10;8;13;15;12;9;0;3;5;6;11 |] |]
+
+let p_table =
+  [| 16;7;20;21;29;12;28;17;1;15;23;26;5;18;31;10;
+     2;8;24;14;32;27;3;9;19;13;30;6;22;11;4;25 |]
+
+let e_table =
+  [| 32;1;2;3;4;5;4;5;6;7;8;9;8;9;10;11;12;13;12;13;14;15;16;17;
+     16;17;18;19;20;21;20;21;22;23;24;25;24;25;26;27;28;29;28;29;30;31;32;1 |]
+
+let pc1_table =
+  [| 57;49;41;33;25;17;9;1;58;50;42;34;26;18;10;2;59;51;43;35;27;19;11;3;
+     60;52;44;36;63;55;47;39;31;23;15;7;62;54;46;38;30;22;14;6;61;53;45;37;
+     29;21;13;5;28;20;12;4 |]
+
+let pc2_table =
+  [| 14;17;11;24;1;5;3;28;15;6;21;10;23;19;12;4;26;8;16;7;27;20;13;2;
+     41;52;31;37;47;55;30;40;51;45;33;48;44;49;39;56;34;53;46;42;50;36;29;32 |]
+
+let ip_table =
+  [| 58;50;42;34;26;18;10;2;60;52;44;36;28;20;12;4;
+     62;54;46;38;30;22;14;6;64;56;48;40;32;24;16;8;
+     57;49;41;33;25;17;9;1;59;51;43;35;27;19;11;3;
+     61;53;45;37;29;21;13;5;63;55;47;39;31;23;15;7 |]
+
+let fp_table =
+  [| 40;8;48;16;56;24;64;32;39;7;47;15;55;23;63;31;
+     38;6;46;14;54;22;62;30;37;5;45;13;53;21;61;29;
+     36;4;44;12;52;20;60;28;35;3;43;11;51;19;59;27;
+     34;2;42;10;50;18;58;26;33;1;41;9;49;17;57;25 |]
+
+let key_shifts = [| 1;1;2;2;2;2;2;2;1;2;2;2;2;2;2;1 |]
+
+(* --- host reference implementation --- *)
+
+(* Select bits of [x] (bit 1 = MSB of an [in_width]-bit word) per
+   [table], producing a (length table)-bit word.  Results are at most
+   56 bits, so a native int holds them; 64-bit inputs use the Int64
+   variants below (OCaml native ints are 63-bit). *)
+let permute ~in_width table x =
+  Array.fold_left
+    (fun acc pos -> (acc lsl 1) lor ((x lsr (in_width - pos)) land 1))
+    0 table
+
+let permute64 table (x : int64) =
+  Array.fold_left
+    (fun acc pos ->
+      (acc lsl 1)
+      lor Int64.(to_int (logand (shift_right_logical x (64 - pos)) 1L)))
+    0 table
+
+let permute64_wide table (x : int64) : int64 =
+  Array.fold_left
+    (fun acc pos ->
+      Int64.logor (Int64.shift_left acc 1)
+        Int64.(logand (shift_right_logical x (64 - pos)) 1L))
+    0L table
+
+(* S-box lookup with the FIPS row/column convention: for 6-bit input
+   b1..b6, row = b1b6 and column = b2b3b4b5. *)
+let sbox_lookup b v =
+  let row = (((v lsr 5) land 1) lsl 1) lor (v land 1) in
+  let col = (v lsr 1) land 0xf in
+  sbox.(b).((row * 16) + col)
+
+(** The combined SP-boxes: S-box output placed at its nibble and run
+    through P.  [spbox.(b).(v)] is a 32-bit word. *)
+let spbox : int array array =
+  Array.init 8 (fun b ->
+      Array.init 64 (fun v ->
+          permute ~in_width:32 p_table (sbox_lookup b v lsl (28 - (4 * b)))))
+
+(** 16 48-bit subkeys from a 64-bit key (parity bits ignored by PC1). *)
+let key_schedule (key64 : int64) : int array =
+  let cd0 = permute64 pc1_table key64 in
+  let c0 = (cd0 lsr 28) land 0xfffffff and d0 = cd0 land 0xfffffff in
+  let rot28 x n = ((x lsl n) lor (x lsr (28 - n))) land 0xfffffff in
+  let c = ref c0 and d = ref d0 in
+  Array.map
+    (fun s ->
+      c := rot28 !c s;
+      d := rot28 !d s;
+      permute ~in_width:56 pc2_table ((!c lsl 28) lor !d))
+    key_shifts
+
+(* Round function via E-expansion and the SP-boxes. *)
+let f_function r k =
+  let e = permute ~in_width:32 e_table r in
+  let acc = ref 0 in
+  for b = 0 to 7 do
+    let chunk = (e lsr (42 - (6 * b))) land 0x3f in
+    let kc = (k lsr (42 - (6 * b))) land 0x3f in
+    acc := !acc lor spbox.(b).(chunk lxor kc)
+  done;
+  !acc
+
+(** The 16-round Feistel core on two 32-bit halves; returns
+    (R16, L16) — the preoutput order (the final swap). *)
+let encrypt_core ~(subkeys : int array) (l, r) =
+  let l = ref l and r = ref r in
+  for j = 0 to 15 do
+    let nr = !l lxor f_function !r subkeys.(j) in
+    l := !r;
+    r := nr
+  done;
+  (!r, !l)
+
+(** Full FIPS DES on a 64-bit block (IP, core, FP), for the KAT. *)
+let encrypt_block ~(key64 : int64) (block : int64) : int64 =
+  let subkeys = key_schedule key64 in
+  let x = permute64_wide ip_table block in
+  let l = Int64.(to_int (logand (shift_right_logical x 32) 0xffffffffL)) in
+  let r = Int64.(to_int (logand x 0xffffffffL)) in
+  let r16, l16 = encrypt_core ~subkeys (l, r) in
+  permute64_wide fp_table
+    Int64.(logor (shift_left (of_int r16) 32) (of_int l16))
+
+(** Core encryption of [m] blocks stored as (L, R) word pairs. *)
+let encrypt_stream ~(subkeys : int array) (halves : int array) : int array =
+  let m = Array.length halves / 2 in
+  let out = Array.make (Array.length halves) 0 in
+  for i = 0 to m - 1 do
+    let r16, l16 = encrypt_core ~subkeys (halves.(2 * i), halves.((2 * i) + 1)) in
+    out.(2 * i) <- r16;
+    out.((2 * i) + 1) <- l16
+  done;
+  out
+
+(* --- IR benchmark programs --- *)
+
+(* The flattened SP table: spbox_flat.(64b + v). *)
+let spbox_flat : int array =
+  Array.init 512 (fun t -> spbox.(t / 64).(t mod 64))
+
+(* One Feistel round; [sp] and [key] abstract table access. *)
+let round_body ~sp ~key : Stmt.t list =
+  let open B in
+  let mask32 = int 0xffffffff in
+  let chunk b =
+    (* 6 expanded bits for box b, from rt = ROTR(R, 1) *)
+    if Stdlib.( < ) b 7 then
+      band (shr (v "rt") (int Stdlib.(26 - (4 * b)))) (int 0x3f)
+    else
+      bor
+        (shl (band (v "rt") (int 0xf)) (int 2))
+        (band (shr (v "rt") (int 30)) (int 3))
+  in
+  let kc b = band (shr (v "k") (int Stdlib.(42 - (6 * b)))) (int 0x3f) in
+  [ ("k" <-- key (v "j"));
+    ("rt" <-- band (bor (shr (v "r") (int 1)) (shl (band (v "r") (int 1)) (int 31))) mask32) ]
+  @ List.init 8 (fun b ->
+        B.(Printf.sprintf "s%d" b <-- sp (bxor (chunk b) (kc b) + int Stdlib.(64 * b))))
+  @ [ ("f0" <-- bor (v "s0") (v "s1"));
+      ("f1" <-- bor (v "s2") (v "s3"));
+      ("f2" <-- bor (v "s4") (v "s5"));
+      ("f3" <-- bor (v "s6") (v "s7"));
+      ("f4" <-- bor (v "f0") (v "f1"));
+      ("f5" <-- bor (v "f2") (v "f3"));
+      ("f" <-- bor (v "f4") (v "f5"));
+      ("nr" <-- bxor (v "l") (v "f"));
+      ("l" <-- v "r");
+      ("r" <-- v "nr") ]
+
+let locals =
+  List.map
+    (fun v -> (v, Types.Tint))
+    ([ "i"; "j"; "k"; "rt"; "f0"; "f1"; "f2"; "f3"; "f4"; "f5"; "f"; "nr";
+       "l"; "r" ]
+    @ List.init 8 (Printf.sprintf "s%d"))
+
+let block_loop ~m ~body ~arrays ~roms name : Stmt.program =
+  let open B in
+  B.program name ~locals ~arrays ~roms
+    [ for_ "i" ~hi:(int m)
+        [ ("l" <-- load "data_in" (v "i" * int 2));
+          ("r" <-- load "data_in" ((v "i" * int 2) + int 1));
+          for_ "j" ~hi:(int 16) body;
+          (* preoutput swap: R16 then L16 *)
+          store "data_out" (v "i" * int 2) (v "r");
+          store "data_out" ((v "i" * int 2) + int 1) (v "l") ] ]
+
+(** DES-mem: SP-boxes and subkeys in memory (Table 6.1: "SBOX
+    implemented in software with memory references"). *)
+let des_mem ~m : Stmt.program =
+  let sp e = B.load "spbox" e in
+  let key e = B.load "subkeys" e in
+  block_loop ~m ~body:(round_body ~sp ~key)
+    ~arrays:
+      [ B.input "data_in" (2 * m); B.input "spbox" 512; B.input "subkeys" 16;
+        B.output "data_out" (2 * m) ]
+    ~roms:[] "des_mem"
+
+(** DES-hw: SP-boxes and subkeys in local ROMs; no inner-loop memory
+    references (Table 6.1: "SBOX implemented in hardware"). *)
+let des_hw ~m ~key64 : Stmt.program =
+  let sp e = B.rom "spbox" e in
+  let key e = B.rom "subkeys" e in
+  block_loop ~m ~body:(round_body ~sp ~key)
+    ~arrays:[ B.input "data_in" (2 * m); B.output "data_out" (2 * m) ]
+    ~roms:
+      [ B.rom_decl "spbox" spbox_flat;
+        B.rom_decl "subkeys" (key_schedule key64) ]
+    "des_hw"
+
+(* --- workloads --- *)
+
+(** The textbook known-answer test: key 0x133457799BBCDFF1 encrypting
+    plaintext 0x0123456789ABCDEF yields 0x85E813540F0AB405. *)
+let kat_key = 0x133457799BBCDFF1L
+let kat_plaintext = 0x0123456789ABCDEFL
+let kat_ciphertext = 0x85E813540F0AB405L
+
+let random_halves ~seed n =
+  let rng = Random.State.make [| seed; 0xde5 |] in
+  Array.init n (fun _ ->
+      Random.State.full_int rng 0x100000000)
+
+(** Workload for the [mem] variant. *)
+let workload_mem ~key64 (halves : int array) : Interp.workload =
+  Interp.workload
+    ~arrays:
+      [ ("data_in", Array.map (fun w -> Types.VInt w) halves);
+        ("spbox", Array.map (fun w -> Types.VInt w) spbox_flat);
+        ("subkeys", Array.map (fun w -> Types.VInt w) (key_schedule key64)) ]
+    ()
+
+(** Workload for the [hw] variant. *)
+let workload_hw (halves : int array) : Interp.workload =
+  Interp.workload
+    ~arrays:[ ("data_in", Array.map (fun w -> Types.VInt w) halves) ]
+    ()
+
+(* --- decryption: DES is a Feistel network, so decryption is the same
+   core with the subkey schedule reversed --- *)
+
+(** Reversed schedule for decryption. *)
+let decrypt_schedule (key64 : int64) : int array =
+  let ks = key_schedule key64 in
+  Array.init 16 (fun j -> ks.(15 - j))
+
+(** Decrypt core halves: by the Feistel symmetry this is the encryption
+    core with the subkeys reversed.  Feed it the ciphertext preoutput
+    pair (r16, l16); it returns (l0, r0). *)
+let decrypt_core ~(subkeys : int array) (r16, l16) =
+  encrypt_core
+    ~subkeys:(Array.init 16 (fun j -> subkeys.(15 - j)))
+    (r16, l16)
+
+(** Full-block decryption, inverse of [encrypt_block]. *)
+let decrypt_block ~(key64 : int64) (cipher : int64) : int64 =
+  let subkeys = key_schedule key64 in
+  let x = permute64_wide ip_table cipher in
+  let a = Int64.(to_int (logand (shift_right_logical x 32) 0xffffffffL)) in
+  let b = Int64.(to_int (logand x 0xffffffffL)) in
+  (* IP undoes FP, recovering the preoutput (r16, l16) *)
+  let l0, r0 = decrypt_core ~subkeys (a, b) in
+  permute64_wide fp_table Int64.(logor (shift_left (of_int l0) 32) (of_int r0))

@@ -1,0 +1,116 @@
+(* The IIR benchmark (§6.2): a 4-cascaded biquad filter processing 64
+   points per channel, in direct form II.
+
+   The hardware kernel processes one channel's 64 samples through the
+   four cascaded biquads; the outer loop walks independent channels (a
+   filter bank), which is the parallel dimension unroll-and-squash
+   exploits.  The floating-point recurrence of each biquad
+
+       w = x - a1*w1 - a2*w2
+
+   is the long cycle that limits inner-loop pipelining, exactly the IIR
+   behaviour discussed with Figure 6.3 (big original II, small minimum
+   II, efficiency that keeps growing with the unroll factor).
+
+   A host implementation mirrors the IR operation-for-operation so the
+   equivalence tests can require bit-identical doubles. *)
+
+open Uas_ir
+module B = Builder
+
+type coeffs = { b0 : float; b1 : float; b2 : float; a1 : float; a2 : float }
+
+(** Four stable, gently-peaking biquad sections (fixed constants baked
+    into the datapath, like the paper's hardware-modeled operators). *)
+let cascade : coeffs array =
+  [| { b0 = 0.2929; b1 = 0.5858; b2 = 0.2929; a1 = -0.0000; a2 = 0.1716 };
+     { b0 = 0.2195; b1 = 0.4390; b2 = 0.2195; a1 = -0.3012; a2 = 0.1793 };
+     { b0 = 0.2928; b1 = 0.5855; b2 = 0.2928; a1 = -0.1380; a2 = 0.3091 };
+     { b0 = 0.3750; b1 = 0.7500; b2 = 0.3750; a1 = -0.2550; a2 = 0.2549 } |]
+
+let points_per_channel = 64
+
+(* --- host reference --- *)
+
+(** Run [n] samples of one channel through the cascade; the operation
+    order matches the IR program exactly (w before y, state shift
+    last). *)
+let filter_channel (input : float array) : float array =
+  let w1 = Array.make 4 0.0 and w2 = Array.make 4 0.0 in
+  Array.map
+    (fun x0 ->
+      let x = ref x0 in
+      for s = 0 to 3 do
+        let c = cascade.(s) in
+        let w = !x -. (c.a1 *. w1.(s)) -. (c.a2 *. w2.(s)) in
+        let y = (c.b0 *. w) +. (c.b1 *. w1.(s)) +. (c.b2 *. w2.(s)) in
+        w2.(s) <- w1.(s);
+        w1.(s) <- w;
+        x := y
+      done;
+      !x)
+    input
+
+(** [channels] independent channels stored channel-major
+    (chan * 64 + t). *)
+let filter_bank ~channels (input : float array) : float array =
+  let out = Array.make (Array.length input) 0.0 in
+  for c = 0 to channels - 1 do
+    let chan =
+      Array.sub input (c * points_per_channel) points_per_channel
+    in
+    Array.blit (filter_channel chan) 0 out (c * points_per_channel)
+      points_per_channel
+  done;
+  out
+
+(* --- IR benchmark program --- *)
+
+let state_vars =
+  List.concat_map
+    (fun s -> [ Printf.sprintf "w1_%d" s; Printf.sprintf "w2_%d" s ])
+    [ 0; 1; 2; 3 ]
+
+let locals =
+  [ ("i", Types.Tint); ("j", Types.Tint) ]
+  @ List.map (fun v -> (v, Types.Tfloat)) ([ "x"; "w"; "y" ] @ state_vars)
+
+(* One biquad section in direct form II, on scalar state. *)
+let biquad s : Stmt.t list =
+  let c = cascade.(s) in
+  let w1 = Printf.sprintf "w1_%d" s and w2 = Printf.sprintf "w2_%d" s in
+  let open B in
+  [ ("w" <-- v "x" -. (flt c.a1 *. v w1) -. (flt c.a2 *. v w2));
+    ("y" <-- (flt c.b0 *. v "w") +. (flt c.b1 *. v w1) +. (flt c.b2 *. v w2));
+    (w2 <-- v w1);
+    (w1 <-- v "w");
+    ("x" <-- v "y") ]
+
+(** The IIR filter bank over [channels] channels of 64 points each. *)
+let iir ~channels : Stmt.program =
+  let n = points_per_channel in
+  let total = Stdlib.( * ) channels n in
+  let open B in
+  B.program "iir" ~locals
+    ~arrays:
+      [ B.input ~ty:Types.Tfloat "signal_in" total;
+        B.output ~ty:Types.Tfloat "signal_out" total ]
+    [ for_ "i" ~hi:(int channels)
+        ((* channel start: reset the filter state *)
+         List.map (fun sv -> sv <-- flt 0.0) state_vars
+        @ [ for_ "j" ~hi:(int n)
+              ([ ("x" <-- load "signal_in" ((v "i" * int n) + v "j")) ]
+              @ List.concat_map biquad [ 0; 1; 2; 3 ]
+              @ [ store "signal_out" ((v "i" * int n) + v "j") (v "x") ]) ])
+    ]
+
+(* --- workloads --- *)
+
+let random_signal ~seed len =
+  let rng = Random.State.make [| seed; 0x11a |] in
+  Array.init len (fun _ -> Random.State.float rng 2.0 -. 1.0)
+
+let workload (signal : float array) : Interp.workload =
+  Interp.workload
+    ~arrays:[ ("signal_in", Array.map (fun x -> Types.VFloat x) signal) ]
+    ()

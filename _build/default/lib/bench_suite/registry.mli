@@ -1,0 +1,34 @@
+(** The Table 6.1 benchmark suite packaged uniformly: program, kernel
+    location, reference workload, and host-computed expected outputs. *)
+
+open Uas_ir
+
+type benchmark = {
+  b_name : string;  (** Table 6.1 name, e.g. "Skipjack-mem" *)
+  b_description : string;
+  b_program : Stmt.program;
+  b_outer_index : string;
+  b_inner_index : string;
+  b_workload : Interp.workload;
+  b_reference : (Types.array_id * Types.value array) list;
+}
+
+val default_blocks : int
+val default_channels : int
+
+val skipjack_mem : ?m:int -> unit -> benchmark
+val skipjack_hw : ?m:int -> unit -> benchmark
+val des_mem : ?m:int -> unit -> benchmark
+val des_hw : ?m:int -> unit -> benchmark
+val iir : ?channels:int -> unit -> benchmark
+
+(** The five benchmarks in the paper's order. *)
+val all : unit -> benchmark list
+
+(** Case-insensitive lookup by Table 6.1 name. *)
+val find : string -> benchmark option
+
+(** Does running [p] on the benchmark workload reproduce the host
+    reference bit-for-bit? *)
+val check_against_reference :
+  benchmark -> Stmt.program -> (unit, string) result

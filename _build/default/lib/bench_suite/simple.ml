@@ -1,0 +1,69 @@
+(* The motivating kernels of Chapters 2 and 4, kept as library citizens
+   so the examples, tests and figure benches all share one definition. *)
+
+open Uas_ir
+module B = Builder
+
+(** Figure 2.1: the f/g nested loop.  [f] and [g] are single-cycle ALU
+    operations (an add-mask and an xor-double), preserving the shape —
+    a two-operator recurrence that forbids inner-loop pipelining. *)
+let fg_loop ~m ~n : Stmt.program =
+  B.program "fg_loop"
+    ~locals:
+      [ ("i", Types.Tint); ("j", Types.Tint); ("a", Types.Tint);
+        ("b", Types.Tint) ]
+    ~arrays:[ B.input "data_in" m; B.output "data_out" m ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.("a" <-- load "data_in" (v "i"));
+          B.for_ "j" ~hi:(B.int n)
+            [ B.("b" <-- band (v "a" + int 3) (int 255));
+              B.("a" <-- bxor (v "b" + v "b") (int 21)) ];
+          B.store "data_out" (B.v "i") (B.v "a") ]
+    ]
+
+(** Host reference for [fg_loop]. *)
+let fg_reference ~n (input : int array) : int array =
+  Array.map
+    (fun x0 ->
+      let a = ref x0 in
+      for _ = 1 to n do
+        let b = (!a + 3) land 255 in
+        a := (b + b) lxor 21
+      done;
+      !a)
+    input
+
+(** Figure 4.1: the kernel used to illustrate DFG construction and
+    stage assignment; uses both indices and an invariant scalar [k]. *)
+let ch4_loop ~m ~n : Stmt.program =
+  B.program "ch4_loop"
+    ~params:[ ("k", Types.Tint) ]
+    ~locals:
+      [ ("i", Types.Tint); ("j", Types.Tint); ("a", Types.Tint);
+        ("b", Types.Tint); ("c", Types.Tint) ]
+    ~arrays:[ B.input "src" m; B.output "dst" m ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.("a" <-- load "src" (v "i"));
+          B.for_ "j" ~hi:(B.int n)
+            [ B.("b" <-- v "a" + v "i");
+              B.("c" <-- v "b" - v "j");
+              B.("a" <-- band (v "c") (int 15) * v "k") ];
+          B.store "dst" (B.v "i") (B.v "a") ]
+    ]
+
+(** A table-driven stream checksum: a nest with inner-loop memory
+    references for exercising the memory-port pressure paths. *)
+let checksum_loop ~m ~n : Stmt.program =
+  B.program "checksum_loop"
+    ~locals:
+      [ ("i", Types.Tint); ("j", Types.Tint); ("acc", Types.Tint);
+        ("t", Types.Tint) ]
+    ~arrays:[ B.input "src" (m * n); B.input "tab" 256; B.output "dst" m ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.("acc" <-- int 0);
+          B.for_ "j" ~hi:(B.int n)
+            [ B.("t" <-- load "src" ((v "i" * int n) + v "j"));
+              B.("acc" <--
+                 v "acc" + load "tab" (band (bxor (v "t") (v "acc")) (int 255))) ];
+          B.store "dst" (B.v "i") (B.v "acc") ]
+    ]

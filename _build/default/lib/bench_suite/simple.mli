@@ -1,0 +1,18 @@
+(** The motivating kernels of Chapters 2 and 4, shared by the examples,
+    tests and figure benches. *)
+
+open Uas_ir
+
+(** Figure 2.1: the f/g nested loop (two 1-cycle ALU ops forming the
+    inner recurrence). *)
+val fg_loop : m:int -> n:int -> Stmt.program
+
+(** Host reference for [fg_loop]. *)
+val fg_reference : n:int -> int array -> int array
+
+(** Figure 4.1: the DFG/stage illustration kernel (uses both indices
+    and an invariant scalar [k]). *)
+val ch4_loop : m:int -> n:int -> Stmt.program
+
+(** A table-driven stream checksum with inner-loop memory references. *)
+val checksum_loop : m:int -> n:int -> Stmt.program

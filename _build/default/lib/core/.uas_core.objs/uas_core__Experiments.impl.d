@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Fmt List Nimble Uas_bench_suite Uas_hw

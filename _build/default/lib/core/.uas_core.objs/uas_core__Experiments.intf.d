@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Fmt Nimble Uas_bench_suite Uas_hw

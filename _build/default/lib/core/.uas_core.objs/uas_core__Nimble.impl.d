@@ -1,0 +1,1 @@
+lib/core/nimble.ml: List Printf Stmt Uas_analysis Uas_hw Uas_ir Uas_transform

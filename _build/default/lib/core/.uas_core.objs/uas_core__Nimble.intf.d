@@ -1,0 +1,1 @@
+lib/core/nimble.mli: Stmt Uas_hw Uas_ir

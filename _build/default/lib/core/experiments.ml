@@ -1,0 +1,194 @@
+(* The Chapter 6 experiments: Table 6.2 (raw II / area / registers),
+   Table 6.3 (normalized speedup / area / registers / efficiency) and
+   the four derived figures, computed over the Table 6.1 benchmark
+   suite.  Also verifies that every generated version still computes
+   the host-reference outputs bit-for-bit — a check the paper could not
+   make mechanically. *)
+
+module Registry = Uas_bench_suite.Registry
+module Estimate = Uas_hw.Estimate
+module Datapath = Uas_hw.Datapath
+
+type cell = {
+  c_version : Nimble.version;
+  c_report : Estimate.report;
+  c_verified : bool;  (** outputs match the host reference *)
+}
+
+type bench_row = {
+  br_benchmark : Registry.benchmark;
+  br_cells : cell list;  (** in [Nimble.paper_versions] order *)
+}
+
+type normalized = {
+  n_version : Nimble.version;
+  n_speedup : float;
+  n_area : float;
+  n_registers : float;
+  n_efficiency : float;  (** speedup / area *)
+  n_operator_share : float;  (** operators as a fraction of area (Fig 6.4) *)
+}
+
+(** Run the full Table 6.2 sweep for one benchmark.  [verify] replays
+    every transformed program in the interpreter against the host
+    reference (slower; on by default). *)
+let run_benchmark ?(target = Datapath.default) ?(verify = true)
+    ?(versions = Nimble.paper_versions) (b : Registry.benchmark) : bench_row =
+  let rows =
+    Nimble.sweep ~target ~versions b.Registry.b_program
+      ~outer_index:b.Registry.b_outer_index
+      ~inner_index:b.Registry.b_inner_index
+  in
+  let cells =
+    List.map
+      (fun (v, built, report) ->
+        let verified =
+          (not verify)
+          ||
+          match
+            Registry.check_against_reference b built.Nimble.bv_program
+          with
+          | Ok () -> true
+          | Error _ -> false
+        in
+        { c_version = v; c_report = report; c_verified = verified })
+      rows
+  in
+  { br_benchmark = b; br_cells = cells }
+
+(** Table 6.2 over the whole suite. *)
+let table_6_2 ?(target = Datapath.default) ?(verify = true) () :
+    bench_row list =
+  List.map (run_benchmark ~target ~verify) (Registry.all ())
+
+(** Normalize one benchmark row against its original version
+    (Table 6.3). *)
+let normalize (row : bench_row) : normalized list =
+  let base =
+    match
+      List.find_opt (fun c -> c.c_version = Nimble.Original) row.br_cells
+    with
+    | Some c -> c.c_report
+    | None -> invalid_arg "normalize: no original version"
+  in
+  let f = float_of_int in
+  List.map
+    (fun c ->
+      let r = c.c_report in
+      let speedup =
+        f base.Estimate.r_total_cycles /. f (max 1 r.Estimate.r_total_cycles)
+      in
+      let area = f r.Estimate.r_area_rows /. f (max 1 base.Estimate.r_area_rows) in
+      let regs =
+        f r.Estimate.r_registers /. f (max 1 base.Estimate.r_registers)
+      in
+      { n_version = c.c_version;
+        n_speedup = speedup;
+        n_area = area;
+        n_registers = regs;
+        n_efficiency = speedup /. area;
+        n_operator_share = Estimate.operator_area_fraction r })
+    row.br_cells
+
+(* --- figure series: one (benchmark, per-version values) list each --- *)
+
+type series = (string * (Nimble.version * float) list) list
+
+let figure ~(value : normalized -> float) (rows : bench_row list) : series =
+  List.map
+    (fun row ->
+      ( row.br_benchmark.Registry.b_name,
+        List.map (fun n -> (n.n_version, value n)) (normalize row) ))
+    rows
+
+let figure_6_1 rows = figure ~value:(fun n -> n.n_speedup) rows
+let figure_6_2 rows = figure ~value:(fun n -> n.n_area) rows
+let figure_6_3 rows = figure ~value:(fun n -> n.n_efficiency) rows
+let figure_6_4 rows = figure ~value:(fun n -> 100.0 *. n.n_operator_share) rows
+
+(* --- Figure 2.4: operator usage over time, jam vs squash --- *)
+
+type usage_cell = {
+  u_time : int;
+  u_operator : string;
+  u_data_set : int option;  (** None = idle *)
+}
+
+(** The operator-usage timeline of Figure 2.4 for the f/g example:
+    which data set occupies operator f and operator g at each cycle,
+    under unroll-and-jam(2) and unroll-and-squash(2). *)
+let figure_2_4 ~cycles : (string * usage_cell list) list =
+  let squash =
+    (* round-robin: at step t, f works on data set t mod 2 and g on
+       (t-1) mod 2 — every slot busy *)
+    List.concat
+      (List.init cycles (fun t ->
+           [ { u_time = t; u_operator = "f"; u_data_set = Some (t mod 2) };
+             { u_time = t;
+               u_operator = "g";
+               u_data_set = (if t = 0 then None else Some ((t - 1) mod 2)) } ]))
+  in
+  let jam =
+    (* both copies in lockstep: f0/g0 for set 1, f1/g1 for set 2, with
+       the g units idle while f computes and vice versa (II = 2) *)
+    List.concat
+      (List.init cycles (fun t ->
+           let phase = t mod 2 in
+           [ { u_time = t; u_operator = "f0";
+               u_data_set = (if phase = 0 then Some 0 else None) };
+             { u_time = t; u_operator = "f1";
+               u_data_set = (if phase = 0 then Some 1 else None) };
+             { u_time = t; u_operator = "g0";
+               u_data_set = (if phase = 1 then Some 0 else None) };
+             { u_time = t; u_operator = "g1";
+               u_data_set = (if phase = 1 then Some 1 else None) } ]))
+  in
+  [ ("unroll-and-jam(2)", jam); ("unroll-and-squash(2)", squash) ]
+
+(* --- pretty-printed tables (consumed by bench/main.exe and the CLI) --- *)
+
+let pp_version ppf v = Fmt.string ppf (Nimble.version_name v)
+
+let pp_table_6_2 ppf (rows : bench_row list) =
+  Fmt.pf ppf "Table 6.2: raw data — II (cycles), area (rows), registers@\n";
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "@\n%s@\n" row.br_benchmark.Registry.b_name;
+      Fmt.pf ppf "  %-12s %6s %8s %6s %5s %9s@\n" "version" "II" "area" "regs"
+        "mem" "verified";
+      List.iter
+        (fun c ->
+          let r = c.c_report in
+          Fmt.pf ppf "  %-12s %6d %8d %6d %5d %9s@\n"
+            (Nimble.version_name c.c_version)
+            r.Estimate.r_ii r.Estimate.r_area_rows r.Estimate.r_registers
+            r.Estimate.r_mem_refs
+            (if c.c_verified then "yes" else "NO"))
+        row.br_cells)
+    rows
+
+let pp_table_6_3 ppf (rows : bench_row list) =
+  Fmt.pf ppf
+    "Table 6.3: normalized — speedup, area, registers, speedup/area@\n";
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "@\n%s@\n" row.br_benchmark.Registry.b_name;
+      Fmt.pf ppf "  %-12s %8s %8s %8s %9s@\n" "version" "speedup" "area"
+        "regs" "spd/area";
+      List.iter
+        (fun n ->
+          Fmt.pf ppf "  %-12s %8.2f %8.2f %8.2f %9.2f@\n"
+            (Nimble.version_name n.n_version)
+            n.n_speedup n.n_area n.n_registers n.n_efficiency)
+        (normalize row))
+    rows
+
+let pp_series ~unit_label ppf (s : series) =
+  List.iter
+    (fun (bench, values) ->
+      Fmt.pf ppf "@\n%s (%s)@\n" bench unit_label;
+      List.iter
+        (fun (v, x) ->
+          Fmt.pf ppf "  %-12s %8.2f@\n" (Nimble.version_name v) x)
+        values)
+    s

@@ -1,0 +1,76 @@
+(** The Chapter 6 experiments: Table 6.2 (raw), Table 6.3 (normalized),
+    the Figure 6.x series, and the Figure 2.4 operator-usage timeline —
+    over the Table 6.1 benchmark suite, with optional bit-for-bit
+    verification of every generated version against the host
+    references. *)
+
+module Registry = Uas_bench_suite.Registry
+module Estimate = Uas_hw.Estimate
+module Datapath = Uas_hw.Datapath
+
+type cell = {
+  c_version : Nimble.version;
+  c_report : Estimate.report;
+  c_verified : bool;  (** outputs match the host reference *)
+}
+
+type bench_row = {
+  br_benchmark : Registry.benchmark;
+  br_cells : cell list;
+}
+
+type normalized = {
+  n_version : Nimble.version;
+  n_speedup : float;
+  n_area : float;
+  n_registers : float;
+  n_efficiency : float;  (** speedup / area *)
+  n_operator_share : float;  (** Fig 6.4: operators / area *)
+}
+
+(** One benchmark's Table 6.2 sweep; [verify] replays every version in
+    the interpreter (on by default). *)
+val run_benchmark :
+  ?target:Datapath.t ->
+  ?verify:bool ->
+  ?versions:Nimble.version list ->
+  Registry.benchmark ->
+  bench_row
+
+(** The whole suite. *)
+val table_6_2 :
+  ?target:Datapath.t -> ?verify:bool -> unit -> bench_row list
+
+(** Table 6.3 normalization against the Original cell.
+    @raise Invalid_argument without an Original version. *)
+val normalize : bench_row -> normalized list
+
+type series = (string * (Nimble.version * float) list) list
+
+val figure : value:(normalized -> float) -> bench_row list -> series
+
+(** Speedup factor. *)
+val figure_6_1 : bench_row list -> series
+
+(** Area increase factor. *)
+val figure_6_2 : bench_row list -> series
+
+(** Efficiency (speedup/area). *)
+val figure_6_3 : bench_row list -> series
+
+(** Operators as a percentage of area. *)
+val figure_6_4 : bench_row list -> series
+
+type usage_cell = {
+  u_time : int;
+  u_operator : string;
+  u_data_set : int option;  (** [None] = idle slot *)
+}
+
+(** Figure 2.4: jam vs squash operator occupancy on the f/g example. *)
+val figure_2_4 : cycles:int -> (string * usage_cell list) list
+
+val pp_version : Nimble.version Fmt.t
+val pp_table_6_2 : bench_row list Fmt.t
+val pp_table_6_3 : bench_row list Fmt.t
+val pp_series : unit_label:string -> series Fmt.t

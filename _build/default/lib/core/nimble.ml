@@ -1,0 +1,127 @@
+(* The Nimble-Compiler-style driver (§5.2): takes a kernel, generates
+   the transformed versions Table 6.2 compares, estimates each with the
+   quick-synthesis model, and can select the best version by a given
+   figure of merit (the kernel-selection step).
+
+   The ten versions per benchmark: original (non-pipelined), pipelined,
+   unroll-and-squash by 2/4/8/16, pipelined unroll-and-jam by
+   2/4/8/16. *)
+
+open Uas_ir
+module Loop_nest = Uas_analysis.Loop_nest
+module Squash = Uas_transform.Squash
+module Jam = Uas_transform.Unroll_and_jam
+module Estimate = Uas_hw.Estimate
+module Datapath = Uas_hw.Datapath
+
+type version =
+  | Original
+  | Pipelined
+  | Squashed of int
+  | Jammed of int
+  | Combined of int * int
+      (* jam by the first factor, then squash the result by the second
+         (the §2 composition: operators scale with the jam factor only,
+         the squash on top fills their idle slots) *)
+
+let version_name = function
+  | Original -> "original"
+  | Pipelined -> "pipelined"
+  | Squashed ds -> Printf.sprintf "squash(%d)" ds
+  | Jammed ds -> Printf.sprintf "jam(%d)" ds
+  | Combined (j, s) -> Printf.sprintf "jam(%d)+squash(%d)" j s
+
+(** The version set of Table 6.2. *)
+let paper_versions : version list =
+  [ Original; Pipelined;
+    Squashed 2; Squashed 4; Squashed 8; Squashed 16;
+    Jammed 2; Jammed 4; Jammed 8; Jammed 16 ]
+
+type built = {
+  bv_version : version;
+  bv_program : Stmt.program;
+  bv_kernel_index : string;  (** loop index of the hardware kernel *)
+}
+
+(** Apply [version] to the nest identified by [outer_index] in [p].
+    The returned program is the complete transformed program (still
+    runnable in software); the kernel index locates the loop that maps
+    to hardware. *)
+let build_version (p : Stmt.program) ~outer_index ~inner_index
+    (version : version) : built =
+  match version with
+  | Original | Pipelined ->
+    { bv_version = version; bv_program = p; bv_kernel_index = inner_index }
+  | Squashed ds ->
+    let nest = Loop_nest.find_by_outer_index p outer_index in
+    let out = Squash.apply p nest ~ds in
+    { bv_version = version;
+      bv_program = out.Squash.program;
+      bv_kernel_index = out.Squash.new_inner_index }
+  | Jammed ds ->
+    let nest = Loop_nest.find_by_outer_index p outer_index in
+    let out = Jam.apply p nest ~ds in
+    { bv_version = version;
+      bv_program = out.Jam.program;
+      bv_kernel_index = inner_index }
+  | Combined (jam_ds, squash_ds) ->
+    let nest = Loop_nest.find_by_outer_index p outer_index in
+    let jammed = Jam.apply p nest ~ds:jam_ds in
+    let nest' = Loop_nest.find_by_outer_index jammed.Jam.program outer_index in
+    let out = Squash.apply jammed.Jam.program nest' ~ds:squash_ds in
+    { bv_version = version;
+      bv_program = out.Squash.program;
+      bv_kernel_index = out.Squash.new_inner_index }
+
+(** Estimate a built version on [target]. *)
+let estimate ?(target = Datapath.default) (b : built) : Estimate.report =
+  let pipelined = match b.bv_version with Original -> false | _ -> true in
+  Estimate.kernel ~target ~pipelined
+    ~name:(version_name b.bv_version)
+    b.bv_program ~index:b.bv_kernel_index
+
+(** Build and estimate every requested version of a benchmark nest.
+    Versions whose transformation is illegal at that factor are
+    dropped. *)
+let sweep ?(target = Datapath.default) ?(versions = paper_versions)
+    (p : Stmt.program) ~outer_index ~inner_index :
+    (version * built * Estimate.report) list =
+  List.filter_map
+    (fun v ->
+      match build_version p ~outer_index ~inner_index v with
+      | b -> Some (v, b, estimate ~target b)
+      | exception (Squash.Squash_error _ | Jam.Jam_error _) -> None)
+    versions
+
+(** Kernel selection: the version maximizing speedup per area (the
+    efficiency metric of Figure 6.3), given the original's report as
+    the baseline. *)
+let select_best (rows : (version * built * Estimate.report) list) :
+    (version * built * Estimate.report) option =
+  let baseline =
+    List.find_map
+      (fun (v, _, r) -> if v = Original then Some r else None)
+      rows
+  in
+  match baseline with
+  | None -> None
+  | Some base ->
+    let efficiency (r : Estimate.report) =
+      let speedup =
+        float_of_int base.Estimate.r_total_cycles
+        /. float_of_int (max 1 r.Estimate.r_total_cycles)
+      in
+      let area_factor =
+        float_of_int r.Estimate.r_area_rows
+        /. float_of_int (max 1 base.Estimate.r_area_rows)
+      in
+      speedup /. area_factor
+    in
+    List.fold_left
+      (fun best row ->
+        let _, _, r = row in
+        match best with
+        | None -> Some row
+        | Some (_, _, rb) ->
+          if efficiency r > efficiency rb then Some row else best)
+      None rows

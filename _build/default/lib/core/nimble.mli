@@ -1,0 +1,48 @@
+(** The Nimble-Compiler-style driver (§5.2): generate the transformed
+    versions Table 6.2 compares, estimate each, and select the best by
+    the Figure 6.3 efficiency metric. *)
+
+open Uas_ir
+
+type version =
+  | Original  (** non-pipelined *)
+  | Pipelined
+  | Squashed of int
+  | Jammed of int
+  | Combined of int * int
+      (** jam by the first factor, then squash by the second (§2) *)
+
+val version_name : version -> string
+
+(** original, pipelined, squash 2/4/8/16, jam 2/4/8/16. *)
+val paper_versions : version list
+
+type built = {
+  bv_version : version;
+  bv_program : Stmt.program;  (** complete program, still runnable *)
+  bv_kernel_index : string;  (** loop index of the hardware kernel *)
+}
+
+(** Apply one version to the nest identified by [outer_index].
+    @raise Squash.Squash_error / Jam_error when the transformation is
+    illegal at that factor. *)
+val build_version :
+  Stmt.program -> outer_index:string -> inner_index:string -> version -> built
+
+val estimate : ?target:Uas_hw.Datapath.t -> built -> Uas_hw.Estimate.report
+
+(** Build and estimate every requested version; illegal factors are
+    dropped from the result. *)
+val sweep :
+  ?target:Uas_hw.Datapath.t ->
+  ?versions:version list ->
+  Stmt.program ->
+  outer_index:string ->
+  inner_index:string ->
+  (version * built * Uas_hw.Estimate.report) list
+
+(** The version maximizing speedup per area over the [Original]
+    baseline; [None] without a baseline. *)
+val select_best :
+  (version * built * Uas_hw.Estimate.report) list ->
+  (version * built * Uas_hw.Estimate.report) option

@@ -1,0 +1,1 @@
+lib/dfg/build.ml: Array Expr Graph List Opinfo Printf Stmt String Types Uas_analysis Uas_ir

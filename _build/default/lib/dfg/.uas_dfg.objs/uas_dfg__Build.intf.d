@@ -1,0 +1,1 @@
+lib/dfg/build.mli: Expr Graph Opinfo Stmt Types Uas_analysis Uas_ir

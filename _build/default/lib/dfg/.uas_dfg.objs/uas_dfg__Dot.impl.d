@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Array Buffer Graph List Opinfo Printf String Uas_ir

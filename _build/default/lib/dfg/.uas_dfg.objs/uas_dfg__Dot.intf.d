@@ -1,0 +1,1 @@
+lib/dfg/dot.mli: Graph

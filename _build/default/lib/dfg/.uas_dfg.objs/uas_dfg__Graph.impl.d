@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Array Fmt List Opinfo Queue Types Uas_ir

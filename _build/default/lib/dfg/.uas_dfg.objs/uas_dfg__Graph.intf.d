@@ -1,0 +1,1 @@
+lib/dfg/graph.mli: Fmt Opinfo Uas_ir

@@ -1,0 +1,1 @@
+lib/dfg/sched.ml: Array Fmt Graph Hashtbl List Opinfo Option Seq Uas_ir

@@ -1,0 +1,1 @@
+lib/dfg/sched.mli: Fmt Graph

@@ -1,0 +1,1 @@
+lib/dfg/stage.ml: Array Expr List Opinfo Stmt Types Uas_ir

@@ -1,0 +1,1 @@
+lib/dfg/stage.mli: Opinfo Stmt Uas_ir

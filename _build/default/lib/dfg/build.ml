@@ -1,0 +1,344 @@
+(* DFG construction from a straight-line inner-loop body (§4.3, §5.3).
+
+   The body is converted to SSA, then every operation becomes a node:
+   - scalar flow inside one iteration: distance-0 edges;
+   - loop-carried scalars (a use of the live-in version of a variable
+     that the body also defines): a distance-1 edge from the defining
+     node — the paper's backedges;
+   - loop-invariant live-ins: register-source nodes ([Op_move]), the
+     "registers at the top of the graph";
+   - memory ordering: edges between accesses to the same array,
+     disambiguated with a small affine-in-the-inner-index analysis so
+     that accesses to provably different elements are independent. *)
+
+open Uas_ir
+module Ssa = Uas_analysis.Ssa
+module Smap = Ssa.Smap
+
+type access_info = {
+  acc_node : int;
+  acc_write : bool;
+  acc_idx : Expr.t;
+}
+
+(* --- affine-in-j memory disambiguation --- *)
+
+type jaffine = { cj : int; k0 : int; syms : string list }
+
+let jaffine_of ~inner_index ~body_defs (e : Expr.t) : jaffine option =
+  let rec go depth e =
+    if depth > 12 then None
+    else
+      match Expr.simplify e with
+      | Expr.Int n -> Some { cj = 0; k0 = n; syms = [] }
+      | Expr.Var v ->
+        (* the expressions may be SSA-renamed (j -> j#0): compare and
+           classify by base name, so the loop index stays recognizable
+           and body-defined values stay conservative *)
+        let base = Ssa.base_name v in
+        if Some base = inner_index then Some { cj = 1; k0 = 0; syms = [] }
+        else if Stmt.Sset.mem base body_defs || Stmt.Sset.mem v body_defs then
+          None
+        else Some { cj = 0; k0 = 0; syms = [ base ] }
+      | Expr.Binop (Types.Add, a, b) -> (
+        match (go (depth + 1) a, go (depth + 1) b) with
+        | Some x, Some y ->
+          Some
+            { cj = x.cj + y.cj;
+              k0 = x.k0 + y.k0;
+              syms = List.sort String.compare (x.syms @ y.syms) }
+        | _ -> None)
+      | Expr.Binop (Types.Sub, a, b) -> (
+        match (go (depth + 1) a, go (depth + 1) b) with
+        | Some x, Some y when y.syms = [] ->
+          Some { cj = x.cj - y.cj; k0 = x.k0 - y.k0; syms = x.syms }
+        | _ -> None)
+      | Expr.Binop (Types.Mul, Expr.Int k, a)
+      | Expr.Binop (Types.Mul, a, Expr.Int k) -> (
+        match go (depth + 1) a with
+        | Some x when x.syms = [] ->
+          Some { cj = k * x.cj; k0 = k * x.k0; syms = [] }
+        | _ -> None)
+      | Expr.Binop (Types.Shl, a, Expr.Int k) when k >= 0 && k < 31 -> (
+        match go (depth + 1) a with
+        | Some x when x.syms = [] ->
+          Some { cj = x.cj lsl k; k0 = x.k0 lsl k; syms = [] }
+        | _ -> None)
+      | _ -> None
+  in
+  go 0 e
+
+(* May accesses [a] (earlier) and [b] (later) touch the same element in
+   the same iteration? *)
+let may_alias_intra ~inner_index ~body_defs ia ib =
+  match
+    ( jaffine_of ~inner_index ~body_defs ia,
+      jaffine_of ~inner_index ~body_defs ib )
+  with
+  | Some x, Some y
+    when List.length x.syms = List.length y.syms
+         && List.for_all2 String.equal x.syms y.syms ->
+    (* c_x*j + k_x = c_y*j + k_y for the same j *)
+    if x.cj = y.cj then x.k0 = y.k0
+    else (y.k0 - x.k0) mod (x.cj - y.cj) = 0  (* some j may match: conservative *)
+  | _ -> true
+
+(* Smallest cross-iteration distance d >= 1 at which [a] (iteration j)
+   and [b] (iteration j+d) may touch the same element; [None] when they
+   never can. *)
+let cross_distance ~inner_index ~inner_step ~body_defs ia ib : int option =
+  match
+    ( jaffine_of ~inner_index ~body_defs ia,
+      jaffine_of ~inner_index ~body_defs ib )
+  with
+  | Some x, Some y
+    when List.length x.syms = List.length y.syms
+         && List.for_all2 String.equal x.syms y.syms ->
+    (* c_x*j + k_x = c_y*(j + d*step) + k_y *)
+    if x.cj = y.cj then
+      if x.cj = 0 then if x.k0 = y.k0 then Some 1 else None
+      else begin
+        let num = x.k0 - y.k0 in
+        let den = y.cj * inner_step in
+        if den <> 0 && num mod den = 0 && num / den >= 1 then Some (num / den)
+        else None
+      end
+    else Some 1 (* different strides: conservative *)
+  | _ -> Some 1
+
+(* Executable meaning of a node, recorded for the cycle-accurate
+   pipeline simulator (operand order matters and the edge list does not
+   preserve it). *)
+type node_sem =
+  | Sconst of Types.value
+  | Sreg of string
+      (* live-in register for this base name; a carried register also
+         has a distance-1 backedge from the live-out definition *)
+  | Sbinop of Types.binop * int * int
+  | Sunop of Types.unop * int
+  | Sload of Types.array_id * int
+  | Sstore of Types.array_id * int * int  (* index node, value node *)
+  | Srom of Types.rom_id * int
+  | Sselect of int * int * int
+  | Smove of int
+
+type detailed = {
+  d_graph : Graph.t;
+  d_ssa : Ssa.t;
+  d_sem : node_sem array;
+  d_live_out_nodes : (string * int) list;
+      (* base scalar -> node holding its end-of-iteration value *)
+}
+
+type builder = {
+  mutable nodes : Graph.node list;  (* reversed *)
+  mutable sems : node_sem list;     (* reversed, parallel to nodes *)
+  mutable edges : Graph.edge list;
+  mutable next_id : int;
+  mutable defs : int Smap.t;        (* SSA name -> defining node *)
+  mutable reg_sources : int Smap.t; (* live-in/invariant var -> source node *)
+  mutable pending_carried : (string * int) list;  (* base var, consumer *)
+  mutable accesses : (Types.array_id * access_info) list;  (* reversed *)
+}
+
+let add_node b kind label sem =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.nodes <- { Graph.id; kind; label } :: b.nodes;
+  b.sems <- sem :: b.sems;
+  id
+
+let add_edge b src dst distance =
+  b.edges <- { Graph.e_src = src; e_dst = dst; e_distance = distance } :: b.edges
+
+(** Build the DFG of a straight-line loop body.
+
+    [inner_index] (if given) names the loop index of the body, enabling
+    memory disambiguation and marking the index as an implicit
+    register source rather than a dependence.
+
+    Returns the graph together with the SSA conversion (so callers can
+    relate nodes, labeled by SSA names, back to source variables). *)
+let build_detailed ?(delay_of = Opinfo.default_delay) ?inner_index
+    (body : Stmt.t list) : detailed =
+  let ssa = Ssa.convert body in
+  let carried_bases =
+    (* base variables whose live-in version is fed by a body def:
+       upward-exposed and defined *)
+    Smap.fold
+      (fun base inv acc ->
+        match Smap.find_opt base ssa.Ssa.live_out with
+        | Some outv when not (String.equal inv outv) ->
+          Stmt.Sset.add base acc
+        | _ -> acc)
+      ssa.Ssa.live_in Stmt.Sset.empty
+  in
+  let body_defs = Stmt.defs body in
+  let inner_step = 1 in
+  let b =
+    { nodes = []; sems = []; edges = []; next_id = 0; defs = Smap.empty;
+      reg_sources = Smap.empty; pending_carried = []; accesses = [] }
+  in
+  (* returns the node producing the value of [e], creating nodes *)
+  let rec node_of (e : Expr.t) : int =
+    match e with
+    | Expr.Int n ->
+      add_node b Opinfo.Op_const (string_of_int n) (Sconst (Types.VInt n))
+    | Expr.Float f ->
+      add_node b Opinfo.Op_const (Printf.sprintf "%g" f)
+        (Sconst (Types.VFloat f))
+    | Expr.Var v -> (
+      match Smap.find_opt v b.defs with
+      | Some id -> id
+      | None ->
+        (* a live-in version: either fed back by the body (carried) or a
+           register at the top of the graph *)
+        let base = Ssa.base_name v in
+        if Stmt.Sset.mem base carried_bases then begin
+          (* placeholder register; the backedge is added at the end *)
+          match Smap.find_opt v b.reg_sources with
+          | Some id -> id
+          | None ->
+            let id = add_node b Opinfo.Op_move (base ^ "@carry") (Sreg base) in
+            b.reg_sources <- Smap.add v id b.reg_sources;
+            b.pending_carried <- (base, id) :: b.pending_carried;
+            id
+        end
+        else begin
+          match Smap.find_opt v b.reg_sources with
+          | Some id -> id
+          | None ->
+            let id = add_node b Opinfo.Op_move (base ^ "@in") (Sreg base) in
+            b.reg_sources <- Smap.add v id b.reg_sources;
+            id
+        end)
+    | Expr.Load (a, i) ->
+      let ni = node_of i in
+      let id = add_node b Opinfo.Op_load (Printf.sprintf "%s[]" a) (Sload (a, ni)) in
+      add_edge b ni id 0;
+      add_mem_edges a { acc_node = id; acc_write = false; acc_idx = i };
+      id
+    | Expr.Rom (r, i) ->
+      let ni = node_of i in
+      let id = add_node b Opinfo.Op_rom (Printf.sprintf "%s()" r) (Srom (r, ni)) in
+      add_edge b ni id 0;
+      id
+    | Expr.Unop (o, x) ->
+      let nx = node_of x in
+      let id = add_node b (Opinfo.Op_unop o) (Types.unop_name o) (Sunop (o, nx)) in
+      add_edge b nx id 0;
+      id
+    | Expr.Binop (o, l, r) ->
+      let nl = node_of l in
+      let nr = node_of r in
+      let id =
+        add_node b (Opinfo.Op_binop o) (Types.binop_name o)
+          (Sbinop (o, nl, nr))
+      in
+      add_edge b nl id 0;
+      add_edge b nr id 0;
+      id
+    | Expr.Select (c, t, f) ->
+      let nc = node_of c in
+      let nt = node_of t in
+      let nf = node_of f in
+      let id = add_node b Opinfo.Op_select "select" (Sselect (nc, nt, nf)) in
+      add_edge b nc id 0;
+      add_edge b nt id 0;
+      add_edge b nf id 0;
+      id
+
+  and add_mem_edges array_id (acc : access_info) =
+    (* ordering edges against every earlier access to the same array *)
+    List.iter
+      (fun (a, earlier) ->
+        if String.equal a array_id && (earlier.acc_write || acc.acc_write)
+        then begin
+          if
+            may_alias_intra ~inner_index ~body_defs earlier.acc_idx
+              acc.acc_idx
+          then add_edge b earlier.acc_node acc.acc_node 0;
+          (match
+             cross_distance ~inner_index ~inner_step ~body_defs acc.acc_idx
+               earlier.acc_idx
+           with
+          | Some d -> add_edge b acc.acc_node earlier.acc_node d
+          | None -> ());
+          match
+            cross_distance ~inner_index ~inner_step ~body_defs
+              earlier.acc_idx acc.acc_idx
+          with
+          | Some d -> add_edge b earlier.acc_node acc.acc_node d
+          | None -> ()
+        end)
+      b.accesses;
+    (* cross-iteration self-conflict of a store *)
+    if acc.acc_write then begin
+      match
+        cross_distance ~inner_index ~inner_step ~body_defs acc.acc_idx
+          acc.acc_idx
+      with
+      | Some d -> add_edge b acc.acc_node acc.acc_node d
+      | None -> ()
+    end;
+    b.accesses <- (array_id, acc) :: b.accesses
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Stmt.Assign (x, e) ->
+        let n = node_of e in
+        (* reuse the producing node as the def unless the rhs is a bare
+           variable or constant, which needs an explicit move/register *)
+        let def_node =
+          match e with
+          | Expr.Var _ ->
+            let id = add_node b Opinfo.Op_move x (Smove n) in
+            add_edge b n id 0;
+            id
+          | Expr.Int _ | Expr.Float _ -> n
+          | _ -> n
+        in
+        b.defs <- Smap.add x def_node b.defs
+      | Stmt.Store (a, i, e) ->
+        let ni = node_of i in
+        let nv = node_of e in
+        let id =
+          add_node b Opinfo.Op_store (Printf.sprintf "%s[]=" a)
+            (Sstore (a, ni, nv))
+        in
+        add_edge b ni id 0;
+        add_edge b nv id 0;
+        add_mem_edges a { acc_node = id; acc_write = true; acc_idx = i }
+      | Stmt.If _ | Stmt.For _ ->
+        Types.ir_error "DFG build requires a straight-line body")
+    ssa.Ssa.ssa_body;
+  (* resolve carried backedges: def of the live-out version feeds the
+     carry register with distance 1 *)
+  List.iter
+    (fun (base, reg_node) ->
+      match Smap.find_opt base ssa.Ssa.live_out with
+      | Some outv -> (
+        match Smap.find_opt outv b.defs with
+        | Some def_node -> add_edge b def_node reg_node 1
+        | None -> ())
+      | None -> ())
+    b.pending_carried;
+  let g = Graph.create ~delay_of (List.rev b.nodes) b.edges in
+  let live_out_nodes =
+    Smap.fold
+      (fun base outv acc ->
+        match Smap.find_opt outv b.defs with
+        | Some n -> (base, n) :: acc
+        | None -> acc)
+      ssa.Ssa.live_out []
+  in
+  { d_graph = g;
+    d_ssa = ssa;
+    d_sem = Array.of_list (List.rev b.sems);
+    d_live_out_nodes = live_out_nodes }
+
+(** Build the DFG of a straight-line loop body (graph + SSA only). *)
+let build ?delay_of ?inner_index (body : Stmt.t list) : Graph.t * Ssa.t =
+  let d = build_detailed ?delay_of ?inner_index body in
+  (d.d_graph, d.d_ssa)

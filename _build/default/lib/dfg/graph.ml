@@ -1,0 +1,165 @@
+(* The data-flow graph (Figure 4.1): nodes are datapath operations,
+   edges carry the dependence distance in iterations — 0 for
+   intra-iteration flow, k >= 1 for loop-carried dependences
+   ("backedges" in the paper's terminology, drawn from the bottom of the
+   graph back to the registers at the top). *)
+
+open Uas_ir
+
+type node = {
+  id : int;
+  kind : Opinfo.op_kind;
+  label : string;  (** defined SSA name, or a description of the op *)
+}
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_distance : int;  (** iterations: 0 = same iteration, >=1 = carried *)
+}
+
+type t = {
+  nodes : node array;
+  edges : edge list;
+  succs : (int * int) list array;  (** per node: (dst, distance) *)
+  preds : (int * int) list array;  (** per node: (src, distance) *)
+  delay_of : Opinfo.op_kind -> int;
+}
+
+let node_count g = Array.length g.nodes
+let node g i = g.nodes.(i)
+let delay g i = g.delay_of g.nodes.(i).kind
+
+let create ?(delay_of = Opinfo.default_delay) (nodes : node list)
+    (edges : edge list) : t =
+  let nodes = Array.of_list nodes in
+  Array.iteri
+    (fun i n ->
+      if n.id <> i then Types.ir_error "node %d has id %d" i n.id)
+    nodes;
+  let n = Array.length nodes in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun e ->
+      if e.e_src < 0 || e.e_src >= n || e.e_dst < 0 || e.e_dst >= n then
+        Types.ir_error "edge %d->%d out of range" e.e_src e.e_dst;
+      if e.e_distance < 0 then
+        Types.ir_error "edge %d->%d has negative distance" e.e_src e.e_dst;
+      succs.(e.e_src) <- (e.e_dst, e.e_distance) :: succs.(e.e_src);
+      preds.(e.e_dst) <- (e.e_src, e.e_distance) :: preds.(e.e_dst))
+    edges;
+  { nodes; edges; succs; preds; delay_of }
+
+(** Real datapath operators (excludes moves/constants). *)
+let operator_nodes g =
+  Array.to_list g.nodes |> List.filter (fun n -> Opinfo.is_real_operator n.kind)
+
+let operator_count g = List.length (operator_nodes g)
+
+let memory_op_count g =
+  Array.to_list g.nodes
+  |> List.filter (fun n -> Opinfo.uses_memory_port n.kind)
+  |> List.length
+
+let total_operator_area ?(area_of = Opinfo.default_area) g =
+  List.fold_left (fun a n -> a + area_of n.kind) 0 (Array.to_list g.nodes)
+
+(** Topological order of the distance-0 subgraph.
+    @raise Ir_error if the intra-iteration subgraph has a cycle (a
+    malformed DFG: SSA bodies are always acyclic within an iteration). *)
+let topo_order (g : t) : int list =
+  let n = node_count g in
+  let indeg = Array.make n 0 in
+  Array.iteri
+    (fun _i succs ->
+      List.iter (fun (d, dist) -> if dist = 0 then indeg.(d) <- indeg.(d) + 1) succs)
+    g.succs;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    order := i :: !order;
+    List.iter
+      (fun (d, dist) ->
+        if dist = 0 then begin
+          indeg.(d) <- indeg.(d) - 1;
+          if indeg.(d) = 0 then Queue.add d queue
+        end)
+      g.succs.(i)
+  done;
+  if !seen <> n then Types.ir_error "intra-iteration DFG has a cycle";
+  List.rev !order
+
+(** Length of the longest intra-iteration path, in cycles: the delay of
+    the critical path through one iteration. *)
+let critical_path (g : t) : int =
+  let order = topo_order g in
+  let finish = Array.make (node_count g) 0 in
+  List.iter
+    (fun i ->
+      let start =
+        List.fold_left
+          (fun m (s, dist) -> if dist = 0 then max m finish.(s) else m)
+          0 g.preds.(i)
+      in
+      finish.(i) <- start + delay g i)
+    order;
+  Array.fold_left max 0 finish
+
+(** Total delay around the heaviest recurrence per unit distance:
+    max over cycles C of ceil(delay(C) / distance(C)).  0 when the graph
+    has no recurrence.  Computed by binary search on II: II is feasible
+    iff the graph with edge weights delay(src) - II*distance has no
+    positive-weight cycle (Bellman-Ford). *)
+let recurrence_mii (g : t) : int =
+  let n = node_count g in
+  if n = 0 then 0
+  else begin
+    let has_positive_cycle ii =
+      (* Bellman-Ford longest-path from a virtual source: simple paths
+         have at most n-1 edges, so if the values still change after
+         n+1 relaxation passes, a positive-weight cycle exists *)
+      let dist = Array.make n 0 in
+      let pass () =
+        List.fold_left
+          (fun changed e ->
+            let w = delay g e.e_src - (ii * e.e_distance) in
+            if dist.(e.e_src) + w > dist.(e.e_dst) then begin
+              dist.(e.e_dst) <- dist.(e.e_src) + w;
+              true
+            end
+            else changed)
+          false g.edges
+      in
+      let rec go k = if not (pass ()) then false else k > n || go (k + 1) in
+      go 0
+    in
+    let max_ii =
+      Array.fold_left (fun a nd -> a + max 1 (g.delay_of nd.kind)) 1 g.nodes
+    in
+    if not (has_positive_cycle 0) then 0
+    else begin
+      (* smallest ii in [1, max_ii] without a positive cycle *)
+      let lo = ref 1 and hi = ref max_ii in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if has_positive_cycle mid then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    end
+  end
+
+let pp ppf (g : t) =
+  Fmt.pf ppf "dfg: %d nodes, %d edges@\n" (node_count g) (List.length g.edges);
+  Array.iter
+    (fun nd ->
+      Fmt.pf ppf "  n%d [%s] %s -> %a@\n" nd.id
+        (Opinfo.op_kind_name nd.kind)
+        nd.label
+        Fmt.(list ~sep:(any ", ") (fun ppf (d, k) ->
+                 if k = 0 then Fmt.pf ppf "n%d" d else Fmt.pf ppf "n%d(+%d)" d k))
+        g.succs.(nd.id))
+    g.nodes

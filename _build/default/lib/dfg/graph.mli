@@ -1,0 +1,54 @@
+(** Data-flow graphs (Figure 4.1): nodes are datapath operations, edges
+    carry the dependence distance in iterations — 0 for intra-iteration
+    flow, k >= 1 for loop-carried "backedges". *)
+
+open Uas_ir
+
+type node = {
+  id : int;
+  kind : Opinfo.op_kind;
+  label : string;  (** defined SSA name or an op description *)
+}
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_distance : int;  (** iterations: 0 = same iteration, >=1 carried *)
+}
+
+type t = {
+  nodes : node array;
+  edges : edge list;
+  succs : (int * int) list array;  (** per node: (dst, distance) *)
+  preds : (int * int) list array;  (** per node: (src, distance) *)
+  delay_of : Opinfo.op_kind -> int;
+}
+
+val node_count : t -> int
+val node : t -> int -> node
+val delay : t -> int -> int
+
+(** @raise Ir_error on malformed ids/edges. *)
+val create :
+  ?delay_of:(Opinfo.op_kind -> int) -> node list -> edge list -> t
+
+(** Real datapath operators (moves/constants excluded). *)
+val operator_nodes : t -> node list
+
+val operator_count : t -> int
+val memory_op_count : t -> int
+val total_operator_area : ?area_of:(Opinfo.op_kind -> int) -> t -> int
+
+(** Topological order of the distance-0 subgraph.
+    @raise Ir_error when it has a cycle (malformed: SSA bodies are
+    acyclic within an iteration). *)
+val topo_order : t -> int list
+
+(** Delay of the longest intra-iteration path. *)
+val critical_path : t -> int
+
+(** max over cycles of ceil(delay/distance); 0 without recurrences.
+    The recurrence-constrained lower bound on a pipelined II. *)
+val recurrence_mii : t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,229 @@
+(* Scheduling (§3.5, §6): computes the initiation interval and issue
+   times that the hardware estimator reports.
+
+   - [list_schedule]: resource-constrained acyclic scheduling of one
+     iteration (the *original*, non-overlapped execution: the next
+     iteration starts only when the current one finishes, so II equals
+     the schedule length);
+   - [modulo_schedule]: iterative modulo scheduling for pipelined
+     execution: II = max(RecMII, ResMII) when the greedy placement
+     succeeds, growing II otherwise until it does (Rau-style IMS with a
+     bounded retry budget per II). *)
+
+open Uas_ir
+
+type config = {
+  mem_ports : int;  (** memory references allowed per clock (§6.1: 2) *)
+}
+
+let default_config = { mem_ports = 2 }
+
+type schedule = {
+  s_ii : int;             (** initiation interval in cycles *)
+  s_times : int array;    (** issue cycle of every node *)
+  s_length : int;         (** makespan of one iteration *)
+}
+
+let resource_mii (cfg : config) (g : Graph.t) : int =
+  let mems = Graph.memory_op_count g in
+  if mems = 0 then 1 else (mems + cfg.mem_ports - 1) / cfg.mem_ports
+
+(** Lower bound on the pipelined II: recurrence- and resource-
+    constrained. *)
+let min_ii (cfg : config) (g : Graph.t) : int =
+  max 1 (max (Graph.recurrence_mii g) (resource_mii cfg g))
+
+(** Resource-constrained list schedule of one iteration, honoring only
+    intra-iteration (distance-0) edges.  Memory operations respect the
+    port limit per absolute cycle. *)
+let list_schedule ?(cfg = default_config) (g : Graph.t) : schedule =
+  let n = Graph.node_count g in
+  let times = Array.make n 0 in
+  let order = Graph.topo_order g in
+  let mem_use : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      let ready =
+        List.fold_left
+          (fun t (p, dist) ->
+            if dist = 0 then max t (times.(p) + Graph.delay g p) else t)
+          0 g.Graph.preds.(i)
+      in
+      let needs_port = Opinfo.uses_memory_port (Graph.node g i).kind in
+      let rec place t =
+        if needs_port then begin
+          let used = Option.value ~default:0 (Hashtbl.find_opt mem_use t) in
+          if used >= cfg.mem_ports then place (t + 1)
+          else begin
+            Hashtbl.replace mem_use t (used + 1);
+            t
+          end
+        end
+        else t
+      in
+      times.(i) <- place ready)
+    order;
+  let length =
+    Array.to_seq times
+    |> Seq.mapi (fun i t -> t + Graph.delay g i)
+    |> Seq.fold_left max 0
+  in
+  { s_ii = max 1 length; s_times = times; s_length = max 1 length }
+
+(* Check every edge constraint t(dst) >= t(src) + delay(src) - II*dist. *)
+let feasible (g : Graph.t) ~ii times =
+  List.for_all
+    (fun e ->
+      times.(e.Graph.e_dst)
+      >= times.(e.Graph.e_src) + Graph.delay g e.Graph.e_src
+         - (ii * e.Graph.e_distance))
+    g.Graph.edges
+
+(* Longest-path (ASAP) times under II via Bellman-Ford with per-node
+   extra lower bounds; virtual source at 0.  [None] when a positive
+   cycle makes the II infeasible. *)
+let asap_times ?(lb : int array option) (g : Graph.t) ~ii =
+  let n = Graph.node_count g in
+  let t =
+    match lb with Some l -> Array.copy l | None -> Array.make n 0
+  in
+  let pass () =
+    List.fold_left
+      (fun changed e ->
+        let w = Graph.delay g e.Graph.e_src - (ii * e.Graph.e_distance) in
+        if t.(e.Graph.e_src) + w > t.(e.Graph.e_dst) then begin
+          t.(e.Graph.e_dst) <- t.(e.Graph.e_src) + w;
+          true
+        end
+        else changed)
+      false g.Graph.edges
+  in
+  (* simple paths have at most n-1 edges: changes past n+1 passes mean
+     a positive cycle, i.e. the II is infeasible *)
+  let rec go k =
+    if not (pass ()) then Some t else if k > n then None else go (k + 1)
+  in
+  go 0
+
+(* Modulo placement at a fixed II by constraint relaxation (an SDC-style
+   formulation): the Bellman-Ford solution satisfies every dependence by
+   construction; memory-port oversubscription of a modulo slot is
+   resolved by bumping the latest offender's lower bound and re-solving,
+   so dependences stay satisfied.  Bounded retries keep it total. *)
+let try_modulo (cfg : config) (g : Graph.t) ~ii : int array option =
+  let n = Graph.node_count g in
+  let mem_nodes =
+    List.filter
+      (fun i -> Opinfo.uses_memory_port (Graph.node g i).kind)
+      (List.init n (fun i -> i))
+  in
+  let lb = Array.make n 0 in
+  let budget = ref (64 + (List.length mem_nodes * ii * 4)) in
+  let rec solve () =
+    match asap_times ~lb g ~ii with
+    | None -> None
+    | Some t ->
+      (* most-loaded oversubscribed modulo slot, if any *)
+      let slots = Array.make ii [] in
+      List.iter
+        (fun i ->
+          let s = ((t.(i) mod ii) + ii) mod ii in
+          slots.(s) <- i :: slots.(s))
+        mem_nodes;
+      let offender = ref None in
+      Array.iter
+        (fun nodes ->
+          if List.length nodes > cfg.mem_ports then begin
+            (* bump the latest-scheduled op in the slot: it has the most
+               slack left before wrapping all the way around *)
+            let latest =
+              List.fold_left
+                (fun best i ->
+                  match best with
+                  | None -> Some i
+                  | Some b -> if t.(i) > t.(b) then Some i else best)
+                None nodes
+            in
+            match (!offender, latest) with
+            | None, Some i -> offender := Some i
+            | _ -> ()
+          end)
+        slots;
+      match !offender with
+      | None -> Some t
+      | Some i ->
+        decr budget;
+        if !budget <= 0 then None
+        else begin
+          lb.(i) <- t.(i) + 1;
+          solve ()
+        end
+  in
+  match solve () with
+  | Some t when feasible g ~ii t -> Some t
+  | Some _ | None -> None
+
+(** Iterative modulo scheduling: find the smallest feasible II at or
+    above the recurrence/resource lower bound.  Always succeeds — the
+    acyclic list-schedule length is a feasible fallback. *)
+let modulo_schedule ?(cfg = default_config) (g : Graph.t) : schedule =
+  if Graph.node_count g = 0 then { s_ii = 1; s_times = [||]; s_length = 1 }
+  else begin
+    let fallback = list_schedule ~cfg g in
+    let lower = min_ii cfg g in
+    let rec search ii =
+      if ii >= fallback.s_length then
+        { fallback with s_ii = max 1 fallback.s_length }
+      else
+        match try_modulo cfg g ~ii with
+        | Some times ->
+          let length =
+            Array.to_seq times
+            |> Seq.mapi (fun i t -> t + Graph.delay g i)
+            |> Seq.fold_left max 0
+          in
+          { s_ii = ii; s_times = times; s_length = max 1 length }
+        | None -> search (ii + 1)
+    in
+    search lower
+  end
+
+(** Number of hardware registers implied by a schedule: one per register
+    source / move node, plus, for every produced value, the number of
+    II-wide windows its lifetime spans (modulo variable expansion: a
+    value alive for more than one II needs a new register per in-flight
+    iteration). *)
+let register_estimate (g : Graph.t) (s : schedule) : int =
+  let n = Graph.node_count g in
+  let regs = ref 0 in
+  for i = 0 to n - 1 do
+    let kind = (Graph.node g i).kind in
+    let produced_at = s.s_times.(i) + Graph.delay g i in
+    let last_use =
+      List.fold_left
+        (fun m (d, dist) -> max m (s.s_times.(d) + (s.s_ii * dist)))
+        produced_at g.Graph.succs.(i)
+    in
+    let lifetime = last_use - produced_at in
+    (* zero-lifetime values are consumed combinationally (no register);
+       stored values need floor(lifetime/II) + 1 — floor plus one, not
+       ceiling: when the lifetime is an exact multiple of the II, the
+       next iteration's result arrives on the very edge of the last
+       read and a further buffer register is required (found by the
+       cycle-accurate simulator's hazard check) *)
+    let windows = if lifetime = 0 then 0 else (lifetime / s.s_ii) + 1 in
+    (match kind with
+    | Opinfo.Op_move ->
+      (* a move IS a register write: at least one register, more when
+         the value stays live across several initiation windows *)
+      regs := !regs + max 1 windows
+    | Opinfo.Op_const -> ()
+    | _ ->
+      (* a computed value needs one register per II-window it stays
+         live; a value consumed the cycle it appears needs none *)
+      if g.Graph.succs.(i) <> [] then regs := !regs + windows)
+  done;
+  !regs
+
+let pp_schedule ppf s =
+  Fmt.pf ppf "II=%d length=%d" s.s_ii s.s_length

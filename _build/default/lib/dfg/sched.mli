@@ -1,0 +1,38 @@
+(** Scheduling (§3.5): initiation intervals and issue times under the
+    datapath's memory-port budget.
+
+    [list_schedule] models the original, non-overlapped execution (II =
+    schedule length); [modulo_schedule] the pipelined one (iterative
+    modulo scheduling by SDC-style constraint relaxation, II =
+    max(RecMII, ResMII) when placement succeeds, growing otherwise). *)
+
+type config = { mem_ports : int (** references per clock; §6.1 uses 2 *) }
+
+val default_config : config
+
+type schedule = {
+  s_ii : int;  (** initiation interval in cycles *)
+  s_times : int array;  (** issue cycle of every node *)
+  s_length : int;  (** makespan of one iteration *)
+}
+
+(** ceil(memory ops / ports). *)
+val resource_mii : config -> Graph.t -> int
+
+(** max(1, RecMII, ResMII): the pipelined lower bound. *)
+val min_ii : config -> Graph.t -> int
+
+(** Resource-constrained acyclic scheduling of one iteration
+    (distance-0 edges only). *)
+val list_schedule : ?cfg:config -> Graph.t -> schedule
+
+(** Smallest feasible pipelined II at or above [min_ii]; the acyclic
+    schedule length is a guaranteed fallback. *)
+val modulo_schedule : ?cfg:config -> Graph.t -> schedule
+
+(** Hardware registers implied by a schedule: one per move node plus
+    one per II-window each computed value stays live (modulo variable
+    expansion). *)
+val register_estimate : Graph.t -> schedule -> int
+
+val pp_schedule : schedule Fmt.t

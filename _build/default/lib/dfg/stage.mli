@@ -1,0 +1,25 @@
+(** Pipeline-stage assignment for unroll-and-squash (§4.3): cut a
+    straight-line body into exactly DS contiguous slices minimizing the
+    maximum slice delay (the linear-partition dynamic program).
+    Backedges are ignored by construction — slicing never reorders. *)
+
+open Uas_ir
+
+(** Critical-path delay of one statement's expression tree.
+    @raise Ir_error on loops. *)
+val stmt_delay : ?delay_of:(Opinfo.op_kind -> int) -> Stmt.t -> int
+
+(** Cut into exactly [stages] slices (possibly empty); concatenating
+    the result yields the input.  @raise Ir_error when [stages <= 0]. *)
+val partition :
+  ?delay_of:(Opinfo.op_kind -> int) ->
+  stages:int ->
+  Stmt.t list ->
+  Stmt.t list list
+
+(** Largest single-statement delay over the slices. *)
+val max_stage_delay :
+  ?delay_of:(Opinfo.op_kind -> int) -> Stmt.t list list -> int
+
+(** Sum of statement delays per slice. *)
+val stage_costs : ?delay_of:(Opinfo.op_kind -> int) -> Stmt.t list list -> int list

@@ -1,0 +1,1 @@
+lib/hw/bitwidth.ml: Array List Opinfo Types Uas_dfg Uas_ir

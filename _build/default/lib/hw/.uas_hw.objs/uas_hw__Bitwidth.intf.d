@@ -1,0 +1,1 @@
+lib/hw/bitwidth.mli: Opinfo Types Uas_dfg Uas_ir

@@ -1,0 +1,1 @@
+lib/hw/datapath.ml: Opinfo Uas_dfg Uas_ir

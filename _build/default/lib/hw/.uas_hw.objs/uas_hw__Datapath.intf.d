@@ -1,0 +1,1 @@
+lib/hw/datapath.mli: Opinfo Uas_dfg Uas_ir

@@ -1,0 +1,1 @@
+lib/hw/estimate.ml: Bitwidth Datapath Expr Fmt List Printexc Printf Stmt String Uas_dfg Uas_ir

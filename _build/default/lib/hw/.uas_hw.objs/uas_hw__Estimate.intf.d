@@ -1,0 +1,1 @@
+lib/hw/estimate.mli: Datapath Fmt Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/hw/pipeline_sim.ml: Array Datapath Expr Fmt Hashtbl List Opinfo Option Printexc String Types Uas_dfg Uas_ir

@@ -1,0 +1,1 @@
+lib/hw/pipeline_sim.mli: Datapath Fmt Hashtbl Types Uas_dfg Uas_ir

@@ -1,0 +1,55 @@
+(* The target datapath model (§5.1, §6.1): an Agile-hardware style
+   reconfigurable coprocessor measured in rows.
+
+   Configuration bundles the assumptions Table 6.2 was collected under:
+   - at most two memory references per clock cycle, no cache misses;
+   - per-operator delays (cycles) and areas (rows);
+   - every register occupies one row (the prototype's conservative
+     convention, discussed with Figure 6.4);
+   - operators are internally pipelined (one new input per cycle). *)
+
+open Uas_ir
+
+type t = {
+  name : string;
+  mem_ports : int;
+  delay_of : Opinfo.op_kind -> int;
+  area_of : Opinfo.op_kind -> int;
+  registers_per_row : int;
+      (** how many registers share one row: 1 for the conservative
+          prototype convention; more for packed shift registers *)
+  width_aware : bool;
+      (** size each operator to its inferred bit width (the back-end
+          sizing of §5.4) instead of full 32-bit rows *)
+}
+
+(** The ACEV-like default target used throughout the evaluation. *)
+let default : t =
+  { name = "acev";
+    mem_ports = 2;
+    delay_of = Opinfo.default_delay;
+    area_of = Opinfo.default_area;
+    registers_per_row = 1;
+    width_aware = false }
+
+(** A single-ported memory variant, for ablation benches. *)
+let single_port : t = { default with name = "acev-1port"; mem_ports = 1 }
+
+(** A wide-memory variant (four references per cycle). *)
+let quad_port : t = { default with name = "acev-4port"; mem_ports = 4 }
+
+(** A target that packs shift registers four to a row — §6.3 notes most
+    squash registers are shift/rotate chains that pack with minimal
+    interconnect, making the 1-row-per-register figures conservative. *)
+let packed_registers : t =
+  { default with name = "acev-packedregs"; registers_per_row = 4 }
+
+(** Width-aware operator sizing (§5.4 back-end behaviour). *)
+let width_sized : t = { default with name = "acev-width"; width_aware = true }
+
+(** Rows occupied by [n] registers on this target. *)
+let register_area (t : t) n =
+  (n + t.registers_per_row - 1) / t.registers_per_row
+
+let sched_config (t : t) : Uas_dfg.Sched.config =
+  { Uas_dfg.Sched.mem_ports = t.mem_ports }

@@ -1,0 +1,37 @@
+(** The target datapath model (§5.1, §6.1): an Agile-hardware style
+    reconfigurable coprocessor measured in rows, with the Table 6.2
+    assumptions bundled as a configuration. *)
+
+open Uas_ir
+
+type t = {
+  name : string;
+  mem_ports : int;  (** memory references per clock (§6.1: 2) *)
+  delay_of : Opinfo.op_kind -> int;
+  area_of : Opinfo.op_kind -> int;
+  registers_per_row : int;
+      (** 1 for the conservative prototype convention; more for packed
+          shift registers (§6.3) *)
+  width_aware : bool;
+      (** size operators to inferred bit widths (§5.4) *)
+}
+
+(** The ACEV-like default target used throughout the evaluation. *)
+val default : t
+
+(** Single-ported memory, for ablations. *)
+val single_port : t
+
+(** Four memory references per cycle. *)
+val quad_port : t
+
+(** Shift registers packed four to a row. *)
+val packed_registers : t
+
+(** Operators sized to inferred bit widths. *)
+val width_sized : t
+
+(** Rows occupied by [n] registers. *)
+val register_area : t -> int -> int
+
+val sched_config : t -> Uas_dfg.Sched.config

@@ -1,0 +1,45 @@
+(** Kernel hardware estimation — the quick-synthesis step the Nimble
+    flow runs before kernel selection (§5.2), and the source of every
+    Table 6.2 number: II by scheduling the kernel DFG, area in rows
+    (operators + registers), register count, memory references, and
+    total execution time from the static trip counts. *)
+
+open Uas_ir
+
+type report = {
+  r_name : string;
+  r_ii : int;  (** initiation interval, cycles *)
+  r_sched_len : int;  (** one-iteration schedule length *)
+  r_operators : int;  (** real datapath operators *)
+  r_operator_rows : int;
+  r_registers : int;
+  r_area_rows : int;  (** operators + registers *)
+  r_mem_refs : int;  (** memory references per kernel iteration *)
+  r_kernel_iterations : int;  (** total kernel iterations over the run *)
+  r_total_cycles : int;  (** II * iterations *)
+}
+
+val pp_report : report Fmt.t
+
+exception Not_a_kernel of string
+
+(** Total kernel-body executions: the loop's static trip count times
+    those of every enclosing loop.  @raise Not_a_kernel on dynamic
+    bounds or a missing loop. *)
+val kernel_iterations : Stmt.program -> index:string -> int
+
+(** Estimate the kernel identified by the loop index.  [pipelined]
+    selects overlapped (modulo-scheduled) execution; the Table 6.2
+    "original" designs use [pipelined:false].
+    @raise Not_a_kernel when the loop is absent, has dynamic bounds, or
+    is not a single basic block. *)
+val kernel :
+  ?target:Datapath.t ->
+  ?pipelined:bool ->
+  ?name:string ->
+  Stmt.program ->
+  index:string ->
+  report
+
+(** Operators as a fraction of total area (Figure 6.4). *)
+val operator_area_fraction : report -> float

@@ -1,0 +1,264 @@
+(* Cycle-accurate simulation of a modulo-scheduled kernel on the
+   datapath — the stand-in for the paper's FPGA runs.
+
+   The kernel's DFG is executed with real values, iterations overlapped
+   exactly as the schedule prescribes: iteration k issues node i at
+   absolute cycle k*II + t(i).  The simulation models the physical
+   constraints the analytical estimator only counts:
+
+   - each node's result lives in a *bounded* register file of
+     W = max(1, lifetime-windows) entries, written round-robin; a
+     consumer that would read an already-overwritten slot is a register
+     shortfall (the estimator's modulo-variable-expansion count was too
+     small) and aborts the run;
+   - memory operations occupy a port in their issue cycle; exceeding
+     the port count is a structural hazard and aborts the run;
+   - stores commit to the array state in absolute-cycle order, so
+     cross-iteration memory effects happen exactly when the hardware
+     would perform them.
+
+   The observable outcome — final array contents and live-out scalars —
+   must equal the sequential interpreter's; the throughput is
+   II cycles per iteration plus the pipeline drain. *)
+
+open Uas_ir
+module Build = Uas_dfg.Build
+module Graph = Uas_dfg.Graph
+module Sched = Uas_dfg.Sched
+
+type hazard =
+  | Register_overwritten of { node : int; iteration : int; reader : int }
+  | Port_conflict of { cycle : int; used : int; ports : int }
+  | Value_not_ready of { node : int; iteration : int }
+
+let pp_hazard ppf = function
+  | Register_overwritten h ->
+    Fmt.pf ppf
+      "register of node n%d overwritten before iteration %d's read by n%d"
+      h.node h.iteration h.reader
+  | Port_conflict h ->
+    Fmt.pf ppf "cycle %d uses %d memory ports (limit %d)" h.cycle h.used
+      h.ports
+  | Value_not_ready h ->
+    Fmt.pf ppf "node n%d read before ready in iteration %d" h.node h.iteration
+
+exception Hazard of hazard
+
+let () =
+  Printexc.register_printer (function
+    | Hazard h -> Some (Fmt.str "Pipeline_sim.Hazard: %a" pp_hazard h)
+    | _ -> None)
+
+type result = {
+  sim_cycles : int;  (** makespan: last completion cycle + 1 *)
+  sim_iterations : int;
+  sim_live_out : (string * Types.value) list;
+  sim_port_pressure : float;  (** mean memory-port occupancy per cycle *)
+}
+
+(* per-node bounded output buffer *)
+type slot = { mutable written_by : int (* iteration, -1 = never *);
+              mutable value : Types.value }
+
+let zero = Types.VInt 0
+
+(** Simulate [iterations] overlapped kernel iterations.
+
+    [env] supplies live-in scalar values (including the value the inner
+    index would have had at iteration 0 — the index register is bumped
+    per iteration internally when [index] is given with [index_step]).
+    [arrays] is the memory state, mutated in place.  [roms] supplies
+    lookup tables.
+
+    @raise Hazard on a structural or register hazard — meaning the
+    schedule/register allocation would NOT work in hardware. *)
+let run ?(target = Datapath.default) ~(detail : Build.detailed)
+    ~(schedule : Sched.schedule) ~iterations
+    ~(env : string -> Types.value)
+    ~(arrays : (string, Types.value array) Hashtbl.t)
+    ~(roms : (string, int array) Hashtbl.t)
+    ?index ?(index_step = 1) () : result =
+  let g = detail.Build.d_graph in
+  let sem = detail.Build.d_sem in
+  let n = Graph.node_count g in
+  let ii = schedule.Sched.s_ii in
+  let t_of = schedule.Sched.s_times in
+  (* bounded register files sized by the estimator's window count *)
+  let windows = Array.make n 1 in
+  for i = 0 to n - 1 do
+    let produced_at = t_of.(i) + Graph.delay g i in
+    let last_use =
+      List.fold_left
+        (fun m (d, dist) -> max m (t_of.(d) + (ii * dist)))
+        produced_at g.Graph.succs.(i)
+    in
+    (* floor + 1 (see Sched.register_estimate) *)
+    windows.(i) <- max 1 (((last_use - produced_at) / ii) + 1)
+  done;
+  let regs = Array.init n (fun i ->
+      Array.init windows.(i) (fun _ -> { written_by = -1; value = zero }))
+  in
+  (* a register is written when its operator COMPLETES (issue + delay);
+     deferred commits model the operator pipeline, so an in-flight
+     successor iteration cannot clobber a value its consumers are
+     still entitled to read *)
+  let pending : (int * (unit -> unit)) list ref = ref [] in
+  let defer cycle action =
+    (* keep sorted by commit cycle (stable for equal cycles) *)
+    let rec insert = function
+      | [] -> [ (cycle, action) ]
+      | (c, a) :: rest when c <= cycle -> (c, a) :: insert rest
+      | later -> (cycle, action) :: later
+    in
+    pending := insert !pending
+  in
+  let drain_until cycle =
+    let rec go () =
+      match !pending with
+      | (c, action) :: rest when c <= cycle ->
+        pending := rest;
+        action ();
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let write_reg i k value =
+    let slot = regs.(i).(k mod windows.(i)) in
+    slot.written_by <- k;
+    slot.value <- value
+  in
+  let read_reg ~reader i k =
+    (* the value node [i] produced in iteration [k] *)
+    if k < 0 then
+      (* before the pipeline filled: live-in registers hold the entry
+         values; anything else reading "iteration -1" is a bug *)
+      match sem.(i) with
+      | Build.Sreg base -> env base
+      | _ -> raise (Hazard (Value_not_ready { node = i; iteration = k }))
+    else begin
+      let slot = regs.(i).(k mod windows.(i)) in
+      if slot.written_by <> k then
+        raise
+          (Hazard
+             (if slot.written_by > k then
+                Register_overwritten { node = i; iteration = k; reader }
+              else Value_not_ready { node = i; iteration = k }))
+      else slot.value
+    end
+  in
+  (* carried-register sources: the distance-d in-edge of an Sreg node *)
+  let carry_source = Array.make n None in
+  List.iter
+    (fun (e : Graph.edge) ->
+      if e.Graph.e_distance > 0 then
+        match sem.(e.Graph.e_dst) with
+        | Build.Sreg _ ->
+          carry_source.(e.Graph.e_dst) <- Some (e.Graph.e_src, e.Graph.e_distance)
+        | _ -> ())
+    g.Graph.edges;
+  (* event list: (absolute issue cycle, iteration, node); same-cycle
+     events run in dependence (topological) order so zero-delay moves
+     see their producer *)
+  let topo_pos = Array.make n 0 in
+  List.iteri (fun pos i -> topo_pos.(i) <- pos) (Graph.topo_order g);
+  let events =
+    List.concat
+      (List.init iterations (fun k ->
+           List.init n (fun i -> (((k * ii) + t_of.(i), k, topo_pos.(i)), i))))
+    |> List.sort compare
+    |> List.map (fun ((c, k, _), i) -> (c, k, i))
+  in
+  let int_of v =
+    match v with
+    | Types.VInt x -> x
+    | Types.VFloat _ -> Types.ir_error "float used as an address"
+  in
+  let mem_ports_used : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let mem_ops = ref 0 in
+  let eval_node ~cycle k i =
+    let value =
+      match sem.(i) with
+      | Build.Sconst v -> v
+      | Build.Sreg base -> (
+        match carry_source.(i) with
+        | Some (src, dist) ->
+          if k - dist < 0 then env base
+          else read_reg ~reader:i src (k - dist)
+        | None ->
+          (* invariant live-in, except the loop index which advances *)
+          (match (index, env base) with
+          | Some idx, Types.VInt v0 when String.equal idx base ->
+            Types.VInt (v0 + (k * index_step))
+          | _ -> env base))
+      | Build.Smove src -> read_reg ~reader:i src k
+      | Build.Sbinop (o, a, b) ->
+        Expr.eval_binop o (read_reg ~reader:i a k) (read_reg ~reader:i b k)
+      | Build.Sunop (o, a) -> Expr.eval_unop o (read_reg ~reader:i a k)
+      | Build.Sselect (c, a, b) ->
+        if int_of (read_reg ~reader:i c k) <> 0 then read_reg ~reader:i a k
+        else read_reg ~reader:i b k
+      | Build.Srom (r, a) -> (
+        let idx = int_of (read_reg ~reader:i a k) in
+        match Hashtbl.find_opt roms r with
+        | Some data when idx >= 0 && idx < Array.length data ->
+          Types.VInt data.(idx)
+        | Some _ -> Types.ir_error "rom index out of bounds in simulation"
+        | None -> Types.ir_error "undeclared rom %s in simulation" r)
+      | Build.Sload (a, ia) -> (
+        let idx = int_of (read_reg ~reader:i ia k) in
+        match Hashtbl.find_opt arrays a with
+        | Some data when idx >= 0 && idx < Array.length data -> data.(idx)
+        | Some _ -> Types.ir_error "load out of bounds in simulation"
+        | None -> Types.ir_error "undeclared array %s in simulation" a)
+      | Build.Sstore (a, ia, va) -> (
+        let idx = int_of (read_reg ~reader:i ia k) in
+        let v = read_reg ~reader:i va k in
+        match Hashtbl.find_opt arrays a with
+        | Some data when idx >= 0 && idx < Array.length data ->
+          (* memory commits at completion too *)
+          defer
+            (cycle + Graph.delay g i)
+            (fun () -> data.(idx) <- v);
+          v
+        | Some _ -> Types.ir_error "store out of bounds in simulation"
+        | None -> Types.ir_error "undeclared array %s in simulation" a)
+    in
+    let d = Graph.delay g i in
+    if d = 0 then write_reg i k value
+    else defer (cycle + d) (fun () -> write_reg i k value)
+  in
+  List.iter
+    (fun (cycle, k, i) ->
+      drain_until cycle;
+      if Opinfo.uses_memory_port (Graph.node g i).Graph.kind then begin
+        let used =
+          1 + Option.value ~default:0 (Hashtbl.find_opt mem_ports_used cycle)
+        in
+        incr mem_ops;
+        if used > target.Datapath.mem_ports then
+          raise
+            (Hazard
+               (Port_conflict
+                  { cycle; used; ports = target.Datapath.mem_ports }));
+        Hashtbl.replace mem_ports_used cycle used
+      end;
+      eval_node ~cycle k i)
+    events;
+  drain_until max_int;
+  let makespan =
+    List.fold_left
+      (fun m (c, _, i) -> max m (c + Graph.delay g i))
+      0 events
+  in
+  let live_out =
+    List.map
+      (fun (base, node) -> (base, read_reg ~reader:node node (iterations - 1)))
+      detail.Build.d_live_out_nodes
+  in
+  { sim_cycles = makespan + 1;
+    sim_iterations = iterations;
+    sim_live_out = live_out;
+    sim_port_pressure =
+      (if makespan = 0 then 0.0
+       else float_of_int !mem_ops /. float_of_int (makespan + 1)) }

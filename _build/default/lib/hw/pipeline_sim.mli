@@ -1,0 +1,48 @@
+(** Cycle-accurate simulation of a modulo-scheduled kernel — the
+    stand-in for the paper's FPGA runs.  Iterations overlap exactly as
+    the schedule prescribes; per-node results live in bounded register
+    files sized by the modulo-variable-expansion window count; memory
+    ports are enforced per absolute cycle; stores commit in hardware
+    order.  Outcomes must match the sequential interpreter (enforced in
+    the tests). *)
+
+open Uas_ir
+module Build = Uas_dfg.Build
+module Sched = Uas_dfg.Sched
+
+type hazard =
+  | Register_overwritten of { node : int; iteration : int; reader : int }
+  | Port_conflict of { cycle : int; used : int; ports : int }
+  | Value_not_ready of { node : int; iteration : int }
+
+val pp_hazard : hazard Fmt.t
+
+(** A structural or register hazard: the schedule/register allocation
+    would not work in hardware. *)
+exception Hazard of hazard
+
+type result = {
+  sim_cycles : int;  (** makespan: last completion cycle + 1 *)
+  sim_iterations : int;
+  sim_live_out : (string * Types.value) list;
+      (** base scalar -> value after the final iteration *)
+  sim_port_pressure : float;  (** mean memory-port occupancy per cycle *)
+}
+
+(** Simulate [iterations] overlapped kernel iterations of the detailed
+    DFG under [schedule].  [env] supplies live-in scalars (iteration-0
+    values); when [index] names the loop-index register it advances by
+    [index_step] per iteration.  [arrays] is mutated in place.
+    @raise Hazard as described above. *)
+val run :
+  ?target:Datapath.t ->
+  detail:Build.detailed ->
+  schedule:Sched.schedule ->
+  iterations:int ->
+  env:(string -> Types.value) ->
+  arrays:(string, Types.value array) Hashtbl.t ->
+  roms:(string, int array) Hashtbl.t ->
+  ?index:string ->
+  ?index_step:int ->
+  unit ->
+  result

@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Expr Stmt Types

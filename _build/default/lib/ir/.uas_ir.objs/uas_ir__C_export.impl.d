@@ -1,0 +1,1 @@
+lib/ir/c_export.ml: Array Buffer Expr Interp List Printf Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/c_export.mli: Interp Stmt

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Int64 List Set String Types

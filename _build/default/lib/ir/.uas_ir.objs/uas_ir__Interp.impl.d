@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Expr Fmt Hashtbl List Opinfo Pp Printf Stmt String Types

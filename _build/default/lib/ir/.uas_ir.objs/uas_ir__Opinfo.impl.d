@@ -1,0 +1,1 @@
+lib/ir/opinfo.ml: Printf Types

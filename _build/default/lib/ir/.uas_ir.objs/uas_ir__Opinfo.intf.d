@@ -1,0 +1,1 @@
+lib/ir/opinfo.mli: Types

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Char Expr List Pp Printexc Printf Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/parser.mli: Expr Stmt

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Expr Fmt List Printf Stdlib Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/pp.mli: Expr Fmt Stmt Types

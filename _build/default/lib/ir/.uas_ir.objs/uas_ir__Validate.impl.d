@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Expr Fmt List Map Printexc Printf Stmt String Types

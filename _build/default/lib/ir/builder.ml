@@ -1,0 +1,60 @@
+(* A small DSL for writing IR programs by hand (benchmarks, tests,
+   examples).  Infix operators mirror C, with [~&], [~|] etc. avoided in
+   favour of readable names where OCaml syntax forces it. *)
+
+open Types
+
+let int n = Expr.Int n
+let flt f = Expr.Float f
+let v x = Expr.Var x
+let load a i = Expr.Load (a, i)
+let rom r i = Expr.Rom (r, i)
+let select c t f = Expr.Select (c, t, f)
+
+let ( + ) a b = Expr.Binop (Add, a, b)
+let ( - ) a b = Expr.Binop (Sub, a, b)
+let ( * ) a b = Expr.Binop (Mul, a, b)
+let ( / ) a b = Expr.Binop (Div, a, b)
+let ( % ) a b = Expr.Binop (Mod, a, b)
+let band a b = Expr.Binop (BAnd, a, b)
+let bor a b = Expr.Binop (BOr, a, b)
+let bxor a b = Expr.Binop (BXor, a, b)
+let shl a b = Expr.Binop (Shl, a, b)
+let shr a b = Expr.Binop (Shr, a, b)
+let ( < ) a b = Expr.Binop (Lt, a, b)
+let ( <= ) a b = Expr.Binop (Le, a, b)
+let ( > ) a b = Expr.Binop (Gt, a, b)
+let ( >= ) a b = Expr.Binop (Ge, a, b)
+let ( == ) a b = Expr.Binop (Eq, a, b)
+let ( != ) a b = Expr.Binop (Ne, a, b)
+let ( +. ) a b = Expr.Binop (Fadd, a, b)
+let ( -. ) a b = Expr.Binop (Fsub, a, b)
+let ( *. ) a b = Expr.Binop (Fmul, a, b)
+let ( /. ) a b = Expr.Binop (Fdiv, a, b)
+let neg a = Expr.Unop (Neg, a)
+let bnot a = Expr.Unop (BNot, a)
+let fneg a = Expr.Unop (Fneg, a)
+let i2f a = Expr.Unop (I2f, a)
+let f2i a = Expr.Unop (F2i, a)
+
+let ( <-- ) x e = Stmt.Assign (x, e)
+let store a i e = Stmt.Store (a, i, e)
+let if_ c t e = Stmt.If (c, t, e)
+
+let for_ index ?(lo = Expr.Int 0) ~hi ?(step = 1) body =
+  Stmt.For { Stmt.index; lo; hi; step; body }
+
+let input ?(ty = Tint) name size =
+  { Stmt.a_name = name; a_ty = ty; a_size = size; a_kind = Stmt.Input }
+
+let output ?(ty = Tint) name size =
+  { Stmt.a_name = name; a_ty = ty; a_size = size; a_kind = Stmt.Output }
+
+let local_array ?(ty = Tint) name size =
+  { Stmt.a_name = name; a_ty = ty; a_size = size; a_kind = Stmt.Local }
+
+let rom_decl name data = { Stmt.r_name = name; r_data = data }
+
+let program ?(params = []) ?(locals = []) ?(arrays = []) ?(roms = []) name body
+    =
+  { Stmt.prog_name = name; params; locals; arrays; roms; body }

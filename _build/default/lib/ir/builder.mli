@@ -1,0 +1,63 @@
+(** A small DSL for writing IR programs by hand.
+
+    Opening this module rebinds the arithmetic and comparison operators
+    to expression constructors — keep the [open] scoped tightly
+    ([B.(...)]) so integer arithmetic nearby is unaffected. *)
+
+open Types
+
+val int : int -> Expr.t
+val flt : float -> Expr.t
+val v : var -> Expr.t
+val load : array_id -> Expr.t -> Expr.t
+val rom : rom_id -> Expr.t -> Expr.t
+val select : Expr.t -> Expr.t -> Expr.t -> Expr.t
+val ( + ) : Expr.t -> Expr.t -> Expr.t
+val ( - ) : Expr.t -> Expr.t -> Expr.t
+val ( * ) : Expr.t -> Expr.t -> Expr.t
+val ( / ) : Expr.t -> Expr.t -> Expr.t
+val ( % ) : Expr.t -> Expr.t -> Expr.t
+val band : Expr.t -> Expr.t -> Expr.t
+val bor : Expr.t -> Expr.t -> Expr.t
+val bxor : Expr.t -> Expr.t -> Expr.t
+val shl : Expr.t -> Expr.t -> Expr.t
+val shr : Expr.t -> Expr.t -> Expr.t
+val ( < ) : Expr.t -> Expr.t -> Expr.t
+val ( <= ) : Expr.t -> Expr.t -> Expr.t
+val ( > ) : Expr.t -> Expr.t -> Expr.t
+val ( >= ) : Expr.t -> Expr.t -> Expr.t
+val ( == ) : Expr.t -> Expr.t -> Expr.t
+val ( != ) : Expr.t -> Expr.t -> Expr.t
+val ( +. ) : Expr.t -> Expr.t -> Expr.t
+val ( -. ) : Expr.t -> Expr.t -> Expr.t
+val ( *. ) : Expr.t -> Expr.t -> Expr.t
+val ( /. ) : Expr.t -> Expr.t -> Expr.t
+val neg : Expr.t -> Expr.t
+val bnot : Expr.t -> Expr.t
+val fneg : Expr.t -> Expr.t
+val i2f : Expr.t -> Expr.t
+val f2i : Expr.t -> Expr.t
+
+(** [x <-- e] is the assignment statement [x = e]. *)
+val ( <-- ) : var -> Expr.t -> Stmt.t
+
+val store : array_id -> Expr.t -> Expr.t -> Stmt.t
+val if_ : Expr.t -> Stmt.t list -> Stmt.t list -> Stmt.t
+
+(** [for_ i ~lo ~hi ~step body] is [for (i = lo; i < hi; i += step)];
+    [lo] defaults to 0 and [step] to 1. *)
+val for_ : var -> ?lo:Expr.t -> hi:Expr.t -> ?step:int -> Stmt.t list -> Stmt.t
+
+val input : ?ty:ty -> array_id -> int -> Stmt.array_decl
+val output : ?ty:ty -> array_id -> int -> Stmt.array_decl
+val local_array : ?ty:ty -> array_id -> int -> Stmt.array_decl
+val rom_decl : rom_id -> int array -> Stmt.rom_decl
+
+val program :
+  ?params:(var * ty) list ->
+  ?locals:(var * ty) list ->
+  ?arrays:Stmt.array_decl list ->
+  ?roms:Stmt.rom_decl list ->
+  string ->
+  Stmt.t list ->
+  Stmt.program

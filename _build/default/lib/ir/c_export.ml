@@ -1,0 +1,237 @@
+(* C export — the "combined with the rest of the C source code by an
+   embedded compiler" corner of the Nimble flow (Figure 5.2).
+
+   Emits a self-contained C translation unit for a program, optionally
+   with a [main] that loads a given workload and prints every output
+   array (integers in decimal, doubles as hex floats), so emitted code
+   can be compiled and diffed against the reference interpreter — the
+   test suite does exactly that with gcc.
+
+   Semantics note: IR integers are the interpreter's 63-bit OCaml ints;
+   the emitted C uses [int64_t], which wraps at 64 bits.  Kernels that
+   keep their values masked (all the benchmarks do) are bit-identical;
+   code that overflows past 62 bits may differ.  Shifts emit
+   arithmetic-shift semantics, matching the IR. *)
+
+open Types
+
+let buf_add = Buffer.add_string
+
+let c_ty = function Tint -> "int64_t" | Tfloat -> "double"
+
+(* every IR name is made C-safe: '@' and '#' from generated copies
+   become unambiguous escapes *)
+let c_name (v : string) : string =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '@' -> buf_add b "_at_"
+      | '#' -> buf_add b "_v"
+      | c -> Buffer.add_char b c)
+    v;
+  "uas_" ^ Buffer.contents b
+
+let c_binop = function
+  | Add | Fadd -> "+"
+  | Sub | Fsub -> "-"
+  | Mul | Fmul -> "*"
+  | Div | Fdiv -> "/"
+  | Mod -> "%"
+  | BAnd -> "&"
+  | BOr -> "|"
+  | BXor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt | Fcmp_lt -> "<"
+  | Le | Fcmp_le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let rec emit_expr b (e : Expr.t) =
+  match e with
+  | Expr.Int n ->
+    buf_add b "INT64_C(";
+    buf_add b (string_of_int n);
+    buf_add b ")"
+  | Expr.Float f -> buf_add b (Printf.sprintf "%h" f)
+  | Expr.Var v -> buf_add b (c_name v)
+  | Expr.Load (a, i) ->
+    buf_add b (c_name a);
+    buf_add b "[";
+    emit_expr b i;
+    buf_add b "]"
+  | Expr.Rom (r, i) ->
+    buf_add b (c_name r);
+    buf_add b "[";
+    emit_expr b i;
+    buf_add b "]"
+  | Expr.Unop (o, x) ->
+    let op =
+      match o with
+      | Neg | Fneg -> "-"
+      | BNot -> "~"
+      | I2f -> "(double)"
+      | F2i -> "(int64_t)"
+    in
+    buf_add b "(";
+    buf_add b op;
+    emit_expr b x;
+    buf_add b ")"
+  | Expr.Binop ((Lt | Le | Gt | Ge | Eq | Ne | Fcmp_lt | Fcmp_le) as o, l, r)
+    ->
+    (* comparisons produce the IR's integer 0/1 *)
+    buf_add b "((int64_t)(";
+    emit_expr b l;
+    buf_add b (" " ^ c_binop o ^ " ");
+    emit_expr b r;
+    buf_add b "))"
+  | Expr.Binop (o, l, r) ->
+    buf_add b "(";
+    emit_expr b l;
+    buf_add b (" " ^ c_binop o ^ " ");
+    emit_expr b r;
+    buf_add b ")"
+  | Expr.Select (c, t, f) ->
+    buf_add b "(";
+    emit_expr b c;
+    buf_add b " ? ";
+    emit_expr b t;
+    buf_add b " : ";
+    emit_expr b f;
+    buf_add b ")"
+
+let rec emit_stmt b indent (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Stmt.Assign (x, e) ->
+    buf_add b pad;
+    buf_add b (c_name x);
+    buf_add b " = ";
+    emit_expr b e;
+    buf_add b ";\n"
+  | Stmt.Store (a, i, e) ->
+    buf_add b pad;
+    buf_add b (c_name a);
+    buf_add b "[";
+    emit_expr b i;
+    buf_add b "] = ";
+    emit_expr b e;
+    buf_add b ";\n"
+  | Stmt.If (c, t, e) ->
+    buf_add b pad;
+    buf_add b "if (";
+    emit_expr b c;
+    buf_add b ") {\n";
+    List.iter (emit_stmt b (indent + 2)) t;
+    if e <> [] then begin
+      buf_add b pad;
+      buf_add b "} else {\n";
+      List.iter (emit_stmt b (indent + 2)) e
+    end;
+    buf_add b pad;
+    buf_add b "}\n"
+  | Stmt.For l ->
+    buf_add b pad;
+    buf_add b (Printf.sprintf "for (%s = " (c_name l.index));
+    emit_expr b l.lo;
+    buf_add b (Printf.sprintf "; %s < " (c_name l.index));
+    emit_expr b l.hi;
+    buf_add b (Printf.sprintf "; %s += %d) {\n" (c_name l.index) l.step);
+    List.iter (emit_stmt b (indent + 2)) l.body;
+    buf_add b pad;
+    buf_add b "}\n"
+
+(** The program as a C translation unit: ROM tables, global scalars and
+    arrays, and a [void <name>_kernel(void)] running the body. *)
+let program_to_c (p : Stmt.program) : string =
+  let b = Buffer.create 4096 in
+  buf_add b "#include <stdint.h>\n\n";
+  buf_add b (Printf.sprintf "/* generated from IR program %s */\n\n" p.prog_name);
+  List.iter
+    (fun (r : Stmt.rom_decl) ->
+      buf_add b
+        (Printf.sprintf "static const int64_t %s[%d] = {" (c_name r.r_name)
+           (Array.length r.r_data));
+      Array.iteri
+        (fun k v ->
+          if k > 0 then buf_add b ", ";
+          buf_add b (Printf.sprintf "INT64_C(%d)" v))
+        r.r_data;
+      buf_add b "};\n")
+    p.roms;
+  List.iter
+    (fun (v, t) ->
+      buf_add b (Printf.sprintf "%s %s;\n" (c_ty t) (c_name v)))
+    (Stmt.scalar_decls p);
+  List.iter
+    (fun (d : Stmt.array_decl) ->
+      buf_add b
+        (Printf.sprintf "%s %s[%d];\n" (c_ty d.a_ty) (c_name d.a_name)
+           d.a_size))
+    p.arrays;
+  buf_add b (Printf.sprintf "\nvoid %s_kernel(void) {\n" p.prog_name);
+  List.iter (emit_stmt b 2) p.body;
+  buf_add b "}\n";
+  Buffer.contents b
+
+(** A full runnable C program: the translation unit plus a [main] that
+    loads the workload into params and input arrays, runs the kernel,
+    and prints every output array element on its own line — integers in
+    decimal, doubles as hex floats — in declaration order. *)
+let standalone (p : Stmt.program) ~(workload : Interp.workload) : string =
+  let b = Buffer.create 8192 in
+  buf_add b (program_to_c p);
+  buf_add b "\n#include <stdio.h>\n\nint main(void) {\n";
+  List.iter
+    (fun (v, value) ->
+      match value with
+      | VInt n ->
+        buf_add b (Printf.sprintf "  %s = INT64_C(%d);\n" (c_name v) n)
+      | VFloat f ->
+        buf_add b (Printf.sprintf "  %s = %h;\n" (c_name v) f))
+    workload.Interp.w_scalars;
+  List.iter
+    (fun (a, data) ->
+      Array.iteri
+        (fun k value ->
+          match value with
+          | VInt n ->
+            buf_add b
+              (Printf.sprintf "  %s[%d] = INT64_C(%d);\n" (c_name a) k n)
+          | VFloat f ->
+            buf_add b (Printf.sprintf "  %s[%d] = %h;\n" (c_name a) k f))
+        data)
+    workload.Interp.w_arrays;
+  buf_add b (Printf.sprintf "  %s_kernel();\n" p.prog_name);
+  List.iter
+    (fun (d : Stmt.array_decl) ->
+      match d.a_kind with
+      | Stmt.Output ->
+        buf_add b
+          (Printf.sprintf "  for (int uas_i_ = 0; uas_i_ < %d; uas_i_++)\n"
+             d.a_size);
+        (match d.a_ty with
+        | Tint ->
+          buf_add b
+            (Printf.sprintf "    printf(\"%%lld\\n\", (long long)%s[uas_i_]);\n"
+               (c_name d.a_name))
+        | Tfloat ->
+          buf_add b
+            (Printf.sprintf "    printf(\"%%a\\n\", %s[uas_i_]);\n"
+               (c_name d.a_name)))
+      | Stmt.Input | Stmt.Local -> ())
+    p.arrays;
+  buf_add b "  return 0;\n}\n";
+  Buffer.contents b
+
+(** Write the standalone program to a file. *)
+let write_standalone (p : Stmt.program) ~workload ~path : unit =
+  let oc = open_out path in
+  (try output_string oc (standalone p ~workload)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,17 @@
+(** C export (the embedded-C-compiler corner of the Nimble flow,
+    Figure 5.2): emit a translation unit for a program, or a standalone
+    runnable C file that loads a workload and prints every output array
+    element (integers decimal, doubles hex) for diffing against the
+    interpreter.
+
+    Integers emit as [int64_t] (the interpreter's ints are 63-bit):
+    kernels that keep values masked are bit-identical; overflow past 62
+    bits may differ. *)
+
+(** C-safe rendering of an IR name ('@'/'#' of generated copies are
+    escaped). *)
+val c_name : string -> string
+
+val program_to_c : Stmt.program -> string
+val standalone : Stmt.program -> workload:Interp.workload -> string
+val write_standalone : Stmt.program -> workload:Interp.workload -> path:string -> unit

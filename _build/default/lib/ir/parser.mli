@@ -1,0 +1,16 @@
+(** Parser for the kernel surface syntax — the same C-like form
+    {!Pp.pp_program} emits, so programs round-trip through text.
+    Comments (`//`, `/* */`) are skipped; `name(expr)` is a ROM lookup;
+    `(int)` / `(float)` are conversions; dotted operators are the float
+    forms. *)
+
+exception Parse_error of { line : int; col : int; msg : string }
+
+(** @raise Parse_error with position information. *)
+val program_of_string : string -> Stmt.program
+
+(** Parse a single expression (tools and tests). *)
+val expr_of_string : string -> Expr.t
+
+(** @raise Parse_error / [Sys_error]. *)
+val program_of_file : string -> Stmt.program

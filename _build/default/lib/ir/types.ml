@@ -1,0 +1,102 @@
+(* Core type definitions for the loop IR.
+
+   The IR models the subset of C that the Nimble Compiler front end feeds
+   into kernel extraction: scalar integer/float computation, arrays in
+   memory, local ROMs (used by the `-hw` benchmark variants), counted FOR
+   loops and structured conditionals.  Everything downstream — dependence
+   analysis, the DFG, the transformations and the hardware estimator —
+   operates on these types. *)
+
+type ty =
+  | Tint   (** machine integer (benchmarks mask to their own widths) *)
+  | Tfloat (** IEEE double; used by the IIR benchmark *)
+
+let equal_ty (a : ty) (b : ty) = a = b
+
+let pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "float"
+
+(** Binary operators.  Integer and float arithmetic are distinct operator
+    kinds because they map to different hardware operators with different
+    delay and area. *)
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Fadd | Fsub | Fmul | Fdiv
+  | Fcmp_lt | Fcmp_le
+
+type unop =
+  | Neg   (** integer negation *)
+  | BNot  (** bitwise complement *)
+  | Fneg  (** float negation *)
+  | I2f   (** int -> float conversion *)
+  | F2i   (** float -> int truncation *)
+
+let all_binops =
+  [ Add; Sub; Mul; Div; Mod; BAnd; BOr; BXor; Shl; Shr;
+    Lt; Le; Gt; Ge; Eq; Ne; Fadd; Fsub; Fmul; Fdiv; Fcmp_lt; Fcmp_le ]
+
+let all_unops = [ Neg; BNot; Fneg; I2f; F2i ]
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Fadd -> "+." | Fsub -> "-." | Fmul -> "*." | Fdiv -> "/."
+  | Fcmp_lt -> "<." | Fcmp_le -> "<=."
+
+let unop_name = function
+  | Neg -> "-" | BNot -> "~" | Fneg -> "-." | I2f -> "(float)" | F2i -> "(int)"
+
+(** Result/operand typing of a binary operator: [(lhs, rhs, result)]. *)
+let binop_sig = function
+  | Add | Sub | Mul | Div | Mod | BAnd | BOr | BXor | Shl | Shr ->
+    (Tint, Tint, Tint)
+  | Lt | Le | Gt | Ge | Eq | Ne -> (Tint, Tint, Tint)
+  | Fadd | Fsub | Fmul | Fdiv -> (Tfloat, Tfloat, Tfloat)
+  | Fcmp_lt | Fcmp_le -> (Tfloat, Tfloat, Tint)
+
+let unop_sig = function
+  | Neg | BNot -> (Tint, Tint)
+  | Fneg -> (Tfloat, Tfloat)
+  | I2f -> (Tint, Tfloat)
+  | F2i -> (Tfloat, Tint)
+
+(** Whether a binary operator is commutative (used by simplification and
+    DFG canonicalization). *)
+let binop_commutative = function
+  | Add | Mul | BAnd | BOr | BXor | Eq | Ne | Fadd | Fmul -> true
+  | Sub | Div | Mod | Shl | Shr | Lt | Le | Gt | Ge | Fsub | Fdiv
+  | Fcmp_lt | Fcmp_le -> false
+
+(** Scalar variables are plain names; array and ROM identifiers live in
+    separate namespaces. *)
+type var = string
+type array_id = string
+type rom_id = string
+
+(** Runtime values used by the interpreter. *)
+type value =
+  | VInt of int
+  | VFloat of float
+
+let pp_value ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VFloat f -> Fmt.pf ppf "%h" f
+
+let equal_value a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y ->
+    (* bit-for-bit equality, so NaNs compare equal to themselves and
+       transformed programs must preserve exact float results *)
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | VInt _, VFloat _ | VFloat _, VInt _ -> false
+
+let ty_of_value = function VInt _ -> Tint | VFloat _ -> Tfloat
+
+exception Ir_error of string
+
+let ir_error fmt = Fmt.kstr (fun s -> raise (Ir_error s)) fmt

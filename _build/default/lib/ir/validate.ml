@@ -1,0 +1,245 @@
+(* Well-formedness checks for programs.  Every transformation output is
+   run through [check] in tests, so the rules double as the IR's static
+   semantics:
+
+   - every scalar referenced is declared exactly once (params + locals);
+   - every array / ROM referenced is declared;
+   - expressions are well-typed; array element types match stores/loads;
+   - conditions of [If] and select are integers;
+   - loop steps are positive; loop indices are declared ints and are not
+     assigned inside their own loop body;
+   - ROM indices are integers.  *)
+
+open Types
+
+type error = { err_path : string; err_msg : string }
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.err_path e.err_msg
+
+exception Invalid of error list
+
+module Smap = Map.Make (String)
+
+type env = {
+  scalars : ty Smap.t;
+  arrays : Stmt.array_decl Smap.t;
+  roms : Stmt.rom_decl Smap.t;
+}
+
+let build_env (p : Stmt.program) errs =
+  let scalars, errs =
+    List.fold_left
+      (fun (m, errs) (v, t) ->
+        if Smap.mem v m then
+          ( m,
+            { err_path = p.prog_name;
+              err_msg = Printf.sprintf "scalar %s declared twice" v }
+            :: errs )
+        else (Smap.add v t m, errs))
+      (Smap.empty, errs) (Stmt.scalar_decls p)
+  in
+  let arrays, errs =
+    List.fold_left
+      (fun (m, errs) (d : Stmt.array_decl) ->
+        if Smap.mem d.a_name m then
+          ( m,
+            { err_path = p.prog_name;
+              err_msg = Printf.sprintf "array %s declared twice" d.a_name }
+            :: errs )
+        else if d.a_size <= 0 then
+          ( Smap.add d.a_name d m,
+            { err_path = p.prog_name;
+              err_msg = Printf.sprintf "array %s has size %d" d.a_name d.a_size }
+            :: errs )
+        else (Smap.add d.a_name d m, errs))
+      (Smap.empty, errs) p.arrays
+  in
+  let roms, errs =
+    List.fold_left
+      (fun (m, errs) (r : Stmt.rom_decl) ->
+        if Smap.mem r.r_name m then
+          ( m,
+            { err_path = p.prog_name;
+              err_msg = Printf.sprintf "rom %s declared twice" r.r_name }
+            :: errs )
+        else if Array.length r.r_data = 0 then
+          ( Smap.add r.r_name r m,
+            { err_path = p.prog_name;
+              err_msg = Printf.sprintf "rom %s is empty" r.r_name }
+            :: errs )
+        else (Smap.add r.r_name r m, errs))
+      (Smap.empty, errs) p.roms
+  in
+  ({ scalars; arrays; roms }, errs)
+
+(* Type an expression; accumulate errors instead of failing fast so a
+   transformation bug surfaces every ill-typed site at once.  Returns
+   [None] when the type cannot be determined. *)
+let rec type_expr env path errs (e : Expr.t) : ty option * error list =
+  let err msg = { err_path = path; err_msg = msg } in
+  match e with
+  | Int _ -> (Some Tint, errs)
+  | Float _ -> (Some Tfloat, errs)
+  | Var v -> (
+    match Smap.find_opt v env.scalars with
+    | Some t -> (Some t, errs)
+    | None -> (None, err (Printf.sprintf "undeclared scalar %s" v) :: errs))
+  | Load (a, i) -> (
+    let ti, errs = type_expr env path errs i in
+    let errs =
+      match ti with
+      | Some Tfloat -> err (Printf.sprintf "index of %s is a float" a) :: errs
+      | Some Tint | None -> errs
+    in
+    match Smap.find_opt a env.arrays with
+    | Some d -> (Some d.a_ty, errs)
+    | None -> (None, err (Printf.sprintf "undeclared array %s" a) :: errs))
+  | Rom (r, i) -> (
+    let ti, errs = type_expr env path errs i in
+    let errs =
+      match ti with
+      | Some Tfloat -> err (Printf.sprintf "index of rom %s is a float" r) :: errs
+      | Some Tint | None -> errs
+    in
+    match Smap.find_opt r env.roms with
+    | Some _ -> (Some Tint, errs)
+    | None -> (None, err (Printf.sprintf "undeclared rom %s" r) :: errs))
+  | Unop (o, x) ->
+    let targ, tres = unop_sig o in
+    let tx, errs = type_expr env path errs x in
+    let errs =
+      match tx with
+      | Some t when not (equal_ty t targ) ->
+        err
+          (Printf.sprintf "operand of %s has type %s, expected %s"
+             (unop_name o)
+             (Fmt.str "%a" pp_ty t)
+             (Fmt.str "%a" pp_ty targ))
+        :: errs
+      | Some _ | None -> errs
+    in
+    (Some tres, errs)
+  | Binop (o, l, r) ->
+    let tl_exp, tr_exp, tres = binop_sig o in
+    let tl, errs = type_expr env path errs l in
+    let tr, errs = type_expr env path errs r in
+    let check got expected side errs =
+      match got with
+      | Some t when not (equal_ty t expected) ->
+        err
+          (Printf.sprintf "%s operand of %s has type %s, expected %s" side
+             (binop_name o)
+             (Fmt.str "%a" pp_ty t)
+             (Fmt.str "%a" pp_ty expected))
+        :: errs
+      | Some _ | None -> errs
+    in
+    let errs = check tl tl_exp "left" errs in
+    let errs = check tr tr_exp "right" errs in
+    (Some tres, errs)
+  | Select (c, t, f) -> (
+    let tc, errs = type_expr env path errs c in
+    let errs =
+      match tc with
+      | Some Tfloat -> err "select condition is a float" :: errs
+      | Some Tint | None -> errs
+    in
+    let tt, errs = type_expr env path errs t in
+    let tf, errs = type_expr env path errs f in
+    match (tt, tf) with
+    | Some a, Some b when not (equal_ty a b) ->
+      (Some a, err "select branches have different types" :: errs)
+    | Some a, _ -> (Some a, errs)
+    | None, b -> (b, errs))
+
+let rec check_stmt env path bound_indices errs (s : Stmt.t) =
+  let err msg = { err_path = path; err_msg = msg } in
+  match s with
+  | Assign (x, e) -> (
+    if List.exists (String.equal x) bound_indices then
+      err (Printf.sprintf "loop index %s assigned inside its loop" x) :: errs
+    else
+      let te, errs = type_expr env path errs e in
+      match (Smap.find_opt x env.scalars, te) with
+      | None, _ -> err (Printf.sprintf "undeclared scalar %s assigned" x) :: errs
+      | Some tx, Some te when not (equal_ty tx te) ->
+        err
+          (Printf.sprintf "%s : %s assigned a %s" x
+             (Fmt.str "%a" pp_ty tx)
+             (Fmt.str "%a" pp_ty te))
+        :: errs
+      | Some _, _ -> errs)
+  | Store (a, i, e) -> (
+    let ti, errs = type_expr env path errs i in
+    let errs =
+      match ti with
+      | Some Tfloat -> err (Printf.sprintf "index of %s is a float" a) :: errs
+      | Some Tint | None -> errs
+    in
+    let te, errs = type_expr env path errs e in
+    match Smap.find_opt a env.arrays with
+    | None -> err (Printf.sprintf "undeclared array %s stored to" a) :: errs
+    | Some d -> (
+      match te with
+      | Some t when not (equal_ty t d.a_ty) ->
+        err (Printf.sprintf "array %s stored a wrong-typed value" a) :: errs
+      | Some _ | None -> errs))
+  | If (c, t, e) ->
+    let tc, errs = type_expr env path errs c in
+    let errs =
+      match tc with
+      | Some Tfloat -> err "if condition is a float" :: errs
+      | Some Tint | None -> errs
+    in
+    let errs = List.fold_left (check_stmt env path bound_indices) errs t in
+    List.fold_left (check_stmt env path bound_indices) errs e
+  | For l ->
+    let errs =
+      if l.step <= 0 then
+        err (Printf.sprintf "loop %s has non-positive step %d" l.index l.step)
+        :: errs
+      else errs
+    in
+    let errs =
+      match Smap.find_opt l.index env.scalars with
+      | None -> err (Printf.sprintf "undeclared loop index %s" l.index) :: errs
+      | Some Tfloat -> err (Printf.sprintf "loop index %s is a float" l.index) :: errs
+      | Some Tint -> errs
+    in
+    let errs =
+      if List.exists (String.equal l.index) bound_indices then
+        err (Printf.sprintf "loop index %s shadows an enclosing loop" l.index)
+        :: errs
+      else errs
+    in
+    let check_bound side b errs =
+      let tb, errs = type_expr env path errs b in
+      match tb with
+      | Some Tfloat ->
+        err (Printf.sprintf "%s bound of loop %s is a float" side l.index) :: errs
+      | Some Tint | None -> errs
+    in
+    let errs = check_bound "lower" l.lo errs in
+    let errs = check_bound "upper" l.hi errs in
+    List.fold_left
+      (check_stmt env path (l.index :: bound_indices))
+      errs l.body
+
+(** All well-formedness violations of [p], empty when valid. *)
+let errors (p : Stmt.program) : error list =
+  let env, errs = build_env p [] in
+  let errs = List.fold_left (check_stmt env p.prog_name []) errs p.body in
+  List.rev errs
+
+let is_valid p = errors p = []
+
+(** Raise [Invalid] if [p] is ill-formed; return [p] otherwise, so the
+    check can be spliced into pipelines. *)
+let check (p : Stmt.program) : Stmt.program =
+  match errors p with [] -> p | errs -> raise (Invalid errs)
+
+let () =
+  Printexc.register_printer (function
+    | Invalid errs ->
+      Some (Fmt.str "Validate.Invalid:@\n%a" (Fmt.list pp_error) errs)
+    | _ -> None)

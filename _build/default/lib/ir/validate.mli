@@ -1,0 +1,16 @@
+(** Static well-formedness of programs: declarations, typing, loop
+    shape.  Every transformation output must pass [check]. *)
+
+type error = { err_path : string; err_msg : string }
+
+val pp_error : error Fmt.t
+
+exception Invalid of error list
+
+(** All violations, empty when the program is well-formed. *)
+val errors : Stmt.program -> error list
+
+val is_valid : Stmt.program -> bool
+
+(** Identity on valid programs. @raise Invalid otherwise. *)
+val check : Stmt.program -> Stmt.program

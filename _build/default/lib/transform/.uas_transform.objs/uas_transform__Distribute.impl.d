@@ -1,0 +1,1 @@
+lib/transform/distribute.ml: Fmt Fusion List Printexc Stmt String Types Uas_dfg Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/distribute.mli: Fmt Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/expand.ml: Expr List Printf Stmt Types Uas_analysis Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/expand.mli: Expr Stmt Types Uas_analysis Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/flatten.ml: Expr Fmt Printexc Stmt Types Uas_analysis Uas_ir

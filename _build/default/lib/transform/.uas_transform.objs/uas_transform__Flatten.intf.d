@@ -1,0 +1,1 @@
+lib/transform/flatten.mli: Fmt Stmt Uas_ir

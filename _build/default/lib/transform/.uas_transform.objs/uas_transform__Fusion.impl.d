@@ -1,0 +1,1 @@
+lib/transform/fusion.ml: Expr Fmt List Stmt String Types Uas_dfg Uas_ir

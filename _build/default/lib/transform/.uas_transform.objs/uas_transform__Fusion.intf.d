@@ -1,0 +1,1 @@
+lib/transform/fusion.mli: Expr Fmt Stmt Uas_ir

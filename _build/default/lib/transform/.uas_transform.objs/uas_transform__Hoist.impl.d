@@ -1,0 +1,1 @@
+lib/transform/hoist.ml: Expr Hashtbl List Option Stmt Uas_ir

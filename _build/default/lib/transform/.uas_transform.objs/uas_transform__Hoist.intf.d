@@ -1,0 +1,1 @@
+lib/transform/hoist.mli: Stmt Uas_ir

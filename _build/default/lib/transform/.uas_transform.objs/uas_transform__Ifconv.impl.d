@@ -1,0 +1,1 @@
+lib/transform/ifconv.ml: Expr Filename List Map Option Printf Stmt String Types Uas_ir

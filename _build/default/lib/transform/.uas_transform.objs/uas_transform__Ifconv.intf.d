@@ -1,0 +1,1 @@
+lib/transform/ifconv.mli: Stmt Uas_ir

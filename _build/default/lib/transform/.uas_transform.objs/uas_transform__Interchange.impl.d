@@ -1,0 +1,1 @@
+lib/transform/interchange.ml: Expr Fmt List Printexc Stmt Uas_analysis Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/interchange.mli: Fmt Stmt Uas_analysis Uas_ir

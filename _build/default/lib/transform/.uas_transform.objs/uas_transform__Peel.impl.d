@@ -1,0 +1,1 @@
+lib/transform/peel.ml: Expr List Stmt Types Uas_analysis Uas_ir

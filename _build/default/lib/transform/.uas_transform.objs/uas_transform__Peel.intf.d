@@ -1,0 +1,1 @@
+lib/transform/peel.mli: Stmt Uas_analysis Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/pipeline_sw.ml: Expand Expr Fmt Fusion List Opinfo Printexc Stmt String Types Uas_analysis Uas_dfg Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/pipeline_sw.mli: Fmt Opinfo Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/scalar_opts.ml: Expr List Map Stmt String Types Uas_analysis Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/scalar_opts.mli: Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/scalarize.ml: Expr List Printf Stmt String Types Uas_ir

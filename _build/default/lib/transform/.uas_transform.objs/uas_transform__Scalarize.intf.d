@@ -1,0 +1,1 @@
+lib/transform/scalarize.mli: Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/squash.ml: Expand Expr Fmt List Opinfo Peel Printexc Stmt String Types Uas_analysis Uas_dfg Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/squash.mli: Fmt Opinfo Stmt Uas_analysis Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/tiling.ml: Expr List Stmt String Types Uas_ir

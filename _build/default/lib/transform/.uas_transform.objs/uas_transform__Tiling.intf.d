@@ -1,0 +1,1 @@
+lib/transform/tiling.mli: Stmt Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Expr List Pp Stmt String Types Uas_ir

@@ -1,0 +1,1 @@
+lib/transform/unroll.mli: Stmt Uas_ir

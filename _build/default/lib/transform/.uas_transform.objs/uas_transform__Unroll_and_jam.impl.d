@@ -1,0 +1,1 @@
+lib/transform/unroll_and_jam.ml: Expand Expr Fmt List Peel Printexc Stmt Types Uas_analysis Uas_ir

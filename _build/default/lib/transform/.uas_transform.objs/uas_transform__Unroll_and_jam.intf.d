@@ -1,0 +1,1 @@
+lib/transform/unroll_and_jam.mli: Stmt Uas_analysis Uas_ir

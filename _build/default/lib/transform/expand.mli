@@ -1,0 +1,42 @@
+(** Variable expansion (§4.3): naming and declaration helpers for the
+    per-data-set scalar copies.  Generated names contain '@', which the
+    builder-level source names never do. *)
+
+open Uas_ir
+module Sset = Stmt.Sset
+
+(** [stage_copy v k] is the rotating pipeline copy [v@s<k>]. *)
+val stage_copy : string -> int -> string
+
+(** [pre_copy v d] is the pre-staging copy [v@pre<d>]. *)
+val pre_copy : string -> int -> string
+
+(** [post_copy v d] is the post-staging copy [v@post<d>]. *)
+val post_copy : string -> int -> string
+
+(** [rot_temp v] is the rotation temporary [v@rot]. *)
+val rot_temp : string -> string
+
+(** [unroll_copy v d] is the jam/unroll copy [v@u<d>]. *)
+val unroll_copy : string -> int -> string
+
+(** Rename the scalars of [set] through the function; others
+    untouched. *)
+val rename_in : Sset.t -> (string -> string) -> Stmt.t list -> Stmt.t list
+
+(** Declarations for all copies of all variables of [set], typed like
+    the originals.  @raise Ir_error on collisions or undeclared
+    sources. *)
+val copy_decls :
+  Stmt.program ->
+  Sset.t ->
+  (string -> string list) ->
+  (string * Types.ty) list
+
+(** Scalars a nest transformation must version: everything the nest
+    writes plus both loop indices. *)
+val versioned_scalars : Uas_analysis.Loop_nest.t -> Sset.t
+
+(** Exit value of a loop index after the loop, constant-folded when the
+    bounds are static. *)
+val index_exit_value : lo:Expr.t -> hi:Expr.t -> step:int -> Expr.t

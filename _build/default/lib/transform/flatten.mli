@@ -1,0 +1,16 @@
+(** Loop flattening (coalescing, §5.2): collapse a perfect static
+    2-deep nest into one loop over the combined iteration space, the
+    original indices recomputed by division/modulus.  Always legal for
+    perfect nests (traversal order unchanged). *)
+
+open Uas_ir
+
+type failure = Not_perfect | Non_static_bounds
+
+val pp_failure : failure Fmt.t
+
+exception Flatten_error of failure
+
+(** @raise Flatten_error on imperfect/dynamic nests
+    @raise Not_found when absent. *)
+val apply : Stmt.program -> outer_index:string -> Stmt.program

@@ -1,0 +1,104 @@
+(* Loop fusion (§3.4): merge two adjacent loops with identical bounds
+   into one.  Legal when no operation of the second loop at iteration j
+   depends on an operation of the first loop at a *later* iteration
+   j' > j (fusion only moves second-loop iterations earlier relative to
+   first-loop iterations).
+
+   The check is conservative:
+   - scalars: the second loop may not read a scalar the first writes
+     (it would observe a per-iteration value instead of the final one),
+     and may not write a scalar the first reads or writes;
+   - arrays: for every (write, access) pair across the two bodies on the
+     same array, there must be no conflict between iteration j of the
+     second loop and iteration j+d (d >= 1) of the first — tested with
+     the same affine-in-index disambiguation the DFG builder uses. *)
+
+open Uas_ir
+module Sset = Stmt.Sset
+
+type failure =
+  | Different_bounds
+  | Scalar_flow of string
+  | Array_conflict of string
+
+let pp_failure ppf = function
+  | Different_bounds -> Fmt.string ppf "loop bounds differ"
+  | Scalar_flow v -> Fmt.pf ppf "scalar %s flows between the loops" v
+  | Array_conflict a -> Fmt.pf ppf "array %s conflicts across the loops" a
+
+let accesses_of body =
+  let of_expr e =
+    List.rev
+      (Expr.fold
+         (fun acc e ->
+           match e with
+           | Expr.Load (a, i) -> (a, i, false) :: acc
+           | _ -> acc)
+         [] e)
+  in
+  Stmt.fold_list
+    (fun acc s ->
+      match s with
+      | Stmt.Assign (_, e) -> acc @ of_expr e
+      | Stmt.Store (a, i, e) -> acc @ of_expr i @ of_expr e @ [ (a, i, true) ]
+      | Stmt.If (c, _, _) -> acc @ of_expr c
+      | Stmt.For _ -> acc)
+    [] body
+
+(** Why fusing [l1] (first) with [l2] (second) would be illegal; empty
+    when fusion is safe. *)
+let failures (l1 : Stmt.loop) (l2 : Stmt.loop) : failure list =
+  let fs = ref [] in
+  if
+    not
+      (String.equal l1.index l2.index
+      && Expr.equal l1.lo l2.lo && Expr.equal l1.hi l2.hi && l1.step = l2.step)
+  then fs := Different_bounds :: !fs;
+  let d1 = Stmt.defs l1.body and u1 = Stmt.uses l1.body in
+  let d2 = Stmt.defs l2.body and u2 = Stmt.uses l2.body in
+  let bad =
+    Sset.union (Sset.inter d1 u2) (Sset.inter d2 (Sset.union u1 d1))
+  in
+  Sset.iter
+    (fun v -> if not (String.equal v l1.index) then fs := Scalar_flow v :: !fs)
+    bad;
+  let body_defs = Sset.union d1 d2 in
+  let a1 = accesses_of l1.body and a2 = accesses_of l2.body in
+  List.iter
+    (fun (arr1, i1, w1) ->
+      List.iter
+        (fun (arr2, i2, w2) ->
+          if String.equal arr1 arr2 && (w1 || w2) then
+            (* second loop's access at j versus first loop's at j+d *)
+            match
+              Uas_dfg.Build.cross_distance ~inner_index:(Some l1.index)
+                ~inner_step:l1.step ~body_defs i2 i1
+            with
+            | Some _ -> fs := Array_conflict arr1 :: !fs
+            | None -> ())
+        a2)
+    a1;
+  List.rev !fs
+
+(** Fuse the two loops into one; @raise Ir_error when illegal. *)
+let fuse (l1 : Stmt.loop) (l2 : Stmt.loop) : Stmt.loop =
+  match failures l1 l2 with
+  | [] -> { l1 with body = l1.body @ l2.body }
+  | f :: _ -> Types.ir_error "cannot fuse: %s" (Fmt.str "%a" pp_failure f)
+
+(** Fuse the first adjacent fusable pair of loops found in [p]. *)
+let apply_first (p : Stmt.program) : Stmt.program option =
+  let changed = ref false in
+  let rec go stmts =
+    match stmts with
+    | Stmt.For l1 :: Stmt.For l2 :: rest
+      when (not !changed) && failures l1 l2 = [] ->
+      changed := true;
+      Stmt.For (fuse l1 l2) :: go rest
+    | Stmt.For l :: rest -> Stmt.For { l with body = go l.body } :: go rest
+    | Stmt.If (c, t, e) :: rest -> Stmt.If (c, go t, go e) :: go rest
+    | s :: rest -> s :: go rest
+    | [] -> []
+  in
+  let body = go p.body in
+  if !changed then Some { p with body } else None

@@ -1,0 +1,26 @@
+(** Loop fusion (§3.4): merge two adjacent loops with identical bounds.
+    Legal when no operation of the second loop at iteration j depends
+    on a first-loop operation at a later iteration. *)
+
+open Uas_ir
+
+type failure =
+  | Different_bounds
+  | Scalar_flow of string
+  | Array_conflict of string
+
+val pp_failure : failure Fmt.t
+
+(** All array accesses (array, index, is-write) of a block, in program
+    order.  Exposed for reuse by distribution / pipelining. *)
+val accesses_of : Stmt.t list -> (string * Expr.t * bool) list
+
+(** Why fusing the first loop with the second would be illegal; empty
+    when safe. *)
+val failures : Stmt.loop -> Stmt.loop -> failure list
+
+(** @raise Ir_error when illegal. *)
+val fuse : Stmt.loop -> Stmt.loop -> Stmt.loop
+
+(** Fuse the first adjacent fusable pair found; [None] when none. *)
+val apply_first : Stmt.program -> Stmt.program option

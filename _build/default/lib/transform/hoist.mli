@@ -1,0 +1,9 @@
+(** Loop-invariant code motion (§4.2): single-definition assignments
+    whose inputs the loop never changes move in front of it.
+    Restricted to statically non-empty loops (the hoisted code now
+    always executes). *)
+
+open Uas_ir
+
+(** Hoist to fixpoint across all loops, bottom-up. *)
+val apply : Stmt.program -> Stmt.program

@@ -1,0 +1,22 @@
+(** Loop interchange (§3.3/§3.4): swap the loops of a perfectly nested
+    pair.  Conservative legality via the affine dependence tests on
+    both orientations. *)
+
+open Uas_ir
+module Loop_nest = Uas_analysis.Loop_nest
+
+type failure =
+  | Not_perfect
+  | Bounds_use_index
+  | Carried_dependence of string
+
+val pp_failure : failure Fmt.t
+
+exception Interchange_error of failure
+
+val check : Loop_nest.t -> failure option
+
+(** Interchange the nest with this outer index.
+    @raise Interchange_error when illegal
+    @raise Not_found when absent. *)
+val apply : Stmt.program -> outer_index:string -> Stmt.program

@@ -1,0 +1,71 @@
+(* Loop peeling (§4.2: "M mod DS iterations of the outer loop may be
+   executed independently from the remaining M - (M mod DS)").
+
+   We peel from the back: the outer loop keeps its first
+   M - k iterations and the last k are emitted as straight copies after
+   it, each preceded by an assignment of the index value (the index is
+   an ordinary scalar).  Requires static outer bounds. *)
+
+open Uas_ir
+module Loop_nest = Uas_analysis.Loop_nest
+
+(** Peel the last [iterations] outer iterations of [nest] inside [p].
+    Returns the updated program and the shrunken nest. *)
+let peel_back (p : Stmt.program) (nest : Loop_nest.t) ~iterations :
+    Stmt.program * Loop_nest.t =
+  if iterations < 0 then Types.ir_error "cannot peel %d iterations" iterations;
+  if iterations = 0 then (p, nest)
+  else
+    match Loop_nest.outer_trip_count nest with
+    | None -> Types.ir_error "peeling requires static outer bounds"
+    | Some trips ->
+      if iterations > trips then
+        Types.ir_error "cannot peel %d of %d iterations" iterations trips;
+      let lo =
+        match Expr.simplify nest.Loop_nest.outer_lo with
+        | Expr.Int n -> n
+        | _ -> Types.ir_error "peeling requires static outer bounds"
+      in
+      let keep = trips - iterations in
+      let new_hi = lo + (keep * nest.outer_step) in
+      let nest' = { nest with Loop_nest.outer_hi = Expr.Int new_hi } in
+      let copy k =
+        let iv = lo + ((keep + k) * nest.outer_step) in
+        Stmt.Assign (nest.outer_index, Expr.Int iv)
+        :: nest.pre
+        @ [ Stmt.For
+              { index = nest.inner_index;
+                lo = nest.inner_lo;
+                hi = nest.inner_hi;
+                step = nest.inner_step;
+                body = nest.inner_body } ]
+        @ nest.post
+      in
+      let replacement =
+        (* the zero-trip loop is kept when everything peels away, so
+           callers can still locate and rewrite the nest; the final
+           assignment restores the index exit value of the full loop *)
+        (Loop_nest.to_stmt nest' :: List.concat (List.init iterations copy))
+        @ [ Stmt.Assign
+              (nest.outer_index, Expr.Int (lo + (trips * nest.outer_step))) ]
+      in
+      let p = Loop_nest.replace p ~outer_index:nest.outer_index replacement in
+      (p, nest')
+
+(** Peel the first [iterations] iterations of a plain loop, for use by
+    transformations on single loops.  Static bounds required. *)
+let peel_front_loop (l : Stmt.loop) ~iterations : Stmt.t list * Stmt.loop =
+  if iterations < 0 then Types.ir_error "cannot peel %d iterations" iterations;
+  match (Expr.simplify l.Stmt.lo, Expr.simplify l.Stmt.hi) with
+  | Expr.Int lo, Expr.Int hi ->
+    let trips = if hi <= lo then 0 else (hi - lo + l.step - 1) / l.step in
+    if iterations > trips then
+      Types.ir_error "cannot peel %d of %d iterations" iterations trips;
+    let copies =
+      List.concat
+        (List.init iterations (fun k ->
+             Stmt.Assign (l.index, Expr.Int (lo + (k * l.step))) :: l.body))
+    in
+    let l' = { l with Stmt.lo = Expr.Int (lo + (iterations * l.step)) } in
+    (copies, l')
+  | _ -> Types.ir_error "peeling requires static bounds"

@@ -1,0 +1,140 @@
+(* Classic scalar optimizations (§4.2: constant propagation and
+   folding, copy propagation, dead-code elimination, strength
+   reduction).  They run before the loop transformations to shrink the
+   inner body, and are useful after them to clean up staging moves.
+
+   All block-level passes operate on straight-line regions only and are
+   conservative everywhere else. *)
+
+open Uas_ir
+module Smap = Map.Make (String)
+module Sset = Stmt.Sset
+
+(** Constant folding + algebraic simplification over every expression. *)
+let const_fold (p : Stmt.program) : Stmt.program =
+  { p with body = Stmt.map_exprs_list Expr.simplify p.body }
+
+(* Propagate copies and constants through a straight-line block.  The
+   environment maps a scalar to a replacement expression that is either
+   a constant or a variable still holding the same value. *)
+let propagate_block (stmts : Stmt.t list) : Stmt.t list =
+  let env = ref Smap.empty in
+  let kill x =
+    (* x changes: drop its binding and any binding that reads x *)
+    env :=
+      Smap.filter
+        (fun v e -> (not (String.equal v x)) && not (Expr.mem_var x e))
+        !env
+  in
+  let subst e = Expr.subst_vars (fun v -> Smap.find_opt v !env) e in
+  List.map
+    (fun s ->
+      match s with
+      | Stmt.Assign (x, e) ->
+        let e' = Expr.simplify (subst e) in
+        kill x;
+        (match e' with
+        | Expr.Int _ | Expr.Float _ -> env := Smap.add x e' !env
+        | Expr.Var y when not (String.equal x y) ->
+          env := Smap.add x (Expr.Var y) !env
+        | _ -> ());
+        Stmt.Assign (x, e')
+      | Stmt.Store (a, i, e) ->
+        Stmt.Store (a, Expr.simplify (subst i), Expr.simplify (subst e))
+      | Stmt.If _ | Stmt.For _ ->
+        env := Smap.empty;
+        s)
+    stmts
+
+(** Copy/constant propagation inside every straight-line region. *)
+let propagate (p : Stmt.program) : Stmt.program =
+  let rec go stmts =
+    propagate_block
+      (List.map
+         (fun s ->
+           match s with
+           | Stmt.For l -> Stmt.For { l with body = go l.body }
+           | Stmt.If (c, t, e) -> Stmt.If (c, go t, go e)
+           | Stmt.Assign _ | Stmt.Store _ -> s)
+         stmts)
+  in
+  { p with body = go p.body }
+
+(* Dead assignment elimination on a straight-line block given the
+   scalars live at its end. *)
+let dce_block ~(live_out : Sset.t) (stmts : Stmt.t list) : Stmt.t list =
+  let rec go = function
+    | [] -> (live_out, [])
+    | s :: rest ->
+      let live_after, rest' = go rest in
+      (match s with
+      | Stmt.Assign (x, e) ->
+        if Sset.mem x live_after then
+          ( Sset.union (Expr.var_set e) (Sset.remove x live_after),
+            s :: rest' )
+        else (live_after, rest')
+      | Stmt.Store (_, i, e) ->
+        ( Sset.union live_after (Sset.union (Expr.var_set i) (Expr.var_set e)),
+          s :: rest' )
+      | Stmt.If _ | Stmt.For _ ->
+        let du = Uas_analysis.Def_use.of_stmt s in
+        (Sset.union du.du_uses (Sset.union live_after du.du_defs), s :: rest'))
+  in
+  snd (go stmts)
+
+(** Eliminate assignments whose value is never observed.  Conservative:
+    a loop body keeps everything it might feed to a later iteration, so
+    only straight-line tails get cleaned; [live_out] defaults to every
+    scalar (safe identity), callers pass the real live set when known. *)
+let dead_code ?(live_out : Sset.t option) (p : Stmt.program) : Stmt.program =
+  let live_out =
+    match live_out with
+    | Some s -> s
+    | None -> Sset.of_list (List.map fst (Stmt.scalar_decls p))
+  in
+  { p with body = dce_block ~live_out p.body }
+
+(** Strength reduction: multiplications and divisions by powers of two
+    become shifts; modulus by a power of two becomes a mask (non-
+    negative ranges cannot be proven here, so only [land] with provably
+    non-negative operands — loads from ROMs and masked values — are
+    rewritten; the rest is left to the folder). *)
+let strength_reduce (p : Stmt.program) : Stmt.program =
+  let rec is_nonneg (e : Expr.t) =
+    match e with
+    | Expr.Int n -> n >= 0
+    | Expr.Rom _ -> true  (* ROM contents are table bytes in this IR *)
+    | Expr.Binop (Types.BAnd, a, b) -> is_nonneg a || is_nonneg b
+    | Expr.Binop (Types.Shr, a, _) -> is_nonneg a
+    | Expr.Binop (Types.Mod, _, Expr.Int n) -> n > 0
+    | _ -> false
+  in
+  let log2 n =
+    let rec go k = if 1 lsl k = n then Some k else if 1 lsl k > n then None else go (k + 1) in
+    if n <= 0 then None else go 0
+  in
+  let rewrite e =
+    Expr.map
+      (fun e ->
+        match e with
+        | Expr.Binop (Types.Mul, a, Expr.Int n)
+        | Expr.Binop (Types.Mul, Expr.Int n, a) -> (
+          match log2 n with
+          | Some k -> Expr.Binop (Types.Shl, a, Expr.Int k)
+          | None -> e)
+        | Expr.Binop (Types.Div, a, Expr.Int n) when is_nonneg a -> (
+          match log2 n with
+          | Some k -> Expr.Binop (Types.Shr, a, Expr.Int k)
+          | None -> e)
+        | Expr.Binop (Types.Mod, a, Expr.Int n) when is_nonneg a -> (
+          match log2 n with
+          | Some _ -> Expr.Binop (Types.BAnd, a, Expr.Int (n - 1))
+          | None -> e)
+        | e -> e)
+      e
+  in
+  { p with body = Stmt.map_exprs_list rewrite p.body }
+
+(** The standard pre-transformation cleanup pipeline. *)
+let cleanup (p : Stmt.program) : Stmt.program =
+  p |> const_fold |> propagate |> strength_reduce |> const_fold

@@ -1,0 +1,106 @@
+(* Scalarization (§4.2: "Scalarization may be used to reduce the number
+   of memory references in the inner loop and replace them with
+   register-to-register moves").
+
+   The pattern handled: a loop body that repeatedly loads the same
+   loop-invariant address.  The load is performed once into a fresh
+   scalar before the loop and every occurrence becomes a register read.
+   Loads whose array is also stored in the body are left alone.
+
+   This is exactly what turns the Skipjack-mem key accesses into the
+   Skipjack-hw register/ROM style when the key index is invariant, and
+   it reduces ResMII for memory-bound kernels. *)
+
+open Uas_ir
+module Sset = Stmt.Sset
+
+(* invariant w.r.t. the loop: reads nothing the body writes, not the
+   index, and only constant/invariant scalars *)
+let invariant_addr (l : Stmt.loop) (e : Expr.t) =
+  let defs = Sset.add l.index (Stmt.defs l.body) in
+  Sset.is_empty (Sset.inter (Expr.var_set e) defs) && not (Expr.has_load e)
+
+(* collect distinct invariant load sites (array, index expression) *)
+let invariant_loads (l : Stmt.loop) : (string * Expr.t) list =
+  let stored = Stmt.arrays_written l.body in
+  let sites = ref [] in
+  let record a i =
+    if
+      (not (Sset.mem a stored))
+      && invariant_addr l i
+      && not
+           (List.exists
+              (fun (a', i') -> String.equal a a' && Expr.equal i i')
+              !sites)
+    then sites := (a, i) :: !sites
+  in
+  ignore
+    (Stmt.fold_exprs
+       (fun () e ->
+         Expr.fold
+           (fun () e ->
+             match e with Expr.Load (a, i) -> record a i | _ -> ())
+           () e)
+       () l.body);
+  List.rev !sites
+
+(** Scalarize invariant loads of the loop with index [index] in [p].
+    Returns the rewritten program (identity when nothing applies). *)
+let apply (p : Stmt.program) ~index : Stmt.program =
+  let fresh_base = ref 0 in
+  let decls = ref [] in
+  let replaced = ref false in
+  let ty_of_array a =
+    match Stmt.lookup_array p a with
+    | Some d -> d.Stmt.a_ty
+    | None -> Types.Tint
+  in
+  let rec go stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Stmt.For l when String.equal l.index index && not !replaced -> (
+          replaced := true;
+          match invariant_loads l with
+          | [] -> [ s ]
+          | sites ->
+            let bindings =
+              List.map
+                (fun (a, i) ->
+                  incr fresh_base;
+                  let name = Printf.sprintf "%s@scal%d" a !fresh_base in
+                  decls := (name, ty_of_array a) :: !decls;
+                  ((a, i), name))
+                sites
+            in
+            let rewrite e =
+              Expr.map
+                (fun e ->
+                  match e with
+                  | Expr.Load (a, i) -> (
+                    match
+                      List.find_opt
+                        (fun ((a', i'), _) ->
+                          String.equal a a' && Expr.equal i i')
+                        bindings
+                    with
+                    | Some (_, name) -> Expr.Var name
+                    | None -> e)
+                  | e -> e)
+                e
+            in
+            let preload =
+              List.map
+                (fun ((a, i), name) -> Stmt.Assign (name, Expr.Load (a, i)))
+                bindings
+            in
+            preload
+            @ [ Stmt.For { l with body = Stmt.map_exprs_list rewrite l.body } ])
+        | Stmt.For l -> [ Stmt.For { l with body = go l.body } ]
+        | Stmt.If (c, t, e) -> [ Stmt.If (c, go t, go e) ]
+        | Stmt.Assign _ | Stmt.Store _ -> [ s ])
+      stmts
+  in
+  let body = go p.body in
+  if not !replaced then Types.ir_error "no loop with index %s" index;
+  Stmt.add_locals { p with body } (List.rev !decls)

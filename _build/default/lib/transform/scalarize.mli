@@ -1,0 +1,10 @@
+(** Scalarization (§4.2): loads from loop-invariant addresses of arrays
+    the loop never stores to are performed once before the loop and
+    become register reads inside it, reducing the §6.1 memory-reference
+    pressure. *)
+
+open Uas_ir
+
+(** Scalarize the loop with this index.
+    @raise Ir_error when the loop is absent. *)
+val apply : Stmt.program -> index:string -> Stmt.program

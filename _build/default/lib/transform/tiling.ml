@@ -1,0 +1,73 @@
+(* Tiling (§3.3): replace a loop by a pair of loops — the outer tile
+   loop strides by [tile * step], the inner traverses one tile.  For a
+   single loop this preserves the iteration order exactly, so it is
+   always legal; the remainder tile is peeled when the trip count does
+   not divide (static bounds required then).
+
+   Tiling the outer loop of a nest by DS and fully unrolling the tile
+   loop is the alternative decomposition of unroll-and-jam the paper
+   describes at the end of §3.4 — tested for equivalence in the suite. *)
+
+open Uas_ir
+
+(** Tile loop [l] with tile size [tile].  The result is the replacement
+    statement list.  A fresh name for the tile index must be provided by
+    the caller (declared as an int). *)
+let tile_loop (l : Stmt.loop) ~tile ~tile_index : Stmt.t list =
+  if tile <= 0 then Types.ir_error "tile size must be positive";
+  if tile = 1 then [ Stmt.For l ]
+  else
+    match (Expr.simplify l.lo, Expr.simplify l.hi) with
+    | Expr.Int lo, Expr.Int hi ->
+      let trips = if hi <= lo then 0 else (hi - lo + l.step - 1) / l.step in
+      let keep = trips / tile * tile in
+      let tiled =
+        if keep = 0 then []
+        else
+          [ Stmt.For
+              { index = tile_index;
+                lo = Expr.Int lo;
+                hi = Expr.Int (lo + (keep * l.step));
+                step = l.step * tile;
+                body =
+                  [ Stmt.For
+                      { index = l.index;
+                        lo = Expr.Var tile_index;
+                        hi =
+                          Expr.Binop
+                            ( Types.Add,
+                              Expr.Var tile_index,
+                              Expr.Int (tile * l.step) );
+                        step = l.step;
+                        body = l.body } ] } ]
+      in
+      let remainder =
+        if trips = keep then []
+        else
+          [ Stmt.For
+              { l with lo = Expr.Int (lo + (keep * l.step));
+                       hi = Expr.Int hi } ]
+      in
+      tiled @ remainder
+    | _ -> Types.ir_error "tiling requires static bounds"
+
+(** Tile the loop with index [index] inside [p]; the tile index is
+    freshly named and declared. *)
+let apply (p : Stmt.program) ~index ~tile : Stmt.program =
+  let tile_index = Stmt.fresh_var p (index ^ "@tile") in
+  let replaced = ref false in
+  let rec go stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Stmt.For l when String.equal l.index index && not !replaced ->
+          replaced := true;
+          tile_loop l ~tile ~tile_index
+        | Stmt.For l -> [ Stmt.For { l with body = go l.body } ]
+        | Stmt.If (c, t, e) -> [ Stmt.If (c, go t, go e) ]
+        | Stmt.Assign _ | Stmt.Store _ -> [ s ])
+      stmts
+  in
+  let body = go p.body in
+  if not !replaced then Types.ir_error "no loop with index %s" index;
+  Stmt.add_locals { p with body } [ (tile_index, Types.Tint) ]

@@ -1,0 +1,13 @@
+(** Tiling (§3.3): replace one loop by a tile loop striding
+    [tile * step] over an inner traversal loop.  Order-preserving for a
+    single loop, hence always legal; remainder tiles are peeled. *)
+
+open Uas_ir
+
+(** Replacement statements.  @raise Ir_error on dynamic bounds with a
+    non-dividing tile. *)
+val tile_loop : Stmt.loop -> tile:int -> tile_index:string -> Stmt.t list
+
+(** Tile the loop with this index; the tile index is freshly named and
+    declared.  @raise Ir_error when absent. *)
+val apply : Stmt.program -> index:string -> tile:int -> Stmt.program

@@ -1,0 +1,97 @@
+(* Plain loop unrolling (§3.4): replace the body by [factor] copies,
+   copy k operating on index value [i + k*step].  The index stays a
+   single variable; copies substitute [i + k*step] for its uses.  A
+   non-divisible trip count leaves a remainder of peeled copies after
+   the loop (static bounds required in that case). *)
+
+open Uas_ir
+
+let subst_index index offset stmts =
+  if offset = 0 then stmts
+  else
+    let replacement =
+      Expr.simplify (Expr.Binop (Types.Add, Expr.Var index, Expr.Int offset))
+    in
+    Stmt.map_exprs_list
+      (Expr.subst_vars (fun v ->
+           if String.equal v index then Some replacement else None))
+      stmts
+
+(** Unroll [l] by [factor].  Returns the statements replacing the loop.
+    @raise Ir_error if the body writes scalars read across iterations in
+    a way unrolling cannot express — none: unrolling is always legal
+    for counted loops; only static bounds are needed for remainders. *)
+let unroll_loop (l : Stmt.loop) ~factor : Stmt.t list =
+  if factor <= 0 then Types.ir_error "unroll factor must be positive";
+  if factor = 1 then [ Stmt.For l ]
+  else
+    match (Expr.simplify l.lo, Expr.simplify l.hi) with
+    | Expr.Int lo, Expr.Int hi ->
+      let trips = if hi <= lo then 0 else (hi - lo + l.step - 1) / l.step in
+      let keep = trips / factor * factor in
+      let unrolled_body =
+        List.concat
+          (List.init factor (fun k -> subst_index l.index (k * l.step) l.body))
+      in
+      let main =
+        if keep = 0 then []
+        else
+          [ Stmt.For
+              { l with
+                hi = Expr.Int (lo + (keep * l.step));
+                step = l.step * factor;
+                body = unrolled_body } ]
+      in
+      let remainder =
+        List.concat
+          (List.init (trips - keep) (fun k ->
+               Stmt.Assign (l.index, Expr.Int (lo + ((keep + k) * l.step)))
+               :: l.body))
+      in
+      let fix_exit =
+        (* peeled copies leave the index one step short of the exit
+           value a full loop would produce *)
+        if trips > keep then
+          [ Stmt.Assign (l.index, Expr.Int (lo + (trips * l.step))) ]
+        else []
+      in
+      main @ remainder @ fix_exit
+    | _ ->
+      Types.ir_error "unrolling requires static bounds (got %s..%s)"
+        (Pp.expr_to_string l.lo) (Pp.expr_to_string l.hi)
+
+(** Fully unroll a loop with static bounds into straight-line copies.
+    Each copy binds the index explicitly so later reads see its value. *)
+let fully_unroll (l : Stmt.loop) : Stmt.t list =
+  match (Expr.simplify l.lo, Expr.simplify l.hi) with
+  | Expr.Int lo, Expr.Int hi ->
+    let trips = if hi <= lo then 0 else (hi - lo + l.step - 1) / l.step in
+    let bind_index k stmts =
+      Stmt.map_exprs_list
+        (Expr.subst_vars (fun v ->
+             if String.equal v l.index then Some (Expr.Int (lo + (k * l.step)))
+             else None))
+        (Stmt.map_exprs_list Expr.simplify stmts)
+    in
+    List.concat (List.init trips (fun k -> bind_index k l.body))
+    @ [ Stmt.Assign (l.index, Expr.Int (max lo (lo + (trips * l.step)))) ]
+  | _ -> Types.ir_error "full unrolling requires static bounds"
+
+(** Unroll the loop with index [index] inside [p]. *)
+let apply (p : Stmt.program) ~index ~factor : Stmt.program =
+  let replaced = ref false in
+  let rec go stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Stmt.For l when String.equal l.index index && not !replaced ->
+          replaced := true;
+          unroll_loop l ~factor
+        | Stmt.For l -> [ Stmt.For { l with body = go l.body } ]
+        | Stmt.If (c, t, e) -> [ Stmt.If (c, go t, go e) ]
+        | Stmt.Assign _ | Stmt.Store _ -> [ s ])
+      stmts
+  in
+  let body = go p.body in
+  if not !replaced then Types.ir_error "no loop with index %s" index;
+  { p with body }

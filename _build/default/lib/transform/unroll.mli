@@ -1,0 +1,19 @@
+(** Plain loop unrolling (§3.4): the body is replaced by [factor]
+    copies, copy k substituting [index + k*step] for index uses.
+    Non-dividing trip counts leave peeled remainder copies (static
+    bounds required then). *)
+
+open Uas_ir
+
+(** Statements replacing the unrolled loop.
+    @raise Ir_error when bounds are dynamic and the factor does not
+    divide. *)
+val unroll_loop : Stmt.loop -> factor:int -> Stmt.t list
+
+(** Fully unroll a static loop into straight-line copies (the tile-loop
+    step of the §3.4 jam decomposition). *)
+val fully_unroll : Stmt.loop -> Stmt.t list
+
+(** Unroll the (first) loop with this index inside the program.
+    @raise Ir_error when absent. *)
+val apply : Stmt.program -> index:string -> factor:int -> Stmt.program

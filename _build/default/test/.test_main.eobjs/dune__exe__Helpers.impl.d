@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Builder Fmt Interp List Pp QCheck Random Stmt Types Uas_analysis Uas_ir Validate

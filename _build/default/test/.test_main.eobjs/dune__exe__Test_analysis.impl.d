@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Builder Expr Fmt Hashtbl Helpers List Pp QCheck QCheck_alcotest Stmt String Types Uas_analysis Uas_ir Uas_transform

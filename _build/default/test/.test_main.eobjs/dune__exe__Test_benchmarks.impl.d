@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Fmt List Uas_bench_suite Uas_core Uas_ir Validate

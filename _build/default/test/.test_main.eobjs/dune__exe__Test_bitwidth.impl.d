@@ -1,0 +1,1 @@
+test/test_bitwidth.ml: Alcotest Array Builder Hashtbl Helpers List Printf QCheck QCheck_alcotest String Types Uas_analysis Uas_bench_suite Uas_dfg Uas_hw Uas_ir

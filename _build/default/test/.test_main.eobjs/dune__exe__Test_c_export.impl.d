@@ -1,0 +1,1 @@
+test/test_c_export.ml: Alcotest Array Builder C_export Filename Fun Helpers In_channel Interp Lazy List Printf Stmt String Sys Types Uas_analysis Uas_bench_suite Uas_ir Uas_transform

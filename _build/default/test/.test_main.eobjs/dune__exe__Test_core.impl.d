@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Lazy List Uas_bench_suite Uas_core Uas_hw Uas_ir

@@ -1,0 +1,1 @@
+test/test_decrypt.ml: Alcotest Array Interp List Printf Types Uas_analysis Uas_bench_suite Uas_ir Uas_transform

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Builder List Pp Printf QCheck QCheck_alcotest Stdlib Stmt String Types Uas_dfg Uas_ir

@@ -1,0 +1,1 @@
+test/test_extra_transforms.ml: Alcotest Builder Helpers Interp List Printf Stmt Types Uas_analysis Uas_dfg Uas_ir Uas_transform

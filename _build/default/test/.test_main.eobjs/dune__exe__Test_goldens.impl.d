@@ -1,0 +1,1 @@
+test/test_goldens.ml: Alcotest List Uas_bench_suite Uas_core Uas_hw

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Hashtbl Lazy List Printf Uas_bench_suite Uas_core Uas_hw

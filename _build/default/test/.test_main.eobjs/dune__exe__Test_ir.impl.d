@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Astring_contains Builder Expr Helpers Interp List Opinfo Pp QCheck QCheck_alcotest Stmt Types Uas_ir Validate

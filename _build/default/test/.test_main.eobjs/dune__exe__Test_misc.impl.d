@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Astring_contains Builder Expr Helpers Interp List Opinfo Option Pp Printf Stmt Types Uas_dfg Uas_hw Uas_ir Uas_transform

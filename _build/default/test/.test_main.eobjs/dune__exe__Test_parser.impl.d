@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Builder Expr Fmt Interp List Parser Pp QCheck QCheck_alcotest Stmt String Types Uas_analysis Uas_bench_suite Uas_ir Uas_transform Validate

@@ -1,0 +1,1 @@
+test/test_pipeline_sim.ml: Alcotest Array Expr Fmt Hashtbl Helpers Interp List QCheck QCheck_alcotest Stmt String Types Uas_analysis Uas_bench_suite Uas_dfg Uas_hw Uas_ir Uas_transform

@@ -1,0 +1,1 @@
+test/test_squash.ml: Alcotest Builder Helpers Interp List Printf QCheck QCheck_alcotest Stmt String Types Uas_analysis Uas_ir Uas_transform

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Builder Expr Helpers Interp List Printf QCheck QCheck_alcotest Stdlib Stmt Types Uas_analysis Uas_ir Uas_transform

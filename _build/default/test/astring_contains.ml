@@ -1,0 +1,12 @@
+(* Minimal substring search for test assertions (no external deps). *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else
+    let rec go i =
+      if i + m > n then false
+      else if String.sub s i m = sub then true
+      else go (i + 1)
+    in
+    go 0

@@ -1,0 +1,187 @@
+(* Shared fixtures and assertions for the test suites. *)
+
+open Uas_ir
+module B = Builder
+
+(* --- reference programs --- *)
+
+(* Figure 2.1: the f/g nested loop.  f and g are modeled as 1-cycle
+   ALU operations (f = add-and-mask, g = double-and-xor), preserving
+   the inter-iteration recurrence that blocks inner pipelining. *)
+let fg_loop ~m ~n : Stmt.program =
+  B.program "fg_loop"
+    ~locals:[ ("i", Types.Tint); ("j", Types.Tint); ("a", Types.Tint);
+              ("b", Types.Tint) ]
+    ~arrays:[ B.input "data_in" m; B.output "data_out" m ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.("a" <-- load "data_in" (v "i"));
+          B.for_ "j" ~hi:(B.int n)
+            [ B.("b" <-- band (v "a" + int 3) (int 255));
+              B.("a" <-- bxor (v "b" + v "b") (int 21)) ];
+          B.store "data_out" (B.v "i") (B.v "a") ]
+    ]
+
+(* Figure 4.1: the example used for the DFG/stage illustrations; uses
+   both loop indices and a loop-invariant scalar k. *)
+let ch4_loop ~m ~n : Stmt.program =
+  B.program "ch4_loop"
+    ~params:[ ("k", Types.Tint) ]
+    ~locals:[ ("i", Types.Tint); ("j", Types.Tint); ("a", Types.Tint);
+              ("b", Types.Tint); ("c", Types.Tint) ]
+    ~arrays:[ B.input "src" m; B.output "dst" m ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.("a" <-- load "src" (v "i"));
+          B.for_ "j" ~hi:(B.int n)
+            [ B.("b" <-- v "a" + v "i");
+              B.("c" <-- v "b" - v "j");
+              B.("a" <-- band (v "c") (int 15) * v "k") ];
+          B.store "dst" (B.v "i") (B.v "a") ]
+    ]
+
+(* A nest with memory accesses in the inner body (stream transform with
+   a per-block table), exercising memory legality and ResMII. *)
+let memory_loop ~m ~n : Stmt.program =
+  B.program "memory_loop"
+    ~locals:[ ("i", Types.Tint); ("j", Types.Tint); ("acc", Types.Tint);
+              ("t", Types.Tint) ]
+    ~arrays:[ B.input "src" (m * n); B.input "tab" 256; B.output "dst" m ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.("acc" <-- int 0);
+          B.for_ "j" ~hi:(B.int n)
+            [ B.("t" <-- load "src" ((v "i" * int n) + v "j"));
+              B.("acc" <-- v "acc" + load "tab" (band (bxor (v "t") (v "acc")) (int 255))) ];
+          B.store "dst" (B.v "i") (B.v "acc") ]
+    ]
+
+(* --- workloads --- *)
+
+let int_array rng len bound =
+  Array.init len (fun _ -> Types.VInt (Random.State.int rng bound))
+
+let float_array rng len =
+  Array.init len (fun _ ->
+      Types.VFloat (Random.State.float rng 2.0 -. 1.0))
+
+(** A random workload for [p]: random contents for every input array,
+    random small ints / unit floats for params. *)
+let random_workload ?(seed = 42) (p : Stmt.program) : Interp.workload =
+  let rng = Random.State.make [| seed |] in
+  let arrays =
+    List.filter_map
+      (fun (d : Stmt.array_decl) ->
+        match d.a_kind with
+        | Stmt.Input ->
+          Some
+            ( d.a_name,
+              match d.a_ty with
+              | Types.Tint -> int_array rng d.a_size 1024
+              | Types.Tfloat -> float_array rng d.a_size )
+        | Stmt.Output | Stmt.Local -> None)
+      p.arrays
+  in
+  let scalars =
+    List.map
+      (fun (v, ty) ->
+        ( v,
+          match ty with
+          | Types.Tint -> Types.VInt (1 + Random.State.int rng 7)
+          | Types.Tfloat -> Types.VFloat (Random.State.float rng 1.0) ))
+      p.params
+  in
+  Interp.workload ~scalars ~arrays ()
+
+(* --- assertions --- *)
+
+(** Check that [q] computes the same outputs as [p] on several random
+    workloads, and that [q] is well-formed. *)
+let assert_equivalent ?(seeds = [ 1; 2; 3 ]) ~msg (p : Stmt.program)
+    (q : Stmt.program) : unit =
+  (match Validate.errors q with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "%s: transformed program invalid:@\n%a@\n%a" msg
+      (Fmt.list Validate.pp_error) errs Pp.pp_program q);
+  List.iter
+    (fun seed ->
+      let w = random_workload ~seed p in
+      let r1 = Interp.run p w in
+      let r2 = Interp.run q w in
+      match Interp.diff_outputs r1 r2 with
+      | None -> ()
+      | Some d ->
+        Alcotest.failf "%s (seed %d): %s@\ntransformed:@\n%a" msg seed d
+          Pp.pp_program q)
+    seeds
+
+let nest_of (p : Stmt.program) outer_index =
+  Uas_analysis.Loop_nest.find_by_outer_index p outer_index
+
+(** qcheck arbitrary for small (m, n) loop sizes. *)
+let gen_sizes ~m_max ~n_max =
+  QCheck.(pair (int_range 1 m_max) (int_range 1 n_max))
+
+(* --- random legal nests for property tests ---
+
+   Generates programs of the squashable shape by construction: the
+   outer loop walks independent blocks (read-only inputs, the output
+   written at the block index), the inner body is random straight-line
+   integer code that only reads variables already defined (or the
+   pre-loaded live-ins and the loop indices). *)
+
+let gen_nest_program : Stmt.program QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let m = int_range 1 10 st in
+  let n = int_range 1 6 st in
+  let vars = [| "a"; "b"; "c"; "d" |] in
+  (* a and b are pre-loaded; c, d must be defined before use *)
+  let defined = ref [ "a"; "b" ] in
+  let rec gen_expr depth st =
+    let leaf () =
+      match int_range 0 4 st with
+      | 0 -> B.int (int_range (-20) 100 st)
+      | 1 -> B.v "i"
+      | 2 -> B.v "j"
+      | _ ->
+        let candidates = !defined in
+        B.v (List.nth candidates (int_range 0 (List.length candidates - 1) st))
+    in
+    if depth = 0 then leaf ()
+    else begin
+      let d = depth - 1 in
+      let sub () = gen_expr d st in
+      match int_range 0 7 st with
+      | 0 -> B.(sub () + sub ())
+      | 1 -> B.(sub () - sub ())
+      | 2 -> B.(band (sub ()) (int (int_range 1 4095 st)))
+      | 3 -> B.(bxor (sub ()) (sub ()))
+      | 4 -> B.(sub () * int (int_range 0 9 st))
+      | 5 -> B.(shr (sub ()) (int (int_range 0 6 st)))
+      | 6 -> B.select B.(sub () < sub ()) (sub ()) (sub ())
+      | _ ->
+        (* read-only table lookup with a masked index *)
+        B.load "tab" (B.band (sub ()) (B.int 63))
+    end
+  in
+  let n_stmts = int_range 1 6 st in
+  let body =
+    List.init n_stmts (fun _ ->
+        let dst = vars.(int_range 0 3 st) in
+        let e = gen_expr (int_range 1 3 st) st in
+        if not (List.mem dst !defined) then defined := dst :: !defined;
+        B.(dst <-- e))
+  in
+  B.program "gen_nest"
+    ~locals:
+      ([ ("i", Types.Tint); ("j", Types.Tint) ]
+      @ Array.to_list (Array.map (fun v -> (v, Types.Tint)) vars))
+    ~arrays:[ B.input "src" m; B.input "tab" 64; B.output "dst" m ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.("a" <-- load "src" (v "i"));
+          B.("b" <-- bxor (v "a") (int 5));
+          B.for_ "j" ~hi:(B.int n) body;
+          B.store "dst" (B.v "i") (B.v "a") ]
+    ]
+
+let arbitrary_nest_program =
+  QCheck.make gen_nest_program ~print:Pp.program_to_string

@@ -1,0 +1,161 @@
+(* The Table 6.1 benchmark suite: known-answer tests for the host
+   implementations, IR-vs-host equivalence, and — the heart of the
+   reproduction — every transformed version of every benchmark must
+   reproduce the reference outputs bit-for-bit. *)
+
+open Uas_ir
+module S = Uas_bench_suite
+module N = Uas_core.Nimble
+
+(* --- host known-answer tests --- *)
+
+let test_skipjack_kat () =
+  let got =
+    S.Skipjack.encrypt_block ~key:S.Skipjack.kat_key
+      ( S.Skipjack.kat_plaintext_words.(0),
+        S.Skipjack.kat_plaintext_words.(1),
+        S.Skipjack.kat_plaintext_words.(2),
+        S.Skipjack.kat_plaintext_words.(3) )
+  in
+  let w1, w2, w3, w4 = got in
+  Alcotest.(check (list int))
+    "official Skipjack test vector"
+    (Array.to_list S.Skipjack.kat_ciphertext_words)
+    [ w1; w2; w3; w4 ]
+
+let test_des_kat () =
+  let got = S.Des.encrypt_block ~key64:S.Des.kat_key S.Des.kat_plaintext in
+  Alcotest.(check int64) "textbook DES test vector" S.Des.kat_ciphertext got
+
+let test_des_spbox_matches_sbox () =
+  (* the combined SP-boxes must agree with direct S-box + P lookup *)
+  for b = 0 to 7 do
+    for v = 0 to 63 do
+      let direct =
+        S.Des.permute ~in_width:32 S.Des.p_table
+          (S.Des.sbox_lookup b v lsl (28 - (4 * b)))
+      in
+      if S.Des.spbox.(b).(v) <> direct then
+        Alcotest.failf "spbox(%d)(%d) mismatch" b v
+    done
+  done
+
+let test_skipjack_f_table_is_permutation () =
+  let seen = Array.make 256 false in
+  Array.iter (fun x -> seen.(x) <- true) S.Skipjack.f_table;
+  Alcotest.(check bool) "F is a 256-permutation" true
+    (Array.for_all (fun b -> b) seen)
+
+(* --- IR vs host --- *)
+
+let test_reference_outputs () =
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      match S.Registry.check_against_reference b b.S.Registry.b_program with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" b.S.Registry.b_name m)
+    (S.Registry.all ())
+
+let test_benchmarks_validate () =
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      match Validate.errors b.S.Registry.b_program with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "%s: %a" b.S.Registry.b_name
+          (Fmt.list Validate.pp_error) errs)
+    (S.Registry.all ())
+
+(* --- every paper version of every benchmark stays correct --- *)
+
+let test_all_versions_verified () =
+  (* smaller instances keep the interpreter fast; factors up to 16 need
+     m >= 16 *)
+  let benches =
+    [ S.Registry.skipjack_mem ~m:16 ();
+      S.Registry.skipjack_hw ~m:16 ();
+      S.Registry.des_mem ~m:16 ();
+      S.Registry.des_hw ~m:16 ();
+      S.Registry.iir ~channels:16 () ]
+  in
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      let rows =
+        N.sweep b.S.Registry.b_program
+          ~outer_index:b.S.Registry.b_outer_index
+          ~inner_index:b.S.Registry.b_inner_index
+      in
+      Alcotest.(check int)
+        (b.S.Registry.b_name ^ " all versions built")
+        (List.length N.paper_versions)
+        (List.length rows);
+      List.iter
+        (fun (version, built, _report) ->
+          match
+            S.Registry.check_against_reference b built.N.bv_program
+          with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "%s %s: %s" b.S.Registry.b_name
+              (N.version_name version) m)
+        rows)
+    benches
+
+let test_versions_with_peeling () =
+  (* block counts that are not multiples of the factors *)
+  let b = S.Registry.skipjack_mem ~m:19 () in
+  let rows =
+    N.sweep b.S.Registry.b_program ~outer_index:"i" ~inner_index:"j"
+      ~versions:[ N.Squashed 4; N.Jammed 4; N.Squashed 16 ]
+  in
+  Alcotest.(check int) "all built" 3 (List.length rows);
+  List.iter
+    (fun (version, built, _) ->
+      match S.Registry.check_against_reference b built.N.bv_program with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" (N.version_name version) m)
+    rows
+
+(* --- profiling study --- *)
+
+let test_profile_hot_loops_dominate () =
+  let rows = S.Profile.table () in
+  Alcotest.(check int) "six applications" 6 (List.length rows);
+  List.iter
+    (fun (r : S.Profile.row) ->
+      Alcotest.(check bool)
+        (r.S.Profile.row_app ^ " hot loops cover most time")
+        true
+        (r.S.Profile.hot_percent > 80.0);
+      let paper_loops, _, _ = r.S.Profile.paper in
+      Alcotest.(check int)
+        (r.S.Profile.row_app ^ " static loop count")
+        paper_loops r.S.Profile.loops)
+    rows
+
+let test_profile_few_loops_hot () =
+  List.iter
+    (fun (r : S.Profile.row) ->
+      Alcotest.(check bool)
+        (r.S.Profile.row_app ^ " only a few loops are hot")
+        true
+        (r.S.Profile.hot_loops <= 16))
+    (S.Profile.table ())
+
+let suite =
+  [ Alcotest.test_case "skipjack KAT" `Quick test_skipjack_kat;
+    Alcotest.test_case "DES KAT" `Quick test_des_kat;
+    Alcotest.test_case "DES SP-boxes" `Quick test_des_spbox_matches_sbox;
+    Alcotest.test_case "skipjack F permutation" `Quick
+      test_skipjack_f_table_is_permutation;
+    Alcotest.test_case "IR matches host references" `Quick
+      test_reference_outputs;
+    Alcotest.test_case "benchmarks validate" `Quick test_benchmarks_validate;
+    Alcotest.test_case "all versions verified" `Slow
+      test_all_versions_verified;
+    Alcotest.test_case "versions with peeling" `Slow
+      test_versions_with_peeling;
+    Alcotest.test_case "profile hot loops dominate" `Quick
+      test_profile_hot_loops_dominate;
+    Alcotest.test_case "profile few loops hot" `Quick
+      test_profile_few_loops_hot ]

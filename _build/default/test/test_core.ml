@@ -1,0 +1,110 @@
+(* The driver layer: version construction (including the §2 combined
+   jam+squash), experiment tables, figure series, and benchmark
+   registry plumbing. *)
+
+module S = Uas_bench_suite
+module N = Uas_core.Nimble
+module E = Uas_core.Experiments
+module Estimate = Uas_hw.Estimate
+
+let bench = lazy (S.Registry.skipjack_hw ~m:16 ())
+
+let row =
+  lazy
+    (E.run_benchmark ~verify:false (Lazy.force bench))
+
+let test_version_names () =
+  List.iter
+    (fun (v, s) -> Alcotest.(check string) s s (N.version_name v))
+    [ (N.Original, "original");
+      (N.Pipelined, "pipelined");
+      (N.Squashed 8, "squash(8)");
+      (N.Jammed 4, "jam(4)");
+      (N.Combined (2, 4), "jam(2)+squash(4)") ]
+
+let test_combined_version_verified () =
+  let b = Lazy.force bench in
+  List.iter
+    (fun (j, s) ->
+      let built =
+        N.build_version b.S.Registry.b_program ~outer_index:"i"
+          ~inner_index:"j" (N.Combined (j, s))
+      in
+      match S.Registry.check_against_reference b built.N.bv_program with
+      | Ok () -> ()
+      | Error m ->
+        Alcotest.failf "combined jam(%d)+squash(%d): %s" j s m)
+    [ (2, 2); (2, 4); (4, 2) ]
+
+let test_combined_beats_jam_alone () =
+  (* §2: jam(2)+squash(2) reaches ~4x speedup for ~2x operators *)
+  let b = Lazy.force bench in
+  let est v =
+    N.estimate
+      (N.build_version b.S.Registry.b_program ~outer_index:"i"
+         ~inner_index:"j" v)
+  in
+  let base = est N.Original in
+  let jam2 = est (N.Jammed 2) in
+  let combo = est (N.Combined (2, 2)) in
+  Alcotest.(check bool) "combined ops close to jam ops" true
+    (combo.Estimate.r_operators <= jam2.Estimate.r_operators + 1);
+  let speedup r =
+    float_of_int base.Estimate.r_total_cycles
+    /. float_of_int r.Estimate.r_total_cycles
+  in
+  Alcotest.(check bool) "combined faster than jam(2)" true
+    (speedup combo > speedup jam2)
+
+let test_figures_consistent_with_table () =
+  let r = Lazy.force row in
+  let norm = E.normalize r in
+  let fig = List.assoc "Skipjack-hw" (E.figure_6_1 [ r ]) in
+  List.iter2
+    (fun n (v, x) ->
+      Alcotest.(check bool) "same version order" true (n.E.n_version = v);
+      Alcotest.(check (float 1e-9)) "speedup matches" n.E.n_speedup x)
+    norm fig;
+  let eff = List.assoc "Skipjack-hw" (E.figure_6_3 [ r ]) in
+  List.iter2
+    (fun n (_, x) ->
+      Alcotest.(check (float 1e-9)) "efficiency = speedup/area"
+        (n.E.n_speedup /. n.E.n_area) x)
+    norm eff
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds by name" true
+    (S.Registry.find "skipjack-MEM" <> None);
+  Alcotest.(check bool) "unknown is None" true (S.Registry.find "nope" = None);
+  Alcotest.(check int) "five benchmarks" 5 (List.length (S.Registry.all ()))
+
+let test_sweep_drops_illegal () =
+  (* a nest with an outer-carried scalar yields only the untransformed
+     versions *)
+  let open Uas_ir.Builder in
+  let p =
+    program "acc"
+      ~locals:
+        [ ("i", Uas_ir.Types.Tint); ("j", Uas_ir.Types.Tint);
+          ("s", Uas_ir.Types.Tint) ]
+      ~arrays:[ input "a" 8; output "o" 8 ]
+      [ ("s" <-- int 0);
+        for_ "i" ~hi:(int 8)
+          [ for_ "j" ~hi:(int 4) [ "s" <-- v "s" + load "a" (v "i") ];
+            store "o" (v "i") (v "s") ] ]
+  in
+  let rows = N.sweep p ~outer_index:"i" ~inner_index:"j" in
+  let names = List.map (fun (v, _, _) -> N.version_name v) rows in
+  Alcotest.(check (list string)) "only original and pipelined"
+    [ "original"; "pipelined" ] names
+
+let suite =
+  [ Alcotest.test_case "version names" `Quick test_version_names;
+    Alcotest.test_case "combined versions verified" `Slow
+      test_combined_version_verified;
+    Alcotest.test_case "combined beats jam alone" `Quick
+      test_combined_beats_jam_alone;
+    Alcotest.test_case "figures match tables" `Quick
+      test_figures_consistent_with_table;
+    Alcotest.test_case "registry find" `Quick test_registry_find;
+    Alcotest.test_case "sweep drops illegal" `Quick test_sweep_drops_illegal ]

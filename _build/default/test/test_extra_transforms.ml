@@ -1,0 +1,306 @@
+(* The enabling/auxiliary transformations added beyond the core set:
+   loop interchange, distribution, invariant code motion and
+   scalarization — equivalence plus the structural facts each one
+   promises. *)
+
+open Uas_ir
+module T = Uas_transform
+module B = Builder
+
+(* --- interchange --- *)
+
+let matrix_copy ~m ~n =
+  B.program "mcopy"
+    ~locals:[ ("i", Types.Tint); ("j", Types.Tint) ]
+    ~arrays:[ B.input "a" (m * n); B.output "b" (m * n) ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.for_ "j" ~hi:(B.int n)
+            [ B.store "b"
+                B.((v "i" * int n) + v "j")
+                (B.load "a" B.((v "i" * int n) + v "j")) ] ] ]
+
+let test_interchange_equivalence () =
+  let p = matrix_copy ~m:4 ~n:6 in
+  let q = T.Interchange.apply p ~outer_index:"i" in
+  Helpers.assert_equivalent ~msg:"interchange" p q;
+  (* the loops really did swap *)
+  (match q.Stmt.body with
+  | [ Stmt.For l ] -> Alcotest.(check string) "outer is j" "j" l.Stmt.index
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_interchange_rejects_imperfect () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  match T.Interchange.apply p ~outer_index:"i" with
+  | exception T.Interchange.Interchange_error T.Interchange.Not_perfect -> ()
+  | _ -> Alcotest.fail "expected Not_perfect"
+
+let test_interchange_rejects_carried () =
+  (* b[i][j] = b[i-1][j] + 1 carries along i: interchange would be
+     illegal if a dependence were also carried along j; our checker is
+     conservative and rejects any carried dependence *)
+  let n = 5 in
+  let p =
+    B.program "carried"
+      ~locals:[ ("i", Types.Tint); ("j", Types.Tint) ]
+      ~arrays:[ B.local_array "b" (n * n); B.output "o" (n * n) ]
+      [ B.for_ "i" ~lo:(B.int 1) ~hi:(B.int n)
+          [ B.for_ "j" ~hi:(B.int n)
+              [ B.store "b"
+                  B.((v "i" * int n) + v "j")
+                  B.(load "b" (((v "i" - int 1) * int n) + v "j") + int 1) ] ]
+      ]
+  in
+  match T.Interchange.apply p ~outer_index:"i" with
+  | exception T.Interchange.Interchange_error (T.Interchange.Carried_dependence _)
+    -> ()
+  | _ -> Alcotest.fail "expected Carried_dependence"
+
+(* --- distribution --- *)
+
+let test_distribute_equivalence () =
+  let m = 8 in
+  let p =
+    B.program "dist"
+      ~locals:[ ("j", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ B.input "a" m; B.output "b" m; B.output "c" m ]
+      [ B.for_ "j" ~hi:(B.int m)
+          [ B.store "b" (B.v "j") B.(load "a" (v "j") + int 1);
+            B.store "c" (B.v "j") B.(load "a" (v "j") * int 3) ] ]
+  in
+  let q = T.Distribute.apply p ~index:"j" ~cut:1 in
+  Helpers.assert_equivalent ~msg:"distribute" p q;
+  let loops =
+    Stmt.fold_list
+      (fun k s -> match s with Stmt.For _ -> k + 1 | _ -> k)
+      0 q.Stmt.body
+  in
+  Alcotest.(check int) "two loops" 2 loops
+
+let test_distribute_then_fuse_roundtrip () =
+  let m = 8 in
+  let p =
+    B.program "rt"
+      ~locals:[ ("j", Types.Tint) ]
+      ~arrays:[ B.input "a" m; B.output "b" m; B.output "c" m ]
+      [ B.for_ "j" ~hi:(B.int m)
+          [ B.store "b" (B.v "j") (B.load "a" (B.v "j"));
+            B.store "c" (B.v "j") (B.load "a" (B.v "j")) ] ]
+  in
+  let q = T.Distribute.apply p ~index:"j" ~cut:1 in
+  match T.Fusion.apply_first q with
+  | None -> Alcotest.fail "fusion should re-merge"
+  | Some r ->
+    Helpers.assert_equivalent ~msg:"distribute+fuse" p r;
+    Alcotest.(check bool) "same program" true
+      (Stmt.equal_list p.Stmt.body r.Stmt.body)
+
+let test_distribute_rejects_scalar_flow () =
+  let p =
+    B.program "flow"
+      ~locals:[ ("j", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ B.input "a" 8; B.output "b" 8 ]
+      [ B.for_ "j" ~hi:(B.int 8)
+          [ B.("x" <-- load "a" (v "j"));
+            B.store "b" (B.v "j") (B.v "x") ] ]
+  in
+  match T.Distribute.apply p ~index:"j" ~cut:1 with
+  | exception T.Distribute.Distribute_error (T.Distribute.Scalar_flow "x") -> ()
+  | exception T.Distribute.Distribute_error _ -> ()
+  | _ -> Alcotest.fail "expected Scalar_flow"
+
+let test_distribute_rejects_backward_array_flow () =
+  (* the second statement's write at iteration j feeds the first
+     statement's read at iteration j+1: distribution would run all the
+     reads before any write and observe stale values *)
+  let p =
+    B.program "backflow"
+      ~locals:[ ("j", Types.Tint) ]
+      ~arrays:[ B.local_array "a" 10; B.output "b" 10 ]
+      [ B.for_ "j" ~hi:(B.int 8)
+          [ B.store "b" (B.v "j") (B.load "a" (B.v "j"));
+            B.store "a" B.(v "j" + int 1) (B.v "j") ] ]
+  in
+  match T.Distribute.apply p ~index:"j" ~cut:1 with
+  | exception T.Distribute.Distribute_error (T.Distribute.Array_flow _) -> ()
+  | _ -> Alcotest.fail "expected Array_flow"
+
+(* --- hoisting --- *)
+
+let test_hoist_equivalence_and_motion () =
+  let p =
+    B.program "hoist"
+      ~params:[ ("k", Types.Tint) ]
+      ~locals:
+        [ ("j", Types.Tint); ("c", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ B.input "a" 8; B.input "t" 4; B.output "b" 8 ]
+      [ B.for_ "j" ~hi:(B.int 8)
+          [ B.("c" <-- load "t" (int 2) * v "k");  (* invariant *)
+            B.("x" <-- load "a" (v "j") + v "c");
+            B.store "b" (B.v "j") (B.v "x") ] ]
+  in
+  let q = T.Hoist.apply p in
+  Helpers.assert_equivalent ~msg:"hoist" p q;
+  (* the invariant assignment left the loop *)
+  let in_loop =
+    Stmt.fold_list
+      (fun acc s ->
+        match s with Stmt.For l -> acc + List.length l.Stmt.body | _ -> acc)
+      0 q.Stmt.body
+  in
+  Alcotest.(check int) "loop body shrank" 2 in_loop;
+  (* and the loop's memory traffic went down *)
+  let mem stmts = Stmt.memory_reference_count stmts in
+  let loop_mem prog =
+    Stmt.fold_list
+      (fun acc s -> match s with Stmt.For l -> acc + mem l.Stmt.body | _ -> acc)
+      0 prog.Stmt.body
+  in
+  Alcotest.(check bool) "fewer loads inside" true (loop_mem q < loop_mem p)
+
+let test_hoist_keeps_variant () =
+  let p =
+    B.program "novariant"
+      ~locals:[ ("j", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ B.input "a" 8; B.output "b" 8 ]
+      [ B.for_ "j" ~hi:(B.int 8)
+          [ B.("x" <-- load "a" (v "j"));  (* depends on j *)
+            B.store "b" (B.v "j") (B.v "x") ] ]
+  in
+  let q = T.Hoist.apply p in
+  Alcotest.(check bool) "unchanged" true
+    (Stmt.equal_list p.Stmt.body q.Stmt.body)
+
+(* --- scalarization --- *)
+
+let test_scalarize_equivalence () =
+  let p =
+    B.program "scal"
+      ~params:[ ("base", Types.Tint) ]
+      ~locals:[ ("j", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ B.input "a" 8; B.input "coef" 4; B.output "b" 8 ]
+      [ B.for_ "j" ~hi:(B.int 8)
+          [ B.("x" <-- load "a" (v "j") * load "coef" (int 1) + load "coef" (int 1));
+            B.store "b" (B.v "j") (B.v "x") ] ]
+  in
+  let q = T.Scalarize.apply p ~index:"j" in
+  Helpers.assert_equivalent ~msg:"scalarize" p q;
+  (* two occurrences of coef[1] collapsed into one pre-loop load *)
+  let loop_mem prog =
+    Stmt.fold_list
+      (fun acc s ->
+        match s with
+        | Stmt.For l -> acc + Stmt.memory_reference_count l.Stmt.body
+        | _ -> acc)
+      0 prog.Stmt.body
+  in
+  Alcotest.(check int) "loads in loop" 2 (loop_mem q)
+
+let test_scalarize_skips_stored_arrays () =
+  let p =
+    B.program "scal2"
+      ~locals:[ ("j", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ B.local_array "buf" 8; B.output "b" 8 ]
+      [ B.for_ "j" ~hi:(B.int 8)
+          [ B.("x" <-- load "buf" (int 0));
+            B.store "buf" (B.int 0) B.(v "x" + int 1);
+            B.store "b" (B.v "j") (B.v "x") ] ]
+  in
+  let q = T.Scalarize.apply p ~index:"j" in
+  Helpers.assert_equivalent ~msg:"scalarize stored" p q;
+  Alcotest.(check bool) "unchanged" true
+    (Stmt.equal_list p.Stmt.body q.Stmt.body)
+
+let test_scalarize_improves_skipjack () =
+  (* the Skipjack-mem F-table index varies, but hoisting+scalarizing a
+     synthetic invariant key fetch shows the ResMII drop *)
+  let p =
+    B.program "keyload"
+      ~locals:
+        [ ("i", Types.Tint); ("j", Types.Tint); ("w", Types.Tint);
+          ("k0", Types.Tint) ]
+      ~arrays:[ B.input "data" 8; B.input "key" 4; B.output "out" 8 ]
+      [ B.for_ "i" ~hi:(B.int 8)
+          [ B.("w" <-- load "data" (v "i"));
+            B.for_ "j" ~hi:(B.int 4)
+              [ B.("w" <-- bxor (v "w" + load "key" (int 3)) (int 99)) ];
+            B.store "out" (B.v "i") (B.v "w") ] ]
+  in
+  let q = T.Scalarize.apply p ~index:"j" in
+  Helpers.assert_equivalent ~msg:"scalarize key" p q;
+  let kernel prog =
+    let nest = Uas_analysis.Loop_nest.find_by_outer_index prog "i" in
+    let g, _ = Uas_dfg.Build.build ~inner_index:"j" nest.Uas_analysis.Loop_nest.inner_body in
+    Uas_dfg.Graph.memory_op_count g
+  in
+  Alcotest.(check int) "memory refs before" 1 (kernel p);
+  Alcotest.(check int) "memory refs after" 0 (kernel q)
+
+let base_suite =
+  [ Alcotest.test_case "interchange equivalence" `Quick
+      test_interchange_equivalence;
+    Alcotest.test_case "interchange rejects imperfect" `Quick
+      test_interchange_rejects_imperfect;
+    Alcotest.test_case "interchange rejects carried" `Quick
+      test_interchange_rejects_carried;
+    Alcotest.test_case "distribute equivalence" `Quick
+      test_distribute_equivalence;
+    Alcotest.test_case "distribute+fuse roundtrip" `Quick
+      test_distribute_then_fuse_roundtrip;
+    Alcotest.test_case "distribute rejects scalar flow" `Quick
+      test_distribute_rejects_scalar_flow;
+    Alcotest.test_case "distribute rejects array backflow" `Quick
+      test_distribute_rejects_backward_array_flow;
+    Alcotest.test_case "hoist equivalence" `Quick
+      test_hoist_equivalence_and_motion;
+    Alcotest.test_case "hoist keeps variant" `Quick test_hoist_keeps_variant;
+    Alcotest.test_case "scalarize equivalence" `Quick
+      test_scalarize_equivalence;
+    Alcotest.test_case "scalarize skips stored arrays" `Quick
+      test_scalarize_skips_stored_arrays;
+    Alcotest.test_case "scalarize removes kernel loads" `Quick
+      test_scalarize_improves_skipjack ]
+
+(* --- flattening --- *)
+
+let test_flatten_equivalence () =
+  List.iter
+    (fun (m, n) ->
+      let p = matrix_copy ~m ~n in
+      let q = T.Flatten.apply p ~outer_index:"i" in
+      Helpers.assert_equivalent
+        ~msg:(Printf.sprintf "flatten m=%d n=%d" m n)
+        p q;
+      (* a single loop remains *)
+      let loops =
+        Stmt.fold_list
+          (fun k s -> match s with Stmt.For _ -> k + 1 | _ -> k)
+          0 q.Stmt.body
+      in
+      Alcotest.(check int) "one loop" 1 loops)
+    [ (4, 6); (1, 5); (5, 1); (3, 3) ]
+
+let test_flatten_rejects_imperfect () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  match T.Flatten.apply p ~outer_index:"i" with
+  | exception T.Flatten.Flatten_error T.Flatten.Not_perfect -> ()
+  | _ -> Alcotest.fail "expected Not_perfect"
+
+let test_flatten_concentrates_time () =
+  (* the flattening motivation in §5.2: all execution time lands in one
+     loop *)
+  let p = matrix_copy ~m:6 ~n:8 in
+  let q = T.Flatten.apply p ~outer_index:"i" in
+  let r = Interp.run q (Helpers.random_workload q) in
+  let reports = Interp.loop_reports r in
+  Alcotest.(check int) "one profiled loop" 1 (List.length reports);
+  Alcotest.(check bool) "it dominates" true
+    ((List.hd reports).Interp.lr_fraction > 0.95)
+
+let extra_suite_flatten =
+  [ Alcotest.test_case "flatten equivalence" `Quick test_flatten_equivalence;
+    Alcotest.test_case "flatten rejects imperfect" `Quick
+      test_flatten_rejects_imperfect;
+    Alcotest.test_case "flatten concentrates time" `Quick
+      test_flatten_concentrates_time ]
+
+let suite = base_suite @ extra_suite_flatten

@@ -1,0 +1,252 @@
+(* The IR substrate: expression algebra, the constant folder, the
+   validator and the interpreter. *)
+
+open Uas_ir
+module B = Builder
+
+(* --- expression simplification --- *)
+
+let expr_testable =
+  Alcotest.testable Pp.pp_expr Expr.equal
+
+let test_simplify_folds () =
+  let cases =
+    [ (B.(int 2 + int 3), Expr.Int 5);
+      (B.(int 10 * int 0), Expr.Int 0);
+      (B.(v "x" + int 0), Expr.Var "x");
+      (B.(v "x" * int 1), Expr.Var "x");
+      (B.(int 0 + v "x"), Expr.Var "x");
+      (B.(v "x" - int 0), Expr.Var "x");
+      (B.(band (v "x") (int (-1))), Expr.Var "x");
+      (B.(bor (v "x") (int 0)), Expr.Var "x");
+      (B.(bxor (v "x") (int 0)), Expr.Var "x");
+      (B.(shl (v "x") (int 0)), Expr.Var "x");
+      (B.(select (int 1) (v "a") (v "b")), Expr.Var "a");
+      (B.(select (int 0) (v "a") (v "b")), Expr.Var "b");
+      (B.(int 7 % int 3), Expr.Int 1);
+      (B.(shl (int 3) (int 4)), Expr.Int 48);
+      (B.(int 1 < int 2), Expr.Int 1);
+      (B.(flt 1.5 +. flt 2.5), Expr.Float 4.0) ]
+  in
+  List.iter
+    (fun (e, expected) ->
+      Alcotest.check expr_testable (Pp.expr_to_string e) expected
+        (Expr.simplify e))
+    cases
+
+let test_simplify_keeps_loads () =
+  (* x * 0 must NOT fold to 0 when x contains a memory load: the load
+     has an observable cost and could fault *)
+  let e = B.(load "a" (v "i") * int 0) in
+  Alcotest.(check bool) "load preserved" true
+    (Expr.has_load (Expr.simplify e))
+
+let test_div_by_zero_not_folded () =
+  let e = B.(int 1 / int 0) in
+  Alcotest.check expr_testable "1/0 untouched" e (Expr.simplify e)
+
+let test_qcheck_simplify_sound =
+  (* random integer expressions evaluate the same before and after *)
+  let rec gen_expr depth st =
+    if depth = 0 then
+      if QCheck.Gen.bool st then Expr.Int (QCheck.Gen.int_range (-50) 50 st)
+      else Expr.Var [| "x"; "y"; "z" |].(QCheck.Gen.int_range 0 2 st)
+    else
+      match QCheck.Gen.int_range 0 6 st with
+      | 0 -> Expr.Binop (Types.Add, gen_expr (depth - 1) st, gen_expr (depth - 1) st)
+      | 1 -> Expr.Binop (Types.Sub, gen_expr (depth - 1) st, gen_expr (depth - 1) st)
+      | 2 -> Expr.Binop (Types.Mul, gen_expr (depth - 1) st, gen_expr (depth - 1) st)
+      | 3 -> Expr.Binop (Types.BAnd, gen_expr (depth - 1) st, gen_expr (depth - 1) st)
+      | 4 -> Expr.Binop (Types.BXor, gen_expr (depth - 1) st, gen_expr (depth - 1) st)
+      | 5 -> Expr.Unop (Types.Neg, gen_expr (depth - 1) st)
+      | _ -> Expr.Select (gen_expr (depth - 1) st, gen_expr (depth - 1) st,
+                          gen_expr (depth - 1) st)
+  in
+  let arb = QCheck.make (gen_expr 4) ~print:Pp.expr_to_string in
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:200 arb
+    (fun e ->
+      let p =
+        B.program "t"
+          ~locals:
+            [ ("x", Types.Tint); ("y", Types.Tint); ("z", Types.Tint);
+              ("r", Types.Tint) ]
+          ~arrays:[ B.output "out" 1 ]
+          [ B.("x" <-- int 3); B.("y" <-- int (-7)); B.("z" <-- int 11);
+            B.("r" <-- e); B.store "out" (B.int 0) (B.v "r") ]
+      in
+      let q = { p with Stmt.body = Stmt.map_exprs_list Expr.simplify p.Stmt.body } in
+      Interp.outputs_equal
+        (Interp.run p (Interp.workload ()))
+        (Interp.run q (Interp.workload ())))
+
+(* --- operator metadata --- *)
+
+let test_opinfo_total () =
+  (* every operator kind has positive delay/area except moves/consts *)
+  let kinds =
+    List.map (fun o -> Opinfo.Op_binop o) Types.all_binops
+    @ List.map (fun o -> Opinfo.Op_unop o) Types.all_unops
+    @ [ Opinfo.Op_load; Opinfo.Op_store; Opinfo.Op_rom; Opinfo.Op_select ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Opinfo.op_kind_name k ^ " delay > 0")
+        true
+        (Opinfo.default_delay k > 0);
+      Alcotest.(check bool)
+        (Opinfo.op_kind_name k ^ " area > 0")
+        true
+        (Opinfo.default_area k > 0))
+    kinds;
+  Alcotest.(check int) "move delay" 0 (Opinfo.default_delay Opinfo.Op_move);
+  Alcotest.(check int) "const area" 0 (Opinfo.default_area Opinfo.Op_const)
+
+(* --- validator --- *)
+
+let valid_base () =
+  B.program "ok"
+    ~locals:[ ("i", Types.Tint); ("x", Types.Tint) ]
+    ~arrays:[ B.input "a" 4; B.output "b" 4 ]
+    [ B.for_ "i" ~hi:(B.int 4)
+        [ B.("x" <-- load "a" (v "i")); B.store "b" (B.v "i") (B.v "x") ] ]
+
+let test_validator_accepts () =
+  Alcotest.(check bool) "valid" true (Validate.is_valid (valid_base ()))
+
+let test_validator_rejects () =
+  let base = valid_base () in
+  let broken =
+    [ ("undeclared scalar",
+       { base with Stmt.body = B.("q" <-- int 1) :: base.Stmt.body });
+      ("undeclared array",
+       { base with Stmt.body = B.store "nope" (B.int 0) (B.int 1) :: base.Stmt.body });
+      ("type mismatch",
+       { base with Stmt.body = B.("x" <-- flt 1.0) :: base.Stmt.body });
+      ("float index",
+       { base with
+         Stmt.locals = ("f", Types.Tfloat) :: base.Stmt.locals;
+         body = B.("x" <-- load "a" (v "f")) :: base.Stmt.body });
+      ("bad loop step",
+       { base with
+         Stmt.body =
+           [ Stmt.For
+               { index = "i"; lo = B.int 0; hi = B.int 4; step = 0;
+                 body = [] } ] });
+      ("index assigned in loop",
+       { base with
+         Stmt.body =
+           [ Stmt.For
+               { index = "i"; lo = B.int 0; hi = B.int 4; step = 1;
+                 body = [ B.("i" <-- int 0) ] } ] });
+      ("duplicate scalar",
+       { base with Stmt.locals = ("x", Types.Tint) :: base.Stmt.locals });
+      ("float condition",
+       { base with
+         Stmt.locals = ("f", Types.Tfloat) :: base.Stmt.locals;
+         body = [ B.if_ (B.v "f") [] [] ] }) ]
+  in
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check bool) name false (Validate.is_valid p))
+    broken
+
+(* --- interpreter --- *)
+
+let test_interp_basic () =
+  let p = valid_base () in
+  let w =
+    Interp.workload
+      ~arrays:[ ("a", Array.map (fun x -> Types.VInt x) [| 5; 6; 7; 8 |]) ]
+      ()
+  in
+  let r = Interp.run p w in
+  Alcotest.(check bool) "copied" true
+    (List.assoc "b" r.Interp.outputs
+    = Array.map (fun x -> Types.VInt x) [| 5; 6; 7; 8 |])
+
+let test_interp_bounds_checked () =
+  let p =
+    B.program "oob"
+      ~locals:[ ("x", Types.Tint) ]
+      ~arrays:[ B.output "b" 2 ]
+      [ B.store "b" (B.int 5) (B.int 1) ]
+  in
+  match Interp.run p (Interp.workload ()) with
+  | exception Interp.Stuck _ -> ()
+  | _ -> Alcotest.fail "expected Stuck"
+
+let test_interp_div_by_zero () =
+  let p =
+    B.program "div0"
+      ~locals:[ ("x", Types.Tint) ]
+      ~arrays:[ B.output "b" 1 ]
+      [ B.("x" <-- int 1 / int 0); B.store "b" (B.int 0) (B.v "x") ]
+  in
+  match Interp.run p (Interp.workload ()) with
+  | exception Interp.Stuck _ -> ()
+  | _ -> Alcotest.fail "expected Stuck"
+
+let test_interp_fuel () =
+  let p =
+    B.program "big"
+      ~locals:[ ("i", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ B.output "b" 1 ]
+      [ B.for_ "i" ~hi:(B.int 1000000) [ B.("x" <-- v "x" + int 1) ] ]
+  in
+  match Interp.run ~fuel:100 p (Interp.workload ()) with
+  | exception Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+
+let test_interp_loop_exit_value () =
+  let p =
+    B.program "exitval"
+      ~locals:[ ("i", Types.Tint) ]
+      ~arrays:[ B.output "b" 1 ]
+      [ B.for_ "i" ~lo:(B.int 2) ~hi:(B.int 11) ~step:3 [];
+        B.store "b" (B.int 0) (B.v "i") ]
+  in
+  let r = Interp.run p (Interp.workload ()) in
+  (* iterations at 2,5,8 then exit at 11 *)
+  Alcotest.(check bool) "exit value 11" true
+    ((List.assoc "b" r.Interp.outputs).(0) = Types.VInt 11)
+
+let test_interp_profile () =
+  let p = Helpers.fg_loop ~m:4 ~n:8 in
+  let r = Interp.run p (Helpers.random_workload p) in
+  let reports = Interp.loop_reports r in
+  Alcotest.(check int) "two loops profiled" 2 (List.length reports);
+  let inner =
+    List.find (fun l -> l.Interp.lr_path = "/i/j") reports
+  in
+  Alcotest.(check int) "inner trips" 32 inner.Interp.lr_trips;
+  Alcotest.(check bool) "inner dominates" true (inner.Interp.lr_fraction > 0.5)
+
+(* --- pretty printer --- *)
+
+let test_pp_smoke () =
+  let p = Helpers.ch4_loop ~m:4 ~n:2 in
+  let s = Pp.program_to_string p in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("contains " ^ frag) true
+        (Astring_contains.contains ~sub:frag s))
+    [ "for (i = 0; i < 4; i++)"; "a = src[i];"; "dst[i] = a;"; "c & 15" ]
+
+let suite =
+  [ Alcotest.test_case "simplify folds" `Quick test_simplify_folds;
+    Alcotest.test_case "simplify keeps loads" `Quick test_simplify_keeps_loads;
+    Alcotest.test_case "div by zero not folded" `Quick
+      test_div_by_zero_not_folded;
+    QCheck_alcotest.to_alcotest test_qcheck_simplify_sound;
+    Alcotest.test_case "opinfo totals" `Quick test_opinfo_total;
+    Alcotest.test_case "validator accepts" `Quick test_validator_accepts;
+    Alcotest.test_case "validator rejects" `Quick test_validator_rejects;
+    Alcotest.test_case "interp basic" `Quick test_interp_basic;
+    Alcotest.test_case "interp bounds" `Quick test_interp_bounds_checked;
+    Alcotest.test_case "interp div0" `Quick test_interp_div_by_zero;
+    Alcotest.test_case "interp fuel" `Quick test_interp_fuel;
+    Alcotest.test_case "interp loop exit value" `Quick
+      test_interp_loop_exit_value;
+    Alcotest.test_case "interp profiling" `Quick test_interp_profile;
+    Alcotest.test_case "pretty printer" `Quick test_pp_smoke ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "unroll_and_squash"
+    [ ("ir", Test_ir.suite);
+      ("parser", Test_parser.suite);
+      ("analysis", Test_analysis.suite);
+      ("dfg", Test_dfg.suite);
+      ("squash", Test_squash.suite);
+      ("transforms", Test_transforms.suite);
+      ("extra-transforms", Test_extra_transforms.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("decrypt", Test_decrypt.suite);
+      ("hw", Test_hw.suite);
+      ("pipeline-sim", Test_pipeline_sim.suite);
+      ("core", Test_core.suite);
+      ("bitwidth", Test_bitwidth.suite);
+      ("c-export", Test_c_export.suite);
+      ("goldens", Test_goldens.suite);
+      ("misc", Test_misc.suite) ]

@@ -1,0 +1,366 @@
+(* Correctness of the classic transformations (Chapter 3): unrolling,
+   fusion, tiling, peeling, unroll-and-jam, software pipelining and
+   if-conversion — all checked by interpreter equivalence, plus the
+   structural facts the paper states (e.g. jam multiplies the operator
+   count by the unroll factor; jam = tile + fully-unroll). *)
+
+open Uas_ir
+module T = Uas_transform
+module Loop_nest = Uas_analysis.Loop_nest
+
+
+(* --- plain unrolling --- *)
+
+let test_unroll_equivalence () =
+  List.iter
+    (fun (m, n, factor) ->
+      let p = Helpers.fg_loop ~m ~n in
+      let q = T.Unroll.apply p ~index:"j" ~factor in
+      Helpers.assert_equivalent
+        ~msg:(Printf.sprintf "unroll inner m=%d n=%d u=%d" m n factor)
+        p q;
+      let q2 = T.Unroll.apply p ~index:"i" ~factor in
+      Helpers.assert_equivalent
+        ~msg:(Printf.sprintf "unroll outer m=%d n=%d u=%d" m n factor)
+        p q2)
+    [ (4, 4, 2); (6, 3, 3); (5, 7, 2); (8, 4, 4); (7, 5, 3); (3, 2, 5) ]
+
+let test_full_unroll () =
+  let p = Helpers.fg_loop ~m:4 ~n:3 in
+  let nest = Helpers.nest_of p "i" in
+  let inner =
+    Stmt.For
+      { index = "j"; lo = nest.Loop_nest.inner_lo; hi = nest.inner_hi;
+        step = nest.inner_step; body = nest.inner_body }
+  in
+  (match inner with
+  | Stmt.For l ->
+    let flat = T.Unroll.fully_unroll l in
+    Alcotest.(check bool) "straight line" true (Stmt.is_straight_line flat)
+  | _ -> assert false);
+  (* and the program still computes the same after replacing the loop *)
+  let q =
+    Loop_nest.replace p ~outer_index:"i"
+      [ Stmt.For
+          { index = "i"; lo = nest.outer_lo; hi = nest.outer_hi;
+            step = nest.outer_step;
+            body =
+              (nest.pre
+              @ (match inner with
+                | Stmt.For l -> T.Unroll.fully_unroll l
+                | _ -> assert false)
+              @ nest.post) } ]
+  in
+  Helpers.assert_equivalent ~msg:"full unroll" p q
+
+(* --- unroll-and-jam --- *)
+
+let test_jam_equivalence () =
+  List.iter
+    (fun (mk, name) ->
+      List.iter
+        (fun (m, n, ds) ->
+          let p : Stmt.program = mk ~m ~n in
+          let nest = Helpers.nest_of p "i" in
+          let out = T.Unroll_and_jam.apply p nest ~ds in
+          Helpers.assert_equivalent
+            ~msg:(Printf.sprintf "jam %s m=%d n=%d ds=%d" name m n ds)
+            p out.T.Unroll_and_jam.program)
+        [ (4, 3, 2); (8, 5, 4); (6, 2, 3); (5, 3, 2); (9, 2, 4) ])
+    [ (Helpers.fg_loop, "fg"); (Helpers.memory_loop, "checksum") ]
+
+let test_jam_multiplies_operators () =
+  List.iter
+    (fun ds ->
+      let p = Helpers.fg_loop ~m:16 ~n:4 in
+      let nest = Helpers.nest_of p "i" in
+      let before = Stmt.operator_count nest.Loop_nest.inner_body in
+      let out = T.Unroll_and_jam.apply p nest ~ds in
+      Alcotest.(check int)
+        (Printf.sprintf "jam(%d) operators" ds)
+        (ds * before)
+        (Stmt.operator_count out.T.Unroll_and_jam.new_inner_body))
+    [ 1; 2; 4; 8 ]
+
+let test_jam_equals_tile_plus_unroll () =
+  (* §3.4: unroll-and-jam = tiling the outer loop with the unroll
+     factor and fully unrolling the tile loop.  Behavioural equality of
+     the two decompositions. *)
+  let p = Helpers.fg_loop ~m:8 ~n:3 in
+  let nest = Helpers.nest_of p "i" in
+  let jam = (T.Unroll_and_jam.apply p nest ~ds:4).T.Unroll_and_jam.program in
+  let tiled = T.Tiling.apply p ~index:"i" ~tile:4 in
+  Helpers.assert_equivalent ~msg:"tile decomposition" p tiled;
+  Helpers.assert_equivalent ~msg:"jam vs tiled" jam tiled
+
+(* --- tiling --- *)
+
+let test_tiling_equivalence () =
+  List.iter
+    (fun (m, n, tile) ->
+      let p = Helpers.fg_loop ~m ~n in
+      let q = T.Tiling.apply p ~index:"i" ~tile in
+      Helpers.assert_equivalent
+        ~msg:(Printf.sprintf "tile m=%d n=%d t=%d" m n tile)
+        p q)
+    [ (8, 3, 2); (9, 2, 3); (7, 4, 2); (16, 2, 4); (5, 5, 8) ]
+
+(* --- peeling --- *)
+
+let test_peel_equivalence () =
+  List.iter
+    (fun (m, n, k) ->
+      let p = Helpers.fg_loop ~m ~n in
+      let nest = Helpers.nest_of p "i" in
+      let q, _ = T.Peel.peel_back p nest ~iterations:k in
+      Helpers.assert_equivalent
+        ~msg:(Printf.sprintf "peel m=%d n=%d k=%d" m n k)
+        p q)
+    [ (8, 3, 1); (8, 3, 3); (8, 3, 8); (4, 2, 0) ]
+
+let test_peel_too_many () =
+  let p = Helpers.fg_loop ~m:4 ~n:2 in
+  let nest = Helpers.nest_of p "i" in
+  match T.Peel.peel_back p nest ~iterations:5 with
+  | exception Types.Ir_error _ -> ()
+  | _ -> Alcotest.fail "expected Ir_error"
+
+(* --- fusion --- *)
+
+let fusable_program m =
+  let open Builder in
+  program "fusable"
+    ~locals:[ ("j", Types.Tint); ("x", Types.Tint) ]
+    ~arrays:[ input "a" m; output "b" m; output "c" m ]
+    [ for_ "j" ~hi:(int m) [ store "b" (v "j") (load "a" (v "j") + int 1) ];
+      for_ "j" ~hi:(int m) [ store "c" (v "j") (load "a" (v "j") * int 2) ] ]
+
+let test_fusion_legal () =
+  let p = fusable_program 8 in
+  match T.Fusion.apply_first p with
+  | None -> Alcotest.fail "expected fusion to apply"
+  | Some q ->
+    Helpers.assert_equivalent ~msg:"fusion" p q;
+    let loops =
+      Stmt.fold_list
+        (fun k s -> match s with Stmt.For _ -> k + 1 | _ -> k)
+        0 q.Stmt.body
+    in
+    Alcotest.(check int) "single loop remains" 1 loops
+
+let test_fusion_rejects_flow () =
+  (* second loop reads what the first writes at a later iteration *)
+  let open Builder in
+  let p =
+    program "antifuse"
+      ~locals:[ ("j", Types.Tint) ]
+      ~arrays:[ input "a" 9; output "b" 9; output "c" 9 ]
+      [ for_ "j" ~hi:(int 8) [ store "b" (v "j") (load "a" (v "j")) ];
+        for_ "j" ~hi:(int 8) [ store "c" (v "j") (load "b" (v "j" + int 1)) ] ]
+  in
+  Alcotest.(check bool) "fusion refused" true (T.Fusion.apply_first p = None)
+
+(* --- software pipelining --- *)
+
+let independent_loop ~m =
+  let open Builder in
+  program "indep"
+    ~locals:[ ("j", Types.Tint); ("x", Types.Tint); ("y", Types.Tint) ]
+    ~arrays:[ input "a" m; output "b" m ]
+    [ for_ "j" ~hi:(int m)
+        [ ("x" <-- load "a" (v "j"));
+          ("y" <-- band (v "x" * v "x" + int 7) (int 1023));
+          store "b" (v "j") (bxor (v "y") (v "j")) ] ]
+
+let test_pipeline_sw_equivalence () =
+  List.iter
+    (fun (m, stages) ->
+      let p = independent_loop ~m in
+      let q = T.Pipeline_sw.apply p ~index:"j" ~stages in
+      Helpers.assert_equivalent
+        ~msg:(Printf.sprintf "swp m=%d k=%d" m stages)
+        p q)
+    [ (8, 2); (8, 3); (9, 2); (12, 3); (6, 2) ]
+
+let test_pipeline_sw_rejects_recurrence () =
+  let p = Helpers.fg_loop ~m:4 ~n:8 in
+  (* the fg inner loop has the a->b->a recurrence *)
+  match T.Pipeline_sw.apply p ~index:"j" ~stages:2 with
+  | exception T.Pipeline_sw.Pipeline_error (T.Pipeline_sw.Carried_scalar _) -> ()
+  | _ -> Alcotest.fail "expected Carried_scalar"
+
+(* --- if-conversion --- *)
+
+let branchy_program ~m =
+  let open Builder in
+  program "branchy"
+    ~locals:
+      [ ("j", Types.Tint); ("x", Types.Tint); ("y", Types.Tint);
+        ("z", Types.Tint) ]
+    ~arrays:[ input "a" m; output "b" m ]
+    [ for_ "j" ~hi:(int m)
+        [ ("x" <-- load "a" (v "j"));
+          if_ (v "x" > int 100)
+            [ ("y" <-- v "x" - int 100); ("z" <-- v "y" * int 2) ]
+            [ ("y" <-- v "x" + int 1); ("z" <-- v "y") ];
+          store "b" (v "j") (v "z" + v "y") ] ]
+
+let test_ifconv_equivalence () =
+  let p = branchy_program ~m:16 in
+  let q = T.Ifconv.apply p in
+  Helpers.assert_equivalent ~msg:"if-conversion" p q;
+  (* the loop body must now be a single basic block *)
+  let straight =
+    Stmt.fold_list
+      (fun acc s ->
+        match s with
+        | Stmt.For l -> acc && Stmt.is_straight_line l.body
+        | _ -> acc)
+      true q.Stmt.body
+  in
+  Alcotest.(check bool) "straight-line after ifconv" true straight
+
+let test_ifconv_enables_squash () =
+  let p = let open Builder in
+    program "branchy_nest"
+      ~locals:
+        [ ("i", Types.Tint); ("j", Types.Tint); ("x", Types.Tint);
+          ("y", Types.Tint) ]
+      ~arrays:[ input "a" 8; output "b" 8 ]
+      [ for_ "i" ~hi:(int 8)
+          [ ("x" <-- load "a" (v "i"));
+            for_ "j" ~hi:(int 5)
+              [ if_ (band (v "x") (int 1) == int 1)
+                  [ ("y" <-- v "x" * int 3 + int 1) ]
+                  [ ("y" <-- shr (v "x") (int 1)) ];
+                ("x" <-- band (v "y") (int 4095)) ];
+            store "b" (v "i") (v "x") ] ]
+  in
+  let nest0 = Helpers.nest_of p "i" in
+  Alcotest.(check bool) "squash illegal before ifconv" false
+    (Uas_analysis.Legality.check nest0 ~ds:2).Uas_analysis.Legality.ok;
+  let q = T.Ifconv.apply p in
+  let nest = Helpers.nest_of q "i" in
+  let out = T.Squash.apply q nest ~ds:2 in
+  Helpers.assert_equivalent ~msg:"ifconv+squash" p out.T.Squash.program
+
+(* --- scalar optimizations --- *)
+
+let test_scalar_opts_equivalence () =
+  List.iter
+    (fun (mk, name) ->
+      let p : Stmt.program = mk ~m:6 ~n:4 in
+      let q = T.Scalar_opts.cleanup p in
+      Helpers.assert_equivalent ~msg:("cleanup " ^ name) p q)
+    [ (Helpers.fg_loop, "fg"); (Helpers.memory_loop, "checksum");
+      ((fun ~m ~n -> Helpers.ch4_loop ~m ~n), "ch4") ]
+
+let test_strength_reduction () =
+  let open Builder in
+  let p =
+    program "sr"
+      ~locals:[ ("j", Types.Tint); ("x", Types.Tint) ]
+      ~arrays:[ input "a" 8; output "b" 8 ]
+      [ for_ "j" ~hi:(int 8)
+          [ ("x" <-- load "a" (v "j") * int 8);
+            store "b" (v "j") (v "x" + v "j" * int 4) ] ]
+  in
+  let q = T.Scalar_opts.strength_reduce p in
+  Helpers.assert_equivalent ~msg:"strength reduction" p q;
+  (* no multiplications survive *)
+  let muls =
+    Stmt.fold_exprs
+      (fun acc e ->
+        Expr.fold
+          (fun acc e ->
+            match e with
+            | Expr.Binop (Types.Mul, _, _) -> Stdlib.( + ) acc 1
+            | _ -> acc)
+          acc e)
+      0 q.Stmt.body
+  in
+  Alcotest.(check int) "multiplies eliminated" 0 muls
+
+let test_dce () =
+  let open Builder in
+  let p =
+    program "dce"
+      ~locals:[ ("x", Types.Tint); ("y", Types.Tint); ("z", Types.Tint) ]
+      ~arrays:[ input "a" 4; output "b" 4 ]
+      [ ("x" <-- load "a" (int 0));
+        ("y" <-- v "x" + int 1);  (* dead *)
+        ("z" <-- v "x" * int 2);
+        store "b" (int 0) (v "z") ]
+  in
+  let q =
+    T.Scalar_opts.dead_code ~live_out:Stmt.Sset.empty p
+  in
+  Helpers.assert_equivalent ~msg:"dce" p q;
+  Alcotest.(check bool) "dead assign removed" true
+    (Stdlib.( < ) (Stmt.size q.Stmt.body) (Stmt.size p.Stmt.body))
+
+(* --- combined jam + squash (§2: "combine both techniques") --- *)
+
+let test_combined_jam_then_squash () =
+  List.iter
+    (fun (m, n, jam_ds, squash_ds) ->
+      let p = Helpers.fg_loop ~m ~n in
+      let nest = Helpers.nest_of p "i" in
+      let jammed = (T.Unroll_and_jam.apply p nest ~ds:jam_ds).T.Unroll_and_jam.program in
+      let nest2 = Helpers.nest_of jammed "i" in
+      let out = T.Squash.apply jammed nest2 ~ds:squash_ds in
+      Helpers.assert_equivalent
+        ~msg:(Printf.sprintf "jam(%d)+squash(%d) m=%d n=%d" jam_ds squash_ds m n)
+        p out.T.Squash.program)
+    [ (8, 3, 2, 2); (16, 2, 2, 4); (8, 4, 4, 2) ]
+
+let test_qcheck_jam =
+  QCheck.Test.make ~name:"jam equivalence (random sizes/factors)" ~count:50
+    QCheck.(triple (int_range 1 10) (int_range 1 6) (int_range 1 5))
+    (fun (m, n, ds) ->
+      let p = Helpers.fg_loop ~m ~n in
+      let nest = Helpers.nest_of p "i" in
+      let out = T.Unroll_and_jam.apply p nest ~ds in
+      let w = Helpers.random_workload ~seed:(m + (7 * n) + (31 * ds)) p in
+      Interp.outputs_equal (Interp.run p w)
+        (Interp.run out.T.Unroll_and_jam.program w))
+
+let test_qcheck_tile_unroll =
+  QCheck.Test.make ~name:"tiling/unrolling equivalence (random)" ~count:50
+    QCheck.(quad (int_range 1 12) (int_range 1 5) (int_range 1 5) bool)
+    (fun (m, n, k, use_tile) ->
+      let p = Helpers.fg_loop ~m ~n in
+      let q =
+        if use_tile then T.Tiling.apply p ~index:"i" ~tile:k
+        else T.Unroll.apply p ~index:"i" ~factor:k
+      in
+      let w = Helpers.random_workload ~seed:(m + n + k) p in
+      Interp.outputs_equal (Interp.run p w) (Interp.run q w))
+
+let suite =
+  [ Alcotest.test_case "unroll equivalence" `Quick test_unroll_equivalence;
+    Alcotest.test_case "full unroll" `Quick test_full_unroll;
+    Alcotest.test_case "jam equivalence" `Quick test_jam_equivalence;
+    Alcotest.test_case "jam multiplies operators" `Quick
+      test_jam_multiplies_operators;
+    Alcotest.test_case "jam = tile + unroll" `Quick
+      test_jam_equals_tile_plus_unroll;
+    Alcotest.test_case "tiling equivalence" `Quick test_tiling_equivalence;
+    Alcotest.test_case "peel equivalence" `Quick test_peel_equivalence;
+    Alcotest.test_case "peel too many" `Quick test_peel_too_many;
+    Alcotest.test_case "fusion legal" `Quick test_fusion_legal;
+    Alcotest.test_case "fusion rejects flow" `Quick test_fusion_rejects_flow;
+    Alcotest.test_case "software pipelining" `Quick
+      test_pipeline_sw_equivalence;
+    Alcotest.test_case "swp rejects recurrence" `Quick
+      test_pipeline_sw_rejects_recurrence;
+    Alcotest.test_case "if-conversion" `Quick test_ifconv_equivalence;
+    Alcotest.test_case "ifconv enables squash" `Quick
+      test_ifconv_enables_squash;
+    Alcotest.test_case "scalar opts" `Quick test_scalar_opts_equivalence;
+    Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+    Alcotest.test_case "dead code elimination" `Quick test_dce;
+    Alcotest.test_case "combined jam+squash" `Quick
+      test_combined_jam_then_squash;
+    QCheck_alcotest.to_alcotest test_qcheck_jam;
+    QCheck_alcotest.to_alcotest test_qcheck_tile_unroll ]
