@@ -5,26 +5,35 @@
    Usage:
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table-6.2 figure-6.3 ...
+     dune exec bench/main.exe -- -j 4 --timings table-6.2
    Targets: table-1.1 table-6.1 table-6.2 table-6.3 figure-2 figure-2.4
             figure-4 figure-6.1 figure-6.2 figure-6.3 figure-6.4
-            ablation-ports ablation-registers micro *)
+            ablation-ports ablation-registers micro
+   Flags: -j N (worker-pool size; default UAS_JOBS or the core count),
+          --timings (per-pass span/counter summary at exit) *)
 
 open Uas_ir
 module S = Uas_bench_suite
 module E = Uas_core.Experiments
 module N = Uas_core.Nimble
+module Instrument = Uas_runtime.Instrument
 
 let header title = Fmt.pr "@.==== %s ====@." title
 
+(* -j N from the command line; None lets the pool pick UAS_JOBS or the
+   core count *)
+let jobs : int option ref = ref None
+
 (* Table 6.2 is the expensive part (50 transformed programs, each
-   replayed in the interpreter); computed once and shared. *)
+   replayed in the interpreter); computed once — fanned out over the
+   domain pool — and shared. *)
 let rows_cache : E.bench_row list option ref = ref None
 
 let rows () =
   match !rows_cache with
   | Some r -> r
   | None ->
-    let r = E.table_6_2 ~verify:true () in
+    let r = E.table_6_2 ~verify:true ?jobs:!jobs () in
     rows_cache := Some r;
     r
 
@@ -209,7 +218,7 @@ let combined () =
           N.Combined (2, 4); N.Combined (4, 2) ]
       in
       let rows =
-        N.sweep ~versions b.S.Registry.b_program
+        N.sweep ~versions ?jobs:!jobs b.S.Registry.b_program
           ~outer_index:b.S.Registry.b_outer_index
           ~inner_index:b.S.Registry.b_inner_index
       in
@@ -347,17 +356,24 @@ let targets =
     ("micro", micro) ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst targets
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name targets with
-      | Some f -> f ()
-      | None ->
-        Fmt.epr "unknown target %s; available: %s@." name
-          (String.concat " " (List.map fst targets));
-        exit 1)
-    requested
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* validate the whole command line before running anything: a typo'd
+     target used to surface only after the (expensive) targets before
+     it had already run *)
+  match Uas_core.Cli.parse ~available:(List.map fst targets) args with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit 1
+  | Ok o ->
+    jobs := o.Uas_core.Cli.o_jobs;
+    if o.Uas_core.Cli.o_timings then Instrument.set_enabled true;
+    let requested =
+      match o.Uas_core.Cli.o_targets with
+      | [] -> List.map fst targets
+      | names -> names
+    in
+    List.iter (fun name -> (List.assoc name targets) ()) requested;
+    if o.Uas_core.Cli.o_timings then begin
+      header "timings";
+      Fmt.pr "%a" Instrument.pp_summary ()
+    end

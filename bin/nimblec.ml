@@ -55,6 +55,21 @@ let parse_version s =
 let bench_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker-pool size for the version sweep (default: \
+              $(b,UAS_JOBS) or the core count; 1 = sequential)")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Record per-pass wall-clock spans and counters and print the \
+              summary table at the end")
+
 let version_arg =
   Arg.(
     value
@@ -95,11 +110,13 @@ let show_cmd =
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run name verify =
+  let run name verify jobs timings =
+    if timings then Uas_runtime.Instrument.set_enabled true;
     let b = find_benchmark name in
-    let row = E.run_benchmark ~verify b in
+    let row = E.run_benchmark ~verify ?jobs b in
     Fmt.pr "%a@." E.pp_table_6_2 [ row ];
-    Fmt.pr "%a@." E.pp_table_6_3 [ row ]
+    Fmt.pr "%a@." E.pp_table_6_3 [ row ];
+    if timings then Fmt.pr "%a" Uas_runtime.Instrument.pp_summary ()
   in
   let verify =
     Arg.(
@@ -111,7 +128,7 @@ let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate all paper versions of a benchmark (Table 6.2/6.3 rows)")
-    Term.(const run $ bench_arg $ verify)
+    Term.(const run $ bench_arg $ verify $ jobs_arg $ timings_arg)
 
 (* --- run --- *)
 

@@ -1,0 +1,27 @@
+type options = {
+  o_jobs : int option;
+  o_timings : bool;
+  o_targets : string list;
+}
+
+let parse ~available args =
+  let rec go targets jobs timings = function
+    | [] ->
+      Ok { o_jobs = jobs; o_timings = timings; o_targets = List.rev targets }
+    | "--timings" :: rest -> go targets jobs true rest
+    | ("-j" | "--jobs") :: rest -> (
+      match rest with
+      | n :: rest' -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> go targets (Some n) timings rest'
+        | Some _ | None ->
+          Error (Printf.sprintf "-j expects a positive integer, got %s" n))
+      | [] -> Error "-j expects a positive integer")
+    | arg :: rest ->
+      if List.mem arg available then go (arg :: targets) jobs timings rest
+      else
+        Error
+          (Printf.sprintf "unknown target %s; available: %s" arg
+             (String.concat " " available))
+  in
+  go [] None false args

@@ -1,0 +1,19 @@
+(** Argument parsing for the bench harness (bench/main.exe).
+
+    Kept in the library rather than the executable so the target parser
+    is unit-testable: historically an unknown target only failed after
+    the (expensive) targets before it had already run. [parse] now
+    validates the whole command line up front. *)
+
+type options = {
+  o_jobs : int option;  (** [-j N] / [--jobs N]: worker-pool size *)
+  o_timings : bool;  (** [--timings]: print the instrumentation summary *)
+  o_targets : string list;
+      (** requested targets, in command-line order; empty = run all *)
+}
+
+(** Parse a bench command line.  Every non-flag argument must be a
+    member of [available]; the first unknown one yields [Error] with a
+    message naming it and listing the valid targets.  [-j] requires a
+    positive integer. *)
+val parse : available:string list -> string list -> (options, string) result

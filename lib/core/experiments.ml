@@ -8,6 +8,8 @@
 module Registry = Uas_bench_suite.Registry
 module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
+module Parallel = Uas_runtime.Parallel
+module Instrument = Uas_runtime.Instrument
 
 type cell = {
   c_version : Nimble.version;
@@ -29,37 +31,73 @@ type normalized = {
   n_operator_share : float;  (** operators as a fraction of area (Fig 6.4) *)
 }
 
-(** Run the full Table 6.2 sweep for one benchmark.  [verify] replays
-    every transformed program in the interpreter against the host
-    reference (slower; on by default). *)
-let run_benchmark ?(target = Datapath.default) ?(verify = true)
-    ?(versions = Nimble.paper_versions) (b : Registry.benchmark) : bench_row =
-  let rows =
-    Nimble.sweep ~target ~versions b.Registry.b_program
+(* One (benchmark, version) cell: build, estimate, and interpreter-
+   replay verification — the independent unit of work the pool fans
+   out.  Nothing here touches shared mutable state: the transforms are
+   pure, [Interp.run] copies the workload's input arrays, and the
+   benchmark record is only read. *)
+let build_cell ~target ~verify (b : Registry.benchmark)
+    (v : Nimble.version) : cell option =
+  match
+    Nimble.build_version b.Registry.b_program
       ~outer_index:b.Registry.b_outer_index
-      ~inner_index:b.Registry.b_inner_index
-  in
+      ~inner_index:b.Registry.b_inner_index v
+  with
+  | exception
+      ( Uas_transform.Squash.Squash_error _
+      | Uas_transform.Unroll_and_jam.Jam_error _ ) ->
+    Instrument.incr "sweep.illegal-versions";
+    None
+  | built ->
+    let report = Nimble.estimate ~target built in
+    let verified =
+      (not verify)
+      || Instrument.span "verify" (fun () ->
+             match
+               Registry.check_against_reference b built.Nimble.bv_program
+             with
+             | Ok () -> true
+             | Error _ -> false)
+    in
+    Some { c_version = v; c_report = report; c_verified = verified }
+
+(** Run the full Table 6.2 sweep for one benchmark, versions fanned out
+    over the domain pool.  [verify] replays every transformed program
+    in the interpreter against the host reference (slower; on by
+    default). *)
+let run_benchmark ?(target = Datapath.default) ?(verify = true)
+    ?(versions = Nimble.paper_versions) ?jobs (b : Registry.benchmark) :
+    bench_row =
   let cells =
-    List.map
-      (fun (v, built, report) ->
-        let verified =
-          (not verify)
-          ||
-          match
-            Registry.check_against_reference b built.Nimble.bv_program
-          with
-          | Ok () -> true
-          | Error _ -> false
-        in
-        { c_version = v; c_report = report; c_verified = verified })
-      rows
+    List.filter_map Fun.id
+      (Parallel.map ?jobs (build_cell ~target ~verify b) versions)
   in
   { br_benchmark = b; br_cells = cells }
 
-(** Table 6.2 over the whole suite. *)
-let table_6_2 ?(target = Datapath.default) ?(verify = true) () :
+(** Table 6.2 over the whole suite.  All (benchmark, version) cells —
+    ~50 independent build+estimate+verify tasks — go through one flat
+    pool fan-out, so the hot path scales with the core count instead of
+    running strictly sequentially. *)
+let table_6_2 ?(target = Datapath.default) ?(verify = true) ?jobs () :
     bench_row list =
-  List.map (run_benchmark ~target ~verify) (Registry.all ())
+  let benches = Registry.all () in
+  let versions = Nimble.paper_versions in
+  let tasks =
+    List.concat_map (fun b -> List.map (fun v -> (b, v)) versions) benches
+  in
+  let cells =
+    Parallel.map ?jobs (fun (b, v) -> build_cell ~target ~verify b v) tasks
+  in
+  (* regroup the flat, input-ordered cell list benchmark-major *)
+  let nv = List.length versions in
+  List.mapi
+    (fun bi b ->
+      let br_cells =
+        List.filteri (fun i _ -> i / nv = bi) cells
+        |> List.filter_map Fun.id
+      in
+      { br_benchmark = b; br_cells })
+    benches
 
 (** Normalize one benchmark row against its original version
     (Table 6.3). *)

@@ -28,18 +28,23 @@ type normalized = {
   n_operator_share : float;  (** Fig 6.4: operators / area *)
 }
 
-(** One benchmark's Table 6.2 sweep; [verify] replays every version in
-    the interpreter (on by default). *)
+(** One benchmark's Table 6.2 sweep, versions fanned out over a
+    [Uas_runtime.Parallel] pool of [jobs] domains (default: [UAS_JOBS]
+    or the core count; cells are input-ordered and bit-identical to a
+    sequential run).  [verify] replays every version in the interpreter
+    (on by default). *)
 val run_benchmark :
   ?target:Datapath.t ->
   ?verify:bool ->
   ?versions:Nimble.version list ->
+  ?jobs:int ->
   Registry.benchmark ->
   bench_row
 
-(** The whole suite. *)
+(** The whole suite; every (benchmark, version) cell is an independent
+    pool task, so the full table scales with the core count. *)
 val table_6_2 :
-  ?target:Datapath.t -> ?verify:bool -> unit -> bench_row list
+  ?target:Datapath.t -> ?verify:bool -> ?jobs:int -> unit -> bench_row list
 
 (** Table 6.3 normalization against the Original cell.
     @raise Invalid_argument without an Original version. *)

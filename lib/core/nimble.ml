@@ -13,6 +13,8 @@ module Squash = Uas_transform.Squash
 module Jam = Uas_transform.Unroll_and_jam
 module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
+module Parallel = Uas_runtime.Parallel
+module Instrument = Uas_runtime.Instrument
 
 type version =
   | Original
@@ -49,26 +51,35 @@ type built = {
     to hardware. *)
 let build_version (p : Stmt.program) ~outer_index ~inner_index
     (version : version) : built =
+  let find q idx = Instrument.span "analyze" (fun () ->
+      Loop_nest.find_by_outer_index q idx)
+  in
+  let squash q nest ~ds = Instrument.span "build" (fun () ->
+      Squash.apply q nest ~ds)
+  in
+  let jam q nest ~ds = Instrument.span "build" (fun () ->
+      Jam.apply q nest ~ds)
+  in
   match version with
   | Original | Pipelined ->
     { bv_version = version; bv_program = p; bv_kernel_index = inner_index }
   | Squashed ds ->
-    let nest = Loop_nest.find_by_outer_index p outer_index in
-    let out = Squash.apply p nest ~ds in
+    let nest = find p outer_index in
+    let out = squash p nest ~ds in
     { bv_version = version;
       bv_program = out.Squash.program;
       bv_kernel_index = out.Squash.new_inner_index }
   | Jammed ds ->
-    let nest = Loop_nest.find_by_outer_index p outer_index in
-    let out = Jam.apply p nest ~ds in
+    let nest = find p outer_index in
+    let out = jam p nest ~ds in
     { bv_version = version;
       bv_program = out.Jam.program;
       bv_kernel_index = inner_index }
   | Combined (jam_ds, squash_ds) ->
-    let nest = Loop_nest.find_by_outer_index p outer_index in
-    let jammed = Jam.apply p nest ~ds:jam_ds in
-    let nest' = Loop_nest.find_by_outer_index jammed.Jam.program outer_index in
-    let out = Squash.apply jammed.Jam.program nest' ~ds:squash_ds in
+    let nest = find p outer_index in
+    let jammed = jam p nest ~ds:jam_ds in
+    let nest' = find jammed.Jam.program outer_index in
+    let out = squash jammed.Jam.program nest' ~ds:squash_ds in
     { bv_version = version;
       bv_program = out.Squash.program;
       bv_kernel_index = out.Squash.new_inner_index }
@@ -80,18 +91,21 @@ let estimate ?(target = Datapath.default) (b : built) : Estimate.report =
     ~name:(version_name b.bv_version)
     b.bv_program ~index:b.bv_kernel_index
 
-(** Build and estimate every requested version of a benchmark nest.
+(** Build and estimate every requested version of a benchmark nest,
+    fanning the independent versions out over the domain pool.
     Versions whose transformation is illegal at that factor are
     dropped. *)
-let sweep ?(target = Datapath.default) ?(versions = paper_versions)
+let sweep ?(target = Datapath.default) ?(versions = paper_versions) ?jobs
     (p : Stmt.program) ~outer_index ~inner_index :
     (version * built * Estimate.report) list =
-  List.filter_map
-    (fun v ->
-      match build_version p ~outer_index ~inner_index v with
-      | b -> Some (v, b, estimate ~target b)
-      | exception (Squash.Squash_error _ | Jam.Jam_error _) -> None)
-    versions
+  let build_one v =
+    match build_version p ~outer_index ~inner_index v with
+    | b -> Some (v, b, estimate ~target b)
+    | exception (Squash.Squash_error _ | Jam.Jam_error _) ->
+      Instrument.incr "sweep.illegal-versions";
+      None
+  in
+  List.filter_map Fun.id (Parallel.map ?jobs build_one versions)
 
 (** Kernel selection: the version maximizing speedup per area (the
     efficiency metric of Figure 6.3), given the original's report as

@@ -31,11 +31,14 @@ val build_version :
 
 val estimate : ?target:Uas_hw.Datapath.t -> built -> Uas_hw.Estimate.report
 
-(** Build and estimate every requested version; illegal factors are
-    dropped from the result. *)
+(** Build and estimate every requested version, fanned out over a
+    [Uas_runtime.Parallel] pool of [jobs] domains (default: [UAS_JOBS]
+    or the core count).  Results are input-ordered and identical to a
+    sequential run; illegal factors are dropped from the result. *)
 val sweep :
   ?target:Uas_hw.Datapath.t ->
   ?versions:version list ->
+  ?jobs:int ->
   Stmt.program ->
   outer_index:string ->
   inner_index:string ->

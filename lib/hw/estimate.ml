@@ -85,20 +85,23 @@ let kernel_iterations (p : Stmt.program) ~index : int =
     original designs of Table 6.2 use [pipelined:false]. *)
 let kernel ?(target = Datapath.default) ?(pipelined = true) ?name
     (p : Stmt.program) ~index : report =
+  Uas_runtime.Instrument.span "estimate" @@ fun () ->
   let l, _ = find_kernel p ~index in
   if not (Stmt.is_straight_line l.body) then
     raise
       (Not_a_kernel
          (Printf.sprintf "kernel %s body is not a single basic block" index));
   let detail =
-    Build.build_detailed ~delay_of:target.Datapath.delay_of
-      ~inner_index:l.index l.body
+    Uas_runtime.Instrument.span "dfg-build" (fun () ->
+        Build.build_detailed ~delay_of:target.Datapath.delay_of
+          ~inner_index:l.index l.body)
   in
   let g = detail.Build.d_graph in
   let cfg = Datapath.sched_config target in
   let sched =
-    if pipelined then Sched.modulo_schedule ~cfg g
-    else Sched.list_schedule ~cfg g
+    Uas_runtime.Instrument.span "schedule" (fun () ->
+        if pipelined then Sched.modulo_schedule ~cfg g
+        else Sched.list_schedule ~cfg g)
   in
   let ii = if pipelined then sched.Sched.s_ii else sched.Sched.s_length in
   let registers = Sched.register_estimate g { sched with Sched.s_ii = ii } in

@@ -1,0 +1,120 @@
+(* Thread-safe pass instrumentation.  The registry is two hashtables
+   behind one mutex; entries are immutable records replaced wholesale,
+   so a snapshot under the lock is consistent without copying.  The
+   enabled flag is an [Atomic] read on the fast path — a disabled span
+   costs one load. *)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+type span_stat = { calls : int; total_s : float; max_s : float }
+
+let lock = Mutex.create ()
+let span_tbl : (string, span_stat) Hashtbl.t = Hashtbl.create 32
+let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record name dt =
+  with_lock (fun () ->
+      let prev =
+        match Hashtbl.find_opt span_tbl name with
+        | Some s -> s
+        | None -> { calls = 0; total_s = 0.0; max_s = 0.0 }
+      in
+      Hashtbl.replace span_tbl name
+        { calls = prev.calls + 1;
+          total_s = prev.total_s +. dt;
+          max_s = Float.max prev.max_s dt })
+
+let span name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> record name (Unix.gettimeofday () -. t0)) f
+  end
+
+let incr ?(by = 1) name =
+  if Atomic.get enabled then
+    with_lock (fun () ->
+        let prev =
+          match Hashtbl.find_opt counter_tbl name with Some v -> v | None -> 0
+        in
+        Hashtbl.replace counter_tbl name (prev + by))
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset span_tbl;
+      Hashtbl.reset counter_tbl)
+
+let spans () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name s acc -> (name, s) :: acc) span_tbl [])
+  |> List.sort (fun (na, a) (nb, b) ->
+         match Float.compare b.total_s a.total_s with
+         | 0 -> String.compare na nb
+         | c -> c)
+
+let counters () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) counter_tbl [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_summary ppf () =
+  let sp = spans () and cs = counters () in
+  if sp = [] && cs = [] then
+    Fmt.pf ppf "(no instrumentation recorded — was --timings on?)@\n"
+  else begin
+    if sp <> [] then begin
+      Fmt.pf ppf "%-24s %8s %12s %12s %12s@\n" "span" "calls" "total(ms)"
+        "mean(ms)" "max(ms)";
+      List.iter
+        (fun (name, s) ->
+          Fmt.pf ppf "%-24s %8d %12.2f %12.3f %12.3f@\n" name s.calls
+            (1000.0 *. s.total_s)
+            (1000.0 *. s.total_s /. float_of_int (max 1 s.calls))
+            (1000.0 *. s.max_s))
+        sp
+    end;
+    if cs <> [] then begin
+      Fmt.pf ppf "%-24s %8s@\n" "counter" "value";
+      List.iter (fun (name, v) -> Fmt.pf ppf "%-24s %8d@\n" name v) cs
+    end
+  end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json () =
+  let span_fields =
+    List.map
+      (fun (name, s) ->
+        Printf.sprintf
+          "\"%s\":{\"calls\":%d,\"total_ms\":%.3f,\"mean_ms\":%.4f,\"max_ms\":%.4f}"
+          (json_escape name) s.calls
+          (1000.0 *. s.total_s)
+          (1000.0 *. s.total_s /. float_of_int (max 1 s.calls))
+          (1000.0 *. s.max_s))
+      (spans ())
+  in
+  let counter_fields =
+    List.map
+      (fun (name, v) -> Printf.sprintf "\"%s\":%d" (json_escape name) v)
+      (counters ())
+  in
+  Printf.sprintf "{\"spans\":{%s},\"counters\":{%s}}"
+    (String.concat "," span_fields)
+    (String.concat "," counter_fields)

@@ -1,0 +1,71 @@
+(* A fixed-size Domain worker pool with deterministic, input-ordered
+   results.  See the interface for the contract; the implementation
+   notes that matter:
+
+   - work distribution is a single [Atomic] fetch-and-add over the
+     input array, so domains never contend on anything but the index;
+   - each result lands in its own slot of a preallocated array, and
+     [Domain.join] provides the happens-before edge that makes those
+     writes visible to the caller — no locks needed;
+   - exceptions are captured per-slot with their backtrace and the
+     input-order first one is re-raised after the pool drains, so a
+     parallel run fails with the same exception a sequential run
+     would. *)
+
+let jobs_env_var = "UAS_JOBS"
+
+let default_jobs () =
+  match Sys.getenv_opt jobs_env_var with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "%s must be a positive integer (got %S)" jobs_env_var
+           s))
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Parallel.map: jobs must be >= 1";
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if min jobs n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | v -> results.(i) <- Done v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            results.(i) <- Failed (e, bt));
+          go ()
+        end
+      in
+      go ()
+    in
+    let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.iter
+      (function
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending | Done _ -> ())
+      results;
+    List.init n (fun i ->
+        match results.(i) with
+        | Done v -> v
+        | Pending | Failed _ -> assert false)
+  end
+
+let map_reduce ?jobs ~map:fm ~reduce ~init xs =
+  List.fold_left reduce init (map ?jobs fm xs)

@@ -1,0 +1,44 @@
+(** A fixed-size Domain worker pool for the version sweep.
+
+    The sweep of Table 6.2 is embarrassingly parallel — every
+    (benchmark, version) cell builds, estimates and verifies
+    independently — so the pool is deliberately simple: an atomic
+    work-queue index over an immutable input array, one worker per
+    domain, results written to disjoint slots.  Results always come
+    back in input order, and an exception raised by a task is captured
+    with its backtrace and re-raised in the caller (the input-order
+    first one wins), so [map] is observably [List.map] — only faster.
+
+    Tasks must not touch shared mutable state; every pass in this
+    repository is pure (all its refs are function-local), which is what
+    makes the fan-out sound. *)
+
+(** The environment variable consulted by [default_jobs]: ["UAS_JOBS"]. *)
+val jobs_env_var : string
+
+(** Pool size: [$UAS_JOBS] when set, [Domain.recommended_domain_count]
+    otherwise.
+    @raise Invalid_argument when [$UAS_JOBS] is not a positive
+    integer. *)
+val default_jobs : unit -> int
+
+(** [map ?jobs f xs] is [List.map f xs] computed by a pool of [jobs]
+    domains (default [default_jobs ()]; never more than
+    [List.length xs]).  [jobs = 1] runs sequentially in the calling
+    domain with no pool at all.  Results are in input order.  If one or
+    more applications of [f] raise, the remaining tasks still run and
+    the exception of the earliest failed *input* is re-raised with its
+    original backtrace. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_reduce ?jobs ~map ~reduce ~init xs] maps over the pool, then
+    folds the results left-to-right in input order:
+    [List.fold_left reduce init (map ?jobs map xs)] — deterministic
+    even when [reduce] is not commutative. *)
+val map_reduce :
+  ?jobs:int ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc

@@ -128,11 +128,11 @@ let gen_sizes ~m_max ~n_max =
    integer code that only reads variables already defined (or the
    pre-loaded live-ins and the loop indices). *)
 
-let gen_nest_program : Stmt.program QCheck.Gen.t =
+let gen_nest_program_sized ~m_max ~n_max : Stmt.program QCheck.Gen.t =
  fun st ->
   let open QCheck.Gen in
-  let m = int_range 1 10 st in
-  let n = int_range 1 6 st in
+  let m = int_range 1 m_max st in
+  let n = int_range 1 n_max st in
   let vars = [| "a"; "b"; "c"; "d" |] in
   (* a and b are pre-loaded; c, d must be defined before use *)
   let defined = ref [ "a"; "b" ] in
@@ -183,5 +183,16 @@ let gen_nest_program : Stmt.program QCheck.Gen.t =
           B.store "dst" (B.v "i") (B.v "a") ]
     ]
 
+let gen_nest_program = gen_nest_program_sized ~m_max:10 ~n_max:6
+
 let arbitrary_nest_program =
   QCheck.make gen_nest_program ~print:Pp.program_to_string
+
+(* Differential-testing variant: inner trip counts up to 12 so
+   squash(4) and jam(2) transform a multi-slice steady state (not just
+   the peel/epilogue), outer counts kept small so interpreter replay of
+   every version stays cheap. *)
+let gen_diff_nest_program = gen_nest_program_sized ~m_max:6 ~n_max:12
+
+let arbitrary_diff_nest_program =
+  QCheck.make gen_diff_nest_program ~print:Pp.program_to_string

@@ -1,0 +1,112 @@
+(* Differential hardening of the parallel sweep engine: random 2-deep
+   loop nests where (1) every generated version must compute the exact
+   outputs of the original in the interpreter, and (2) the parallel
+   sweep must equal the sequential sweep cell-for-cell.  Parallel
+   correctness claims are cheap to break silently — a pass that grows
+   shared mutable state, or a pool that reorders results, changes
+   nothing on the happy path until it flips a Table 6.2 cell — so this
+   suite is the contract.
+
+   Seeds: QCheck respects QCHECK_SEED; `dune runtest` pins a default
+   via the test stanza so CI is reproducible. *)
+
+open Uas_ir
+module N = Uas_core.Nimble
+module E = Uas_core.Experiments
+module R = Uas_bench_suite.Registry
+
+(* the versions of the satellite spec: cheap enough to interpreter-
+   replay per random program, diverse enough to cover squash slicing,
+   rotation and jam duplication *)
+let diff_versions = [ N.Original; N.Squashed 2; N.Squashed 4; N.Jammed 2 ]
+
+let build_opt p v =
+  match N.build_version p ~outer_index:"i" ~inner_index:"j" v with
+  | b -> Some b
+  | exception
+      ( Uas_transform.Squash.Squash_error _
+      | Uas_transform.Unroll_and_jam.Jam_error _ ) ->
+    None
+
+let test_qcheck_versions_bit_identical =
+  QCheck.Test.make
+    ~name:"interp outputs bit-identical across original/squash/jam" ~count:40
+    Helpers.arbitrary_diff_nest_program
+    (fun p ->
+      let w = Helpers.random_workload ~seed:11 p in
+      let reference = Interp.run p w in
+      List.iter
+        (fun v ->
+          match build_opt p v with
+          | None -> ()  (* illegal at this factor: dropped, as in sweep *)
+          | Some b -> (
+            let r = Interp.run b.N.bv_program w in
+            match Interp.diff_outputs reference r with
+            | None -> ()
+            | Some d ->
+              QCheck.Test.fail_reportf "%s diverges: %s@\n%a"
+                (N.version_name v) d Pp.pp_program b.N.bv_program))
+        diff_versions;
+      true)
+
+let test_qcheck_parallel_sweep_equals_sequential =
+  QCheck.Test.make ~name:"parallel sweep = sequential sweep (cell-for-cell)"
+    ~count:40 Helpers.arbitrary_diff_nest_program
+    (fun p ->
+      let sweep jobs =
+        N.sweep ~versions:diff_versions ~jobs p ~outer_index:"i"
+          ~inner_index:"j"
+      in
+      let seq = sweep 1 and par = sweep 4 in
+      List.length seq = List.length par
+      && List.for_all2
+           (fun (v1, b1, r1) (v2, b2, r2) ->
+             v1 = v2 && b1.N.bv_program = b2.N.bv_program
+             && b1.N.bv_kernel_index = b2.N.bv_kernel_index
+             && r1 = r2)
+           seq par)
+
+(* the real hot path: a full paper-version benchmark row, verified,
+   must come out cell-for-cell identical from a 1-domain and a 4-domain
+   pool (smaller block count than Table 6.2 to keep the replay quick) *)
+let test_run_benchmark_parallel_equals_sequential () =
+  let b = R.skipjack_mem ~m:8 () in
+  let row jobs = (E.run_benchmark ~verify:true ~jobs b).E.br_cells in
+  let seq = row 1 and par = row 4 in
+  Alcotest.(check int) "cell count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (c1 : E.cell) (c2 : E.cell) ->
+      Alcotest.(check string)
+        "version"
+        (N.version_name c1.E.c_version)
+        (N.version_name c2.E.c_version);
+      Alcotest.(check bool)
+        (Printf.sprintf "report %s identical" (N.version_name c1.E.c_version))
+        true
+        (c1.E.c_report = c2.E.c_report);
+      Alcotest.(check bool) "verified flag" c1.E.c_verified c2.E.c_verified)
+    seq par
+
+(* exceptions inside pool workers must surface, not vanish into a
+   domain: an unknown outer index raises out of a parallel sweep just
+   as it does sequentially *)
+let test_sweep_exception_propagates () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  let attempt jobs =
+    match
+      N.sweep ~versions:[ N.Squashed 2 ] ~jobs p ~outer_index:"nope"
+        ~inner_index:"j"
+    with
+    | _ -> false
+    | exception _ -> true
+  in
+  Alcotest.(check bool) "sequential raises" true (attempt 1);
+  Alcotest.(check bool) "parallel raises" true (attempt 4)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest test_qcheck_versions_bit_identical;
+    QCheck_alcotest.to_alcotest test_qcheck_parallel_sweep_equals_sequential;
+    Alcotest.test_case "run_benchmark: 1 domain = 4 domains" `Slow
+      test_run_benchmark_parallel_equals_sequential;
+    Alcotest.test_case "worker exceptions propagate" `Quick
+      test_sweep_exception_propagates ]

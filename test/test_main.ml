@@ -12,6 +12,8 @@ let () =
       ("hw", Test_hw.suite);
       ("pipeline-sim", Test_pipeline_sim.suite);
       ("core", Test_core.suite);
+      ("runtime", Test_runtime.suite);
+      ("differential", Test_differential.suite);
       ("bitwidth", Test_bitwidth.suite);
       ("c-export", Test_c_export.suite);
       ("goldens", Test_goldens.suite);

@@ -241,6 +241,118 @@ let test_qcheck_sim_matches_interp =
              else true)
            arrays true)
 
+(* --- hazards: each constructor, from a minimal crafted run ---
+
+   Consistent schedules from [Sched.modulo_schedule] never trip these
+   (the window/port math strictly covers every recorded reader), so
+   each test plants the specific inconsistency the hazard guards
+   against and asserts the exact exception payload. *)
+
+let all_zero_schedule (g : Uas_dfg.Graph.t) : Sched.schedule =
+  { Sched.s_ii = 1;
+    s_times = Array.make (Uas_dfg.Graph.node_count g) 0;
+    s_length = 1 }
+
+(* An operator with delay 1 issues at cycle 0 and its consumer also
+   issues at cycle 0 in the same iteration: the register is read before
+   the pipelined result commits. *)
+let test_hazard_value_not_ready () =
+  let p = Helpers.fg_loop ~m:2 ~n:4 in
+  let nest = Helpers.nest_of p "i" in
+  let detail = Build.build_detailed ~inner_index:"j" nest.inner_body in
+  let schedule = all_zero_schedule detail.Build.d_graph in
+  match
+    Sim.run ~detail ~schedule ~iterations:2
+      ~env:(env_of [ ("a", Types.VInt 7); ("j", Types.VInt 0) ])
+      ~arrays:(no_arrays ()) ~roms:(no_roms ()) ~index:"j" ()
+  with
+  | _ -> Alcotest.fail "zero schedule accepted a delayed producer"
+  | exception Sim.Hazard (Sim.Value_not_ready { iteration; _ }) ->
+    Alcotest.(check int) "fires on the first iteration" 0 iteration
+  | exception Sim.Hazard h ->
+    Alcotest.failf "wrong hazard: %a" Sim.pp_hazard h
+
+(* Two loads forced into the same issue cycle on a one-port datapath:
+   the second port claim of cycle 0 must abort. *)
+let test_hazard_port_conflict () =
+  let open Uas_ir in
+  let module B = Builder in
+  let p =
+    B.program "two_loads"
+      ~locals:[ ("i", Types.Tint); ("j", Types.Tint); ("x", Types.Tint);
+                ("y", Types.Tint); ("s", Types.Tint) ]
+      ~arrays:[ B.input "u" 16; B.input "w" 16; B.output "dst" 1 ]
+      [ B.for_ "i" ~hi:(B.int 1)
+          [ B.("s" <-- int 0);
+            B.for_ "j" ~hi:(B.int 8)
+              [ B.("x" <-- load "u" (v "j"));
+                B.("y" <-- load "w" (v "j"));
+                B.("s" <-- bxor (v "s") (v "x" + v "y")) ];
+            B.store "dst" (B.int 0) (B.v "s") ]
+      ]
+  in
+  let nest = Helpers.nest_of p "i" in
+  let detail = Build.build_detailed ~inner_index:"j" nest.inner_body in
+  let schedule = all_zero_schedule detail.Build.d_graph in
+  let arrays = no_arrays () in
+  Hashtbl.replace arrays "u" (Array.make 16 (Types.VInt 1));
+  Hashtbl.replace arrays "w" (Array.make 16 (Types.VInt 2));
+  match
+    Sim.run ~target:Uas_hw.Datapath.single_port ~detail ~schedule
+      ~iterations:8
+      ~env:(env_of [ ("s", Types.VInt 0); ("j", Types.VInt 0) ])
+      ~arrays ~roms:(no_roms ()) ~index:"j" ()
+  with
+  | _ -> Alcotest.fail "two same-cycle loads accepted on one port"
+  | exception Sim.Hazard (Sim.Port_conflict { cycle; used; ports }) ->
+    Alcotest.(check int) "cycle" 0 cycle;
+    Alcotest.(check int) "claims" 2 used;
+    Alcotest.(check int) "budget" 1 ports
+  | exception Sim.Hazard h ->
+    Alcotest.failf "wrong hazard: %a" Sim.pp_hazard h
+
+(* A register overwrite needs a reader the window sizing never saw: a
+   hand-assembled graph whose edge list records a distance-2 carried
+   use of node 0 that is missing from succs, so node 0 gets one window
+   and iteration 2's write lands on the slot iteration 0 still needs. *)
+let test_hazard_register_overwritten () =
+  let open Uas_dfg in
+  let module B = Uas_ir.Builder in
+  let donor =
+    Build.build_detailed ~inner_index:"j" [ B.("t" <-- int 1) ]
+  in
+  let nodes =
+    [| { Graph.id = 0; kind = Uas_ir.Opinfo.Op_move; label = "p" };
+       { Graph.id = 1; kind = Uas_ir.Opinfo.Op_move; label = "c" } |]
+  in
+  let g =
+    { Graph.nodes;
+      edges = [ { Graph.e_src = 0; e_dst = 1; e_distance = 2 } ];
+      succs = [| []; [] |];
+      preds = [| []; [] |];
+      delay_of = (fun _ -> 0) }
+  in
+  let detail =
+    { Build.d_graph = g;
+      d_ssa = donor.Build.d_ssa;
+      d_sem = [| Build.Sreg "p"; Build.Sreg "c" |];
+      d_live_out_nodes = [] }
+  in
+  let schedule = { Sched.s_ii = 1; s_times = [| 0; 0 |]; s_length = 1 } in
+  match
+    Sim.run ~detail ~schedule ~iterations:3
+      ~env:(env_of [ ("p", Types.VInt 1); ("c", Types.VInt 2) ])
+      ~arrays:(no_arrays ()) ~roms:(no_roms ()) ()
+  with
+  | _ -> Alcotest.fail "undersized register file accepted"
+  | exception Sim.Hazard (Sim.Register_overwritten { node; iteration; reader })
+    ->
+    Alcotest.(check int) "clobbered producer" 0 node;
+    Alcotest.(check int) "iteration still owed the value" 0 iteration;
+    Alcotest.(check int) "reader" 1 reader
+  | exception Sim.Hazard h ->
+    Alcotest.failf "wrong hazard: %a" Sim.pp_hazard h
+
 let suite =
   [ Alcotest.test_case "fg kernel pipeline" `Quick test_fg_kernel;
     Alcotest.test_case "skipjack kernel pipeline (KAT)" `Quick
@@ -249,4 +361,10 @@ let suite =
     Alcotest.test_case "memory kernel pipeline" `Quick test_memory_kernel;
     Alcotest.test_case "squashed kernel pipeline" `Quick
       test_squashed_kernel;
+    Alcotest.test_case "hazard: value not ready" `Quick
+      test_hazard_value_not_ready;
+    Alcotest.test_case "hazard: port conflict" `Quick
+      test_hazard_port_conflict;
+    Alcotest.test_case "hazard: register overwritten" `Quick
+      test_hazard_register_overwritten;
     QCheck_alcotest.to_alcotest test_qcheck_sim_matches_interp ]

@@ -1,0 +1,214 @@
+(* The runtime subsystem: the Domain pool (ordering, exception
+   propagation, UAS_JOBS), the pass instrumentation registry (spans,
+   counters, thread safety, JSON), and the bench-harness CLI parser. *)
+
+module Parallel = Uas_runtime.Parallel
+module Instrument = Uas_runtime.Instrument
+module Cli = Uas_core.Cli
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Parallel --- *)
+
+let test_map_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Parallel.map ~jobs f xs))
+    [ 1; 2; 4; 8; 101 ]
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Parallel.map ~jobs:4 succ [ 1 ])
+
+let test_map_preserves_order_under_skew () =
+  (* earlier items do more work than later ones, so a pool that
+     collected results in completion order would reverse them *)
+  let xs = List.init 32 Fun.id in
+  let f x =
+    let spin = (32 - x) * 10_000 in
+    let acc = ref x in
+    for _ = 1 to spin do
+      acc := !acc lxor ((!acc * 31) + 7)
+    done;
+    ignore !acc;
+    x
+  in
+  Alcotest.(check (list int)) "input order" xs (Parallel.map ~jobs:4 f xs)
+
+exception Boom of int
+
+let test_map_reraises_first_input_failure () =
+  let f x = if x = 3 || x = 7 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Parallel.map ~jobs f (List.init 10 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n ->
+        Alcotest.(check int)
+          (Printf.sprintf "first input-order failure (jobs=%d)" jobs)
+          3 n)
+    [ 1; 4 ]
+
+let test_map_reduce () =
+  let total =
+    Parallel.map_reduce ~jobs:4 ~map:Fun.id ~reduce:( + ) ~init:0
+      (List.init 100 succ)
+  in
+  Alcotest.(check int) "sum 1..100" 5050 total;
+  (* non-commutative reduce still folds in input order *)
+  let concat =
+    Parallel.map_reduce ~jobs:4 ~map:string_of_int ~reduce:( ^ ) ~init:""
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check string) "ordered fold" "12345" concat
+
+let test_default_jobs_env () =
+  Unix.putenv Parallel.jobs_env_var "3";
+  Alcotest.(check int) "UAS_JOBS=3" 3 (Parallel.default_jobs ());
+  Unix.putenv Parallel.jobs_env_var "not-a-number";
+  (match Parallel.default_jobs () with
+  | _ -> Alcotest.fail "malformed UAS_JOBS accepted"
+  | exception Invalid_argument _ -> ());
+  Unix.putenv Parallel.jobs_env_var "0";
+  (match Parallel.default_jobs () with
+  | _ -> Alcotest.fail "UAS_JOBS=0 accepted"
+  | exception Invalid_argument _ -> ());
+  (* leave a sane value behind for any later default-jobs caller *)
+  Unix.putenv Parallel.jobs_env_var "2"
+
+(* --- Instrument --- *)
+
+let test_instrument_disabled_is_noop () =
+  Instrument.set_enabled false;
+  Instrument.reset ();
+  Alcotest.(check int) "span runs the thunk" 42
+    (Instrument.span "noop" (fun () -> 42));
+  Instrument.incr "noop-counter";
+  Alcotest.(check bool) "nothing recorded" true
+    (Instrument.spans () = [] && Instrument.counters () = [])
+
+let test_instrument_records () =
+  Instrument.set_enabled true;
+  Instrument.reset ();
+  for _ = 1 to 5 do
+    ignore (Instrument.span "pass-a" (fun () -> Sys.opaque_identity 1))
+  done;
+  Instrument.incr "cells";
+  Instrument.incr ~by:4 "cells";
+  (match List.assoc_opt "pass-a" (Instrument.spans ()) with
+  | None -> Alcotest.fail "span pass-a missing"
+  | Some s ->
+    Alcotest.(check int) "calls" 5 s.Instrument.calls;
+    Alcotest.(check bool) "total >= max" true
+      (s.Instrument.total_s >= s.Instrument.max_s));
+  Alcotest.(check (list (pair string int)))
+    "counter" [ ("cells", 5) ] (Instrument.counters ());
+  (* spans record through exceptions too *)
+  (try Instrument.span "pass-b" (fun () -> failwith "x") with Failure _ -> ());
+  (match List.assoc_opt "pass-b" (Instrument.spans ()) with
+  | Some s -> Alcotest.(check int) "exceptional call counted" 1 s.Instrument.calls
+  | None -> Alcotest.fail "span pass-b missing");
+  let json = Instrument.to_json () in
+  Alcotest.(check bool) "json mentions spans and counters" true
+    (contains ~affix:"\"pass-a\"" json
+    && contains ~affix:"\"cells\":5" json);
+  Instrument.reset ();
+  Instrument.set_enabled false
+
+let test_instrument_thread_safe () =
+  Instrument.set_enabled true;
+  Instrument.reset ();
+  let _ =
+    Parallel.map ~jobs:4
+      (fun i ->
+        Instrument.span "par-span" (fun () -> Sys.opaque_identity i)
+        |> ignore;
+        Instrument.incr "par-count";
+        i)
+      (List.init 200 Fun.id)
+  in
+  (match List.assoc_opt "par-span" (Instrument.spans ()) with
+  | Some s -> Alcotest.(check int) "all spans recorded" 200 s.Instrument.calls
+  | None -> Alcotest.fail "par-span missing");
+  Alcotest.(check (list (pair string int)))
+    "all increments recorded" [ ("par-count", 200) ] (Instrument.counters ());
+  Instrument.reset ();
+  Instrument.set_enabled false
+
+(* --- the bench-harness target parser --- *)
+
+let available = [ "table-6.2"; "figure-2"; "micro" ]
+
+let ok_options =
+  Alcotest.testable
+    (fun ppf (o : Cli.options) ->
+      Fmt.pf ppf "{jobs=%a; timings=%b; targets=[%s]}"
+        Fmt.(option int)
+        o.Cli.o_jobs o.Cli.o_timings
+        (String.concat " " o.Cli.o_targets))
+    ( = )
+
+let check_ok msg args expected =
+  match Cli.parse ~available args with
+  | Ok o -> Alcotest.check ok_options msg expected o
+  | Error e -> Alcotest.failf "%s: unexpected parse error %s" msg e
+
+let check_error msg args =
+  match Cli.parse ~available args with
+  | Ok _ -> Alcotest.failf "%s: expected an error" msg
+  | Error e -> e
+
+let test_cli_parse () =
+  check_ok "no args" []
+    { Cli.o_jobs = None; o_timings = false; o_targets = [] };
+  check_ok "targets in order" [ "micro"; "table-6.2" ]
+    { Cli.o_jobs = None; o_timings = false; o_targets = [ "micro"; "table-6.2" ] };
+  check_ok "flags anywhere"
+    [ "-j"; "4"; "table-6.2"; "--timings" ]
+    { Cli.o_jobs = Some 4; o_timings = true; o_targets = [ "table-6.2" ] };
+  check_ok "--jobs alias" [ "--jobs"; "2" ]
+    { Cli.o_jobs = Some 2; o_timings = false; o_targets = [] }
+
+let test_cli_rejects_unknown_target () =
+  let e = check_error "typo" [ "table-6.2"; "tabel-6.3" ] in
+  Alcotest.(check bool) "names the bad target" true
+    (contains ~affix:"tabel-6.3" e);
+  Alcotest.(check bool) "lists the valid targets" true
+    (contains ~affix:"table-6.2" e
+    && contains ~affix:"micro" e)
+
+let test_cli_rejects_bad_jobs () =
+  ignore (check_error "-j without value" [ "-j" ]);
+  ignore (check_error "-j 0" [ "-j"; "0" ]);
+  ignore (check_error "-j noise" [ "-j"; "lots" ])
+
+let suite =
+  [ Alcotest.test_case "Parallel.map = List.map" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "Parallel.map edge sizes" `Quick
+      test_map_empty_and_singleton;
+    Alcotest.test_case "Parallel.map order under skew" `Quick
+      test_map_preserves_order_under_skew;
+    Alcotest.test_case "Parallel.map re-raises first failure" `Quick
+      test_map_reraises_first_input_failure;
+    Alcotest.test_case "Parallel.map_reduce" `Quick test_map_reduce;
+    Alcotest.test_case "UAS_JOBS parsing" `Quick test_default_jobs_env;
+    Alcotest.test_case "Instrument disabled = no-op" `Quick
+      test_instrument_disabled_is_noop;
+    Alcotest.test_case "Instrument records spans/counters" `Quick
+      test_instrument_records;
+    Alcotest.test_case "Instrument under the pool" `Quick
+      test_instrument_thread_safe;
+    Alcotest.test_case "bench CLI: parse" `Quick test_cli_parse;
+    Alcotest.test_case "bench CLI: unknown target" `Quick
+      test_cli_rejects_unknown_target;
+    Alcotest.test_case "bench CLI: bad -j" `Quick test_cli_rejects_bad_jobs ]
