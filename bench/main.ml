@@ -217,17 +217,18 @@ let combined () =
         [ N.Original; N.Jammed 2; N.Squashed 4; N.Combined (2, 2);
           N.Combined (2, 4); N.Combined (4, 2) ]
       in
-      let rows =
+      let outcomes =
         N.sweep ~versions ?jobs:!jobs b.S.Registry.b_program
           ~outer_index:b.S.Registry.b_outer_index
           ~inner_index:b.S.Registry.b_inner_index
       in
+      let rows = N.successes outcomes in
       let base =
         List.find_map
           (fun (v, _, r) -> if v = N.Original then Some r else None)
           rows
       in
-      match base with
+      (match base with
       | None -> ()
       | Some base ->
         List.iter
@@ -243,7 +244,11 @@ let combined () =
             Fmt.pr "%-18s %6d %8d %9.2f %8.2f %10.2f@." (N.version_name v)
               r.Uas_hw.Estimate.r_ii r.Uas_hw.Estimate.r_area_rows speedup
               area (speedup /. area))
-          rows)
+          rows);
+      List.iter
+        (fun (v, d) ->
+          Fmt.pr "skipped: %-12s — %a@." (N.version_name v) Uas_pass.Diag.pp d)
+        (N.skipped outcomes))
     (S.Registry.all ())
 
 let ablation_width () =

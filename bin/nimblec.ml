@@ -12,12 +12,60 @@ open Cmdliner
 module S = Uas_bench_suite
 module N = Uas_core.Nimble
 module E = Uas_core.Experiments
+module Cu = Uas_pass.Cu
+module Diag = Uas_pass.Diag
 
 let find_benchmark name =
   match S.Registry.find name with
   | Some b -> b
   | None ->
     Fmt.epr "unknown benchmark %s; try `nimblec list'@." name;
+    exit 2
+
+(* A transformation rejected at the requested factor exits with its
+   structured diagnostic, not an OCaml backtrace. *)
+let build_or_exit ?after (p : Uas_ir.Stmt.program) ~outer_index ~inner_index
+    version =
+  match N.build_version_result ?after p ~outer_index ~inner_index version with
+  | Ok built -> built
+  | Error d ->
+    Fmt.epr "nimblec: %a@." Diag.pp d;
+    exit 1
+
+(* --dump-after PASS: print the program (or the DFG, for the graph
+   stages) as it stands after the named pipeline pass. *)
+
+let dump_hook which ~pass cu =
+  if String.equal pass which then
+    match pass with
+    | "dfg-build" | "schedule" -> (
+      match Cu.dfg cu with
+      | Some d ->
+        Fmt.pr "// after pass %s (kernel %s)@.%s@." pass (Cu.inner_index cu)
+          (Uas_dfg.Dot.to_dot ~name:pass d.Uas_dfg.Build.d_graph)
+      | None -> ())
+    | _ ->
+      Fmt.pr "// after pass %s@.%a@." pass Uas_ir.Pp.pp_program
+        (Cu.program cu)
+
+let dump_after_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Print the IR after the named pipeline pass (DOT via Graphviz \
+           for the graph stages dfg-build/schedule).  Passes: loop-nest, \
+           legality, squash, jam, dfg-build, schedule, estimate.")
+
+(* The validated hook: [None] when not dumping. *)
+let dump_hook_of = function
+  | None -> None
+  | Some pass when List.mem pass Uas_pass.Stages.names ->
+    Some (dump_hook pass)
+  | Some pass ->
+    Fmt.epr "unknown pass %s; passes: %s@." pass
+      (String.concat ", " Uas_pass.Stages.names);
     exit 2
 
 let parse_version s =
@@ -94,10 +142,10 @@ let list_cmd =
 (* --- show --- *)
 
 let show_cmd =
-  let run name version =
+  let run name version dump_after =
     let b = find_benchmark name in
     let built =
-      N.build_version b.S.Registry.b_program
+      build_or_exit ?after:(dump_hook_of dump_after) b.S.Registry.b_program
         ~outer_index:b.S.Registry.b_outer_index
         ~inner_index:b.S.Registry.b_inner_index (parse_version version)
     in
@@ -105,15 +153,18 @@ let show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print the (transformed) program of a benchmark")
-    Term.(const run $ bench_arg $ version_arg)
+    Term.(const run $ bench_arg $ version_arg $ dump_after_arg)
 
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run name verify jobs timings =
+  let run name verify jobs timings dump_after =
     if timings then Uas_runtime.Instrument.set_enabled true;
     let b = find_benchmark name in
-    let row = E.run_benchmark ~verify ?jobs b in
+    let after = dump_hook_of dump_after in
+    (* dumping from pool domains would interleave: force sequential *)
+    let jobs = if Option.is_some after then Some 1 else jobs in
+    let row = E.run_benchmark ~verify ?jobs ?after b in
     Fmt.pr "%a@." E.pp_table_6_2 [ row ];
     Fmt.pr "%a@." E.pp_table_6_3 [ row ];
     if timings then Fmt.pr "%a" Uas_runtime.Instrument.pp_summary ()
@@ -128,7 +179,9 @@ let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate all paper versions of a benchmark (Table 6.2/6.3 rows)")
-    Term.(const run $ bench_arg $ verify $ jobs_arg $ timings_arg)
+    Term.(
+      const run $ bench_arg $ verify $ jobs_arg $ timings_arg
+      $ dump_after_arg)
 
 (* --- run --- *)
 
@@ -136,7 +189,7 @@ let run_cmd =
   let run name version =
     let b = find_benchmark name in
     let built =
-      N.build_version b.S.Registry.b_program
+      build_or_exit b.S.Registry.b_program
         ~outer_index:b.S.Registry.b_outer_index
         ~inner_index:b.S.Registry.b_inner_index (parse_version version)
     in
@@ -198,7 +251,7 @@ let export_cmd =
   let run name version path =
     let b = find_benchmark name in
     let built =
-      N.build_version b.S.Registry.b_program
+      build_or_exit b.S.Registry.b_program
         ~outer_index:b.S.Registry.b_outer_index
         ~inner_index:b.S.Registry.b_inner_index (parse_version version)
     in
@@ -218,7 +271,7 @@ let export_cmd =
 (* --- compile: transform a kernel from a source file --- *)
 
 let compile_cmd =
-  let run path version estimate_flag =
+  let run path version estimate_flag dump_after =
     let p =
       try Uas_ir.Parser.program_of_file path
       with Uas_ir.Parser.Parse_error e ->
@@ -239,8 +292,8 @@ let compile_cmd =
       let outer = nest.Uas_analysis.Loop_nest.outer_index in
       let inner = nest.Uas_analysis.Loop_nest.inner_index in
       let built =
-        N.build_version p ~outer_index:outer ~inner_index:inner
-          (parse_version version)
+        build_or_exit ?after:(dump_hook_of dump_after) p ~outer_index:outer
+          ~inner_index:inner (parse_version version)
       in
       Fmt.pr "%a@." Uas_ir.Pp.pp_program built.N.bv_program;
       if estimate_flag then begin
@@ -258,7 +311,7 @@ let compile_cmd =
     (Cmd.info "compile"
        ~doc:"Parse a kernel source file, transform its first loop nest, \
              print the result")
-    Term.(const run $ path $ version_arg $ estimate_flag)
+    Term.(const run $ path $ version_arg $ estimate_flag $ dump_after_arg)
 
 (* --- profile --- *)
 

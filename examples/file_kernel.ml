@@ -55,6 +55,7 @@ let () =
       ~versions:
         [ N.Original; N.Pipelined; N.Squashed 2; N.Squashed 4; N.Squashed 8;
           N.Jammed 2; N.Jammed 4; N.Combined (2, 2) ]
+    |> N.successes
   in
   Fmt.pr "@.%-18s %6s %8s %6s@." "version" "II" "area" "regs";
   List.iter

@@ -96,9 +96,13 @@ let find (p : Stmt.program) : t list =
   in
   List.rev (scan [] p.body)
 
+(** The nest whose outer index is [index], if any. *)
+let find_by_outer_index_opt (p : Stmt.program) index : t option =
+  List.find_opt (fun n -> String.equal n.outer_index index) (find p)
+
 (** The nest whose outer index is [index].  @raise Not_found *)
 let find_by_outer_index (p : Stmt.program) index : t =
-  match List.find_opt (fun n -> String.equal n.outer_index index) (find p) with
+  match find_by_outer_index_opt p index with
   | Some n -> n
   | None -> raise Not_found
 

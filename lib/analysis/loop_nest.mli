@@ -29,6 +29,9 @@ val of_loop : Stmt.loop -> t option
 (** All 2-deep nests of the program, outermost first. *)
 val find : Stmt.program -> t list
 
+(** The nest with this outer index, or [None]. *)
+val find_by_outer_index_opt : Stmt.program -> string -> t option
+
 (** @raise Not_found when no nest has this outer index. *)
 val find_by_outer_index : Stmt.program -> string -> t
 

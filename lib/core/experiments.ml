@@ -17,9 +17,15 @@ type cell = {
   c_verified : bool;  (** outputs match the host reference *)
 }
 
+type skip = {
+  s_version : Nimble.version;
+  s_diag : Uas_pass.Diag.t;  (** why the version was not built *)
+}
+
 type bench_row = {
   br_benchmark : Registry.benchmark;
-  br_cells : cell list;  (** in [Nimble.paper_versions] order *)
+  br_cells : cell list;  (** built versions, in request order *)
+  br_skipped : skip list;  (** versions rejected by a pass, in order *)
 }
 
 type normalized = {
@@ -31,48 +37,51 @@ type normalized = {
   n_operator_share : float;  (** operators as a fraction of area (Fig 6.4) *)
 }
 
-(* One (benchmark, version) cell: build, estimate, and interpreter-
-   replay verification — the independent unit of work the pool fans
-   out.  Nothing here touches shared mutable state: the transforms are
-   pure, [Interp.run] copies the workload's input arrays, and the
-   benchmark record is only read. *)
-let build_cell ~target ~verify (b : Registry.benchmark)
-    (v : Nimble.version) : cell option =
+(* One (benchmark, version) cell: the version's pass pipeline
+   (transform + quick synthesis) plus interpreter-replay verification —
+   the independent unit of work the pool fans out.  Nothing here
+   touches shared mutable state: each pipeline run builds its own
+   compilation unit, [Interp.run] copies the workload's input arrays,
+   and the benchmark record is only read. *)
+let build_cell ?after ~target ~verify (b : Registry.benchmark)
+    (v : Nimble.version) : (cell, skip) result =
   match
-    Nimble.build_version b.Registry.b_program
+    Nimble.run_version ~target ?after b.Registry.b_program
       ~outer_index:b.Registry.b_outer_index
       ~inner_index:b.Registry.b_inner_index v
   with
-  | exception
-      ( Uas_transform.Squash.Squash_error _
-      | Uas_transform.Unroll_and_jam.Jam_error _ ) ->
-    Instrument.incr "sweep.illegal-versions";
-    None
-  | built ->
-    let report = Nimble.estimate ~target built in
+  | Nimble.Skipped d -> Error { s_version = v; s_diag = d }
+  | Nimble.Built (built, report) ->
     let verified =
       (not verify)
-      || Instrument.span "verify" (fun () ->
+      || Instrument.span "pass.verify" (fun () ->
              match
                Registry.check_against_reference b built.Nimble.bv_program
              with
              | Ok () -> true
              | Error _ -> false)
     in
-    Some { c_version = v; c_report = report; c_verified = verified }
+    Ok { c_version = v; c_report = report; c_verified = verified }
+
+let row_of_results b results =
+  { br_benchmark = b;
+    br_cells = List.filter_map Result.to_option results;
+    br_skipped =
+      List.filter_map
+        (function Ok _ -> None | Error s -> Some s)
+        results }
 
 (** Run the full Table 6.2 sweep for one benchmark, versions fanned out
     over the domain pool.  [verify] replays every transformed program
     in the interpreter against the host reference (slower; on by
-    default). *)
+    default).  [after] observes the compilation unit after every pass
+    (nimblec's [--dump-after]); dumping interleaves across domains, so
+    pass [jobs:1] with it. *)
 let run_benchmark ?(target = Datapath.default) ?(verify = true)
-    ?(versions = Nimble.paper_versions) ?jobs (b : Registry.benchmark) :
-    bench_row =
-  let cells =
-    List.filter_map Fun.id
-      (Parallel.map ?jobs (build_cell ~target ~verify b) versions)
-  in
-  { br_benchmark = b; br_cells = cells }
+    ?(versions = Nimble.paper_versions) ?jobs ?after
+    (b : Registry.benchmark) : bench_row =
+  row_of_results b
+    (Parallel.map ?jobs (build_cell ?after ~target ~verify b) versions)
 
 (** Table 6.2 over the whole suite.  All (benchmark, version) cells —
     ~50 independent build+estimate+verify tasks — go through one flat
@@ -92,11 +101,7 @@ let table_6_2 ?(target = Datapath.default) ?(verify = true) ?jobs () :
   let nv = List.length versions in
   List.mapi
     (fun bi b ->
-      let br_cells =
-        List.filteri (fun i _ -> i / nv = bi) cells
-        |> List.filter_map Fun.id
-      in
-      { br_benchmark = b; br_cells })
+      row_of_results b (List.filteri (fun i _ -> i / nv = bi) cells))
     benches
 
 (** Normalize one benchmark row against its original version
@@ -187,6 +192,17 @@ let figure_2_4 ~cycles : (string * usage_cell list) list =
 
 let pp_version ppf v = Fmt.string ppf (Nimble.version_name v)
 
+(* The skipped-version footer shared by the Table 6.2/6.3 printers:
+   one "skipped: <version> — <diagnostic>" line per version a pass
+   rejected.  Empty (and silent) when every version built. *)
+let pp_skipped ppf (skips : skip list) =
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "  skipped: %-12s — %a@\n"
+        (Nimble.version_name s.s_version)
+        Uas_pass.Diag.pp s.s_diag)
+    skips
+
 let pp_table_6_2 ppf (rows : bench_row list) =
   Fmt.pf ppf "Table 6.2: raw data — II (cycles), area (rows), registers@\n";
   List.iter
@@ -202,7 +218,8 @@ let pp_table_6_2 ppf (rows : bench_row list) =
             r.Estimate.r_ii r.Estimate.r_area_rows r.Estimate.r_registers
             r.Estimate.r_mem_refs
             (if c.c_verified then "yes" else "NO"))
-        row.br_cells)
+        row.br_cells;
+      pp_skipped ppf row.br_skipped)
     rows
 
 let pp_table_6_3 ppf (rows : bench_row list) =
@@ -218,7 +235,8 @@ let pp_table_6_3 ppf (rows : bench_row list) =
           Fmt.pf ppf "  %-12s %8.2f %8.2f %8.2f %9.2f@\n"
             (Nimble.version_name n.n_version)
             n.n_speedup n.n_area n.n_registers n.n_efficiency)
-        (normalize row))
+        (normalize row);
+      pp_skipped ppf row.br_skipped)
     rows
 
 let pp_series ~unit_label ppf (s : series) =

@@ -14,9 +14,17 @@ type cell = {
   c_verified : bool;  (** outputs match the host reference *)
 }
 
+type skip = {
+  s_version : Nimble.version;
+  s_diag : Uas_pass.Diag.t;  (** why the version was not built *)
+}
+
 type bench_row = {
   br_benchmark : Registry.benchmark;
-  br_cells : cell list;
+  br_cells : cell list;  (** built versions, in request order *)
+  br_skipped : skip list;
+      (** versions a pass rejected — reported in the table footers,
+          never silently dropped *)
 }
 
 type normalized = {
@@ -32,12 +40,15 @@ type normalized = {
     [Uas_runtime.Parallel] pool of [jobs] domains (default: [UAS_JOBS]
     or the core count; cells are input-ordered and bit-identical to a
     sequential run).  [verify] replays every version in the interpreter
-    (on by default). *)
+    (on by default).  [after] observes the compilation unit after every
+    pipeline pass (pass [jobs:1] with it — output hooks interleave
+    across domains). *)
 val run_benchmark :
   ?target:Datapath.t ->
   ?verify:bool ->
   ?versions:Nimble.version list ->
   ?jobs:int ->
+  ?after:Uas_pass.Pass.hook ->
   Registry.benchmark ->
   bench_row
 

@@ -3,18 +3,26 @@
    quick-synthesis model, and can select the best version by a given
    figure of merit (the kernel-selection step).
 
+   Every version is built by running a pass pipeline (Uas_pass) over a
+   compilation unit: the transform passes composed per version, then
+   the quick-synthesis passes (dfg-build / schedule / estimate).  A
+   version whose transformation is illegal at the requested factor
+   yields a structured diagnostic instead of an exception — the sweep
+   reports it per version rather than silently dropping the row.
+
    The ten versions per benchmark: original (non-pipelined), pipelined,
    unroll-and-squash by 2/4/8/16, pipelined unroll-and-jam by
    2/4/8/16. *)
 
 open Uas_ir
-module Loop_nest = Uas_analysis.Loop_nest
-module Squash = Uas_transform.Squash
-module Jam = Uas_transform.Unroll_and_jam
 module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
 module Parallel = Uas_runtime.Parallel
 module Instrument = Uas_runtime.Instrument
+module Cu = Uas_pass.Cu
+module Diag = Uas_pass.Diag
+module Pass = Uas_pass.Pass
+module Stages = Uas_pass.Stages
 
 type version =
   | Original
@@ -45,67 +53,105 @@ type built = {
   bv_kernel_index : string;  (** loop index of the hardware kernel *)
 }
 
-(** Apply [version] to the nest identified by [outer_index] in [p].
-    The returned program is the complete transformed program (still
-    runnable in software); the kernel index locates the loop that maps
-    to hardware. *)
+(** Is the version's hardware kernel overlapped (modulo-scheduled)?
+    Only the original non-pipelined design is not. *)
+let pipelined = function Original -> false | _ -> true
+
+(** The transformation pipeline of a version: locate/analyze the nest,
+    then the squash/jam composition. *)
+let transform_passes (version : version) : Pass.t list =
+  Stages.analyze
+  ::
+  (match version with
+  | Original | Pipelined -> []
+  | Squashed ds -> [ Stages.squash ~ds ]
+  | Jammed ds -> [ Stages.jam ~ds ]
+  | Combined (jam_ds, squash_ds) ->
+    (* the squash pass re-analyzes the jammed program: the jam pass
+       invalidated the loop-nest cache along with the program *)
+    [ Stages.jam ~ds:jam_ds; Stages.squash ~ds:squash_ds ])
+
+(** The quick-synthesis pipeline of a version (§5.2): DFG, schedule,
+    estimate report. *)
+let estimate_passes ?(target = Datapath.default) (version : version) :
+    Pass.t list =
+  let pipelined = pipelined version in
+  [ Stages.dfg_build ~target ();
+    Stages.schedule ~target ~pipelined ();
+    Stages.estimate ~target ~pipelined ~name:(version_name version) () ]
+
+let built_of_cu version cu =
+  { bv_version = version;
+    bv_program = Cu.program cu;
+    bv_kernel_index = Cu.inner_index cu }
+
+(** Apply [version] to the nest identified by [outer_index] in [p],
+    running the transformation pipeline.  [after] is called with the
+    compilation unit after every pass (nimblec's [--dump-after]). *)
+let build_version_result ?after (p : Stmt.program) ~outer_index ~inner_index
+    (version : version) : (built, Diag.t) result =
+  let cu = Cu.make p ~outer_index ~inner_index in
+  Result.map (built_of_cu version) (Pass.run ?after cu (transform_passes version))
+
+(** [build_version_result], raising the diagnostic.
+    @raise Uas_pass.Diag.Failed when the transformation is illegal at
+    the requested factor (or the nest is missing). *)
 let build_version (p : Stmt.program) ~outer_index ~inner_index
     (version : version) : built =
-  let find q idx = Instrument.span "analyze" (fun () ->
-      Loop_nest.find_by_outer_index q idx)
-  in
-  let squash q nest ~ds = Instrument.span "build" (fun () ->
-      Squash.apply q nest ~ds)
-  in
-  let jam q nest ~ds = Instrument.span "build" (fun () ->
-      Jam.apply q nest ~ds)
-  in
-  match version with
-  | Original | Pipelined ->
-    { bv_version = version; bv_program = p; bv_kernel_index = inner_index }
-  | Squashed ds ->
-    let nest = find p outer_index in
-    let out = squash p nest ~ds in
-    { bv_version = version;
-      bv_program = out.Squash.program;
-      bv_kernel_index = out.Squash.new_inner_index }
-  | Jammed ds ->
-    let nest = find p outer_index in
-    let out = jam p nest ~ds in
-    { bv_version = version;
-      bv_program = out.Jam.program;
-      bv_kernel_index = inner_index }
-  | Combined (jam_ds, squash_ds) ->
-    let nest = find p outer_index in
-    let jammed = jam p nest ~ds:jam_ds in
-    let nest' = find jammed.Jam.program outer_index in
-    let out = squash jammed.Jam.program nest' ~ds:squash_ds in
-    { bv_version = version;
-      bv_program = out.Squash.program;
-      bv_kernel_index = out.Squash.new_inner_index }
+  match build_version_result p ~outer_index ~inner_index version with
+  | Ok b -> b
+  | Error d -> Diag.fail d
 
 (** Estimate a built version on [target]. *)
 let estimate ?(target = Datapath.default) (b : built) : Estimate.report =
-  let pipelined = match b.bv_version with Original -> false | _ -> true in
-  Estimate.kernel ~target ~pipelined
+  Estimate.kernel ~target ~pipelined:(pipelined b.bv_version)
     ~name:(version_name b.bv_version)
     b.bv_program ~index:b.bv_kernel_index
 
+(** Per-version result of a sweep: the built program with its report,
+    or the diagnostic explaining why the version was skipped. *)
+type outcome = Built of built * Estimate.report | Skipped of Diag.t
+
+(** Transform + quick-synthesis pipeline for one version, end to
+    end. *)
+let run_version ?(target = Datapath.default) ?after (p : Stmt.program)
+    ~outer_index ~inner_index (version : version) : outcome =
+  let cu = Cu.make p ~outer_index ~inner_index in
+  let passes = transform_passes version @ estimate_passes ~target version in
+  match Pass.run ?after cu passes with
+  | Ok cu -> (
+    match Cu.report cu with
+    | Some r -> Built (built_of_cu version cu, r)
+    | None ->
+      (* the estimate pass always sets the report artifact *)
+      assert false)
+  | Error d ->
+    Instrument.incr "sweep.illegal-versions";
+    Skipped d
+
 (** Build and estimate every requested version of a benchmark nest,
-    fanning the independent versions out over the domain pool.
-    Versions whose transformation is illegal at that factor are
-    dropped. *)
+    fanning the independent versions out over the domain pool.  Every
+    version gets an outcome: [Built] with its report, or [Skipped] with
+    the diagnostic of the pass that rejected it. *)
 let sweep ?(target = Datapath.default) ?(versions = paper_versions) ?jobs
     (p : Stmt.program) ~outer_index ~inner_index :
+    (version * outcome) list =
+  Parallel.map ?jobs
+    (fun v -> (v, run_version ~target p ~outer_index ~inner_index v))
+    versions
+
+(** The successfully built rows of a sweep, in sweep order. *)
+let successes (rows : (version * outcome) list) :
     (version * built * Estimate.report) list =
-  let build_one v =
-    match build_version p ~outer_index ~inner_index v with
-    | b -> Some (v, b, estimate ~target b)
-    | exception (Squash.Squash_error _ | Jam.Jam_error _) ->
-      Instrument.incr "sweep.illegal-versions";
-      None
-  in
-  List.filter_map Fun.id (Parallel.map ?jobs build_one versions)
+  List.filter_map
+    (function v, Built (b, r) -> Some (v, b, r) | _, Skipped _ -> None)
+    rows
+
+(** The skipped versions of a sweep with their diagnostics. *)
+let skipped (rows : (version * outcome) list) : (version * Diag.t) list =
+  List.filter_map
+    (function v, Skipped d -> Some (v, d) | _, Built _ -> None)
+    rows
 
 (** Kernel selection: the version maximizing speedup per area (the
     efficiency metric of Figure 6.3), given the original's report as

@@ -1,6 +1,11 @@
 (** The Nimble-Compiler-style driver (§5.2): generate the transformed
     versions Table 6.2 compares, estimate each, and select the best by
-    the Figure 6.3 efficiency metric. *)
+    the Figure 6.3 efficiency metric.
+
+    Every version runs as a {!Uas_pass} pipeline — transform passes
+    composed per version, then the quick-synthesis passes — so
+    [--timings] spans cover each pass and illegal versions surface as
+    structured diagnostics instead of exceptions. *)
 
 open Uas_ir
 
@@ -23,18 +28,58 @@ type built = {
   bv_kernel_index : string;  (** loop index of the hardware kernel *)
 }
 
-(** Apply one version to the nest identified by [outer_index].
-    @raise Squash.Squash_error / Jam_error when the transformation is
-    illegal at that factor. *)
+(** Overlapped (modulo-scheduled) hardware kernel?  False only for
+    [Original]. *)
+val pipelined : version -> bool
+
+(** The transformation pipeline of a version: [loop-nest] analysis then
+    the squash/jam composition. *)
+val transform_passes : version -> Uas_pass.Pass.t list
+
+(** The quick-synthesis pipeline: [dfg-build; schedule; estimate]. *)
+val estimate_passes :
+  ?target:Uas_hw.Datapath.t -> version -> Uas_pass.Pass.t list
+
+(** Apply one version to the nest identified by [outer_index] by
+    running its transformation pipeline.  [after] observes the
+    compilation unit after each pass. *)
+val build_version_result :
+  ?after:Uas_pass.Pass.hook ->
+  Stmt.program ->
+  outer_index:string ->
+  inner_index:string ->
+  version ->
+  (built, Uas_pass.Diag.t) result
+
+(** [build_version_result], raising on failure.
+    @raise Uas_pass.Diag.Failed when the transformation is illegal at
+    that factor. *)
 val build_version :
   Stmt.program -> outer_index:string -> inner_index:string -> version -> built
 
 val estimate : ?target:Uas_hw.Datapath.t -> built -> Uas_hw.Estimate.report
 
+(** Per-version sweep result: built with its report, or skipped with
+    the diagnostic of the rejecting pass. *)
+type outcome =
+  | Built of built * Uas_hw.Estimate.report
+  | Skipped of Uas_pass.Diag.t
+
+(** Run one version's full pipeline (transform + quick synthesis). *)
+val run_version :
+  ?target:Uas_hw.Datapath.t ->
+  ?after:Uas_pass.Pass.hook ->
+  Stmt.program ->
+  outer_index:string ->
+  inner_index:string ->
+  version ->
+  outcome
+
 (** Build and estimate every requested version, fanned out over a
     [Uas_runtime.Parallel] pool of [jobs] domains (default: [UAS_JOBS]
     or the core count).  Results are input-ordered and identical to a
-    sequential run; illegal factors are dropped from the result. *)
+    sequential run; every version is reported — illegal factors as
+    [Skipped] with their diagnostic, never silently dropped. *)
 val sweep :
   ?target:Uas_hw.Datapath.t ->
   ?versions:version list ->
@@ -42,7 +87,15 @@ val sweep :
   Stmt.program ->
   outer_index:string ->
   inner_index:string ->
+  (version * outcome) list
+
+(** The successfully built rows, in sweep order. *)
+val successes :
+  (version * outcome) list ->
   (version * built * Uas_hw.Estimate.report) list
+
+(** The skipped versions with their diagnostics, in sweep order. *)
+val skipped : (version * outcome) list -> (version * Uas_pass.Diag.t) list
 
 (** The version maximizing speedup per area over the [Original]
     baseline; [None] without a baseline. *)

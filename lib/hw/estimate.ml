@@ -79,30 +79,38 @@ let kernel_iterations (p : Stmt.program) ~index : int =
   in
   List.fold_left ( * ) own enclosing
 
-(** Estimate the kernel identified by loop [index] in [p].
+(* The three quick-synthesis stages, exposed separately so the pass
+   pipeline (Uas_pass.Stages) can run them as individual passes with
+   their intermediate artifacts cached on the compilation unit.
+   [kernel] below composes exactly these three, so a staged run and a
+   monolithic run produce identical reports. *)
 
-    [pipelined] selects overlapped (modulo-scheduled) execution; the
-    original designs of Table 6.2 use [pipelined:false]. *)
-let kernel ?(target = Datapath.default) ?(pipelined = true) ?name
-    (p : Stmt.program) ~index : report =
-  Uas_runtime.Instrument.span "estimate" @@ fun () ->
+(** Stage 1: locate the kernel loop and build its DFG (with per-node
+    semantics).  @raise Not_a_kernel as for {!kernel}. *)
+let kernel_detail ?(target = Datapath.default) (p : Stmt.program) ~index :
+    Build.detailed =
   let l, _ = find_kernel p ~index in
   if not (Stmt.is_straight_line l.body) then
     raise
       (Not_a_kernel
          (Printf.sprintf "kernel %s body is not a single basic block" index));
-  let detail =
-    Uas_runtime.Instrument.span "dfg-build" (fun () ->
-        Build.build_detailed ~delay_of:target.Datapath.delay_of
-          ~inner_index:l.index l.body)
-  in
-  let g = detail.Build.d_graph in
+  Uas_runtime.Instrument.span "dfg-build" (fun () ->
+      Build.build_detailed ~delay_of:target.Datapath.delay_of
+        ~inner_index:l.index l.body)
+
+(** Stage 2: schedule the kernel DFG under the target's port budget. *)
+let kernel_schedule ?(target = Datapath.default) ?(pipelined = true)
+    (detail : Build.detailed) : Sched.schedule =
   let cfg = Datapath.sched_config target in
-  let sched =
-    Uas_runtime.Instrument.span "schedule" (fun () ->
-        if pipelined then Sched.modulo_schedule ~cfg g
-        else Sched.list_schedule ~cfg g)
-  in
+  Uas_runtime.Instrument.span "schedule" (fun () ->
+      if pipelined then Sched.modulo_schedule ~cfg detail.Build.d_graph
+      else Sched.list_schedule ~cfg detail.Build.d_graph)
+
+(** Stage 3: derive the report from the DFG and its schedule. *)
+let assemble ?(target = Datapath.default) ?(pipelined = true) ?name
+    (p : Stmt.program) ~index (detail : Build.detailed)
+    (sched : Sched.schedule) : report =
+  let g = detail.Build.d_graph in
   let ii = if pipelined then sched.Sched.s_ii else sched.Sched.s_length in
   let registers = Sched.register_estimate g { sched with Sched.s_ii = ii } in
   let operator_rows =
@@ -125,6 +133,17 @@ let kernel ?(target = Datapath.default) ?(pipelined = true) ?name
     r_mem_refs = Graph.memory_op_count g;
     r_kernel_iterations = iterations;
     r_total_cycles = ii * iterations }
+
+(** Estimate the kernel identified by loop [index] in [p].
+
+    [pipelined] selects overlapped (modulo-scheduled) execution; the
+    original designs of Table 6.2 use [pipelined:false]. *)
+let kernel ?(target = Datapath.default) ?(pipelined = true) ?name
+    (p : Stmt.program) ~index : report =
+  Uas_runtime.Instrument.span "estimate" @@ fun () ->
+  let detail = kernel_detail ~target p ~index in
+  let sched = kernel_schedule ~target ~pipelined detail in
+  assemble ~target ~pipelined ?name p ~index detail sched
 
 (** Operator share of the area, the quantity of Figure 6.4. *)
 let operator_area_fraction (r : report) : float =

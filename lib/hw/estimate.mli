@@ -28,6 +28,36 @@ exception Not_a_kernel of string
     bounds or a missing loop. *)
 val kernel_iterations : Stmt.program -> index:string -> int
 
+(** The quick-synthesis flow split into its three stages, so the pass
+    pipeline can run them individually and cache the artifacts.
+    [kernel] composes exactly these three — a staged run produces a
+    bit-identical report. *)
+
+(** Locate the kernel loop and build its DFG with per-node semantics.
+    @raise Not_a_kernel as for {!kernel}. *)
+val kernel_detail :
+  ?target:Datapath.t -> Stmt.program -> index:string -> Uas_dfg.Build.detailed
+
+(** Schedule a kernel DFG under the target's memory-port budget
+    ([pipelined] selects modulo vs list scheduling, default true). *)
+val kernel_schedule :
+  ?target:Datapath.t ->
+  ?pipelined:bool ->
+  Uas_dfg.Build.detailed ->
+  Uas_dfg.Sched.schedule
+
+(** Derive the report from a kernel DFG and its schedule.
+    @raise Not_a_kernel when the trip counts are dynamic. *)
+val assemble :
+  ?target:Datapath.t ->
+  ?pipelined:bool ->
+  ?name:string ->
+  Stmt.program ->
+  index:string ->
+  Uas_dfg.Build.detailed ->
+  Uas_dfg.Sched.schedule ->
+  report
+
 (** Estimate the kernel identified by the loop index.  [pipelined]
     selects overlapped (modulo-scheduled) execution; the Table 6.2
     "original" designs use [pipelined:false].

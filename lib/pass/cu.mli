@@ -1,0 +1,97 @@
+(** The typed compilation unit the pass pipeline threads: a program, the
+    kernel nest location, memoized analyses (loop nest, def/use,
+    liveness, induction variables, array dependences), and the optional
+    downstream artifacts (kernel DFG, schedule, hardware estimate).
+
+    Analyses are computed on first demand and cached; a transform pass
+    replaces the program through {!with_program}, which starts a fresh
+    cache (minus anything the pass declares it [preserves]) — the
+    invalidation story that keeps memoization sound.
+
+    A unit is confined to one domain: the sweep engine builds a fresh
+    unit per (benchmark, version) task, so the mutable caches need no
+    locking.  Cache traffic is visible through {!hits}/{!misses} and,
+    when instrumentation is enabled, the [cu.analysis-hit]/
+    [cu.analysis-miss] counters. *)
+
+open Uas_ir
+module Loop_nest = Uas_analysis.Loop_nest
+module Dependence = Uas_analysis.Dependence
+module Induction = Uas_analysis.Induction
+
+(** The analyses a unit memoizes (the artifacts below are invalidated
+    unconditionally by a program change). *)
+type analysis = Nest | Def_use | Liveness | Induction | Dependence
+
+val analysis_name : analysis -> string
+val all_analyses : analysis list
+
+(** Def/use summary of the kernel nest's inner body. *)
+type def_use = {
+  du_upward_exposed : Stmt.Sset.t;  (** read before any write *)
+  du_defined : Stmt.Sset.t;
+  du_loop_carried : Stmt.Sset.t;  (** upward-exposed and defined *)
+}
+
+(** Liveness summary of the kernel nest's inner body. *)
+type liveness = {
+  lv_live_out : Stmt.Sset.t;  (** candidates observable after the body *)
+  lv_max_live : int;  (** peak simultaneously-live scalars *)
+}
+
+type t
+
+(** A fresh unit with an empty cache.  [outer_index]/[inner_index]
+    locate the kernel nest (as in {!Uas_core.Nimble.build_version}). *)
+val make : Stmt.program -> outer_index:string -> inner_index:string -> t
+
+val program : t -> Stmt.program
+val outer_index : t -> string
+
+(** Loop index of the hardware kernel — updated by the squash pass,
+    whose steady-state loop gets a new index. *)
+val inner_index : t -> string
+
+(** [with_program cu p] is the unit a transform pass returns: program
+    replaced, analyses dropped except those in [preserves] (default:
+    none), artifacts dropped, cache counters carried over.
+    [inner_index] re-points the kernel when the transform moved it. *)
+val with_program :
+  ?preserves:analysis list -> ?inner_index:string -> t -> Stmt.program -> t
+
+(** {2 Memoized analyses} *)
+
+(** The kernel nest.  @raise Not_found when the outer index matches no
+    2-deep nest. *)
+val nest : t -> Loop_nest.t
+
+val def_use : t -> def_use
+val liveness : t -> liveness
+
+(** Induction variables of the kernel nest's outer loop. *)
+val induction : t -> Induction.t list
+
+(** All potentially dependent array access pairs of the kernel nest. *)
+val dependence :
+  t ->
+  (Dependence.access * Dependence.access * Dependence.outer_distance) list
+
+(** {2 Artifacts} *)
+
+val dfg : t -> Uas_dfg.Build.detailed option
+val set_dfg : t -> Uas_dfg.Build.detailed -> unit
+val schedule : t -> Uas_dfg.Sched.schedule option
+val set_schedule : t -> Uas_dfg.Sched.schedule -> unit
+val report : t -> Uas_hw.Estimate.report option
+val set_report : t -> Uas_hw.Estimate.report -> unit
+
+(** {2 Cache introspection (tests, counters)} *)
+
+(** Is this analysis currently cached? *)
+val cached : t -> analysis -> bool
+
+(** Memoized lookups served from the cache since [make]. *)
+val hits : t -> int
+
+(** Analyses actually computed since [make]. *)
+val misses : t -> int

@@ -1,0 +1,106 @@
+(* The standard passes: each wraps one existing compiler stage in the
+   Pass/Cu/Diag protocol.  Artifact-producing stages (dfg-build,
+   schedule, estimate) are written ensure-style — they reuse a cached
+   artifact when an earlier pass already built it, and build it
+   themselves when run standalone — so pipelines stay composable
+   without recomputation. *)
+
+module Loop_nest = Uas_analysis.Loop_nest
+module Legality = Uas_analysis.Legality
+module Squash = Uas_transform.Squash
+module Jam = Uas_transform.Unroll_and_jam
+module Estimate = Uas_hw.Estimate
+module Datapath = Uas_hw.Datapath
+
+let analyze =
+  Pass.v "loop-nest" (fun cu ->
+      match
+        Loop_nest.find_by_outer_index_opt (Cu.program cu) (Cu.outer_index cu)
+      with
+      | None ->
+        Error
+          (Diag.errorf ~pass:"loop-nest" ~loop:(Cu.outer_index cu)
+             "no 2-deep loop nest with outer index %s" (Cu.outer_index cu))
+      | Some _ ->
+        (* warm the caches the downstream passes consult *)
+        ignore (Cu.nest cu);
+        ignore (Cu.def_use cu);
+        ignore (Cu.liveness cu);
+        ignore (Cu.induction cu);
+        Ok cu)
+
+let legality ~ds =
+  Pass.v "legality" (fun cu ->
+      let verdict = Legality.check (Cu.nest cu) ~ds in
+      if verdict.Legality.ok then Ok cu
+      else
+        Error
+          (Diag.errorf ~pass:"legality" ~loop:(Cu.outer_index cu)
+             "factor %d: %a" ds Legality.pp_verdict verdict))
+
+let squash ~ds =
+  Pass.v "squash" (fun cu ->
+      match Squash.apply_res (Cu.program cu) (Cu.nest cu) ~ds with
+      | Ok out ->
+        Ok
+          (Cu.with_program cu out.Squash.program
+             ~inner_index:out.Squash.new_inner_index)
+      | Error e ->
+        Error
+          (Diag.errorf ~pass:"squash" ~loop:(Cu.outer_index cu)
+             "factor %d: %a" ds Squash.pp_error e))
+
+let jam ~ds =
+  Pass.v "jam" (fun cu ->
+      match Jam.apply_res (Cu.program cu) (Cu.nest cu) ~ds with
+      | Ok out -> Ok (Cu.with_program cu out.Jam.program)
+      | Error verdict ->
+        Error
+          (Diag.errorf ~pass:"jam" ~loop:(Cu.outer_index cu) "factor %d: %a"
+             ds Legality.pp_verdict verdict))
+
+(* ensure-style artifact accessors *)
+
+let ensure_dfg ~target cu =
+  match Cu.dfg cu with
+  | Some d -> d
+  | None ->
+    let d =
+      Estimate.kernel_detail ~target (Cu.program cu)
+        ~index:(Cu.inner_index cu)
+    in
+    Cu.set_dfg cu d;
+    d
+
+let ensure_schedule ~target ~pipelined cu =
+  match Cu.schedule cu with
+  | Some s -> s
+  | None ->
+    let s = Estimate.kernel_schedule ~target ~pipelined (ensure_dfg ~target cu) in
+    Cu.set_schedule cu s;
+    s
+
+let dfg_build ?(target = Datapath.default) () =
+  Pass.v "dfg-build" (fun cu ->
+      ignore (ensure_dfg ~target cu);
+      Ok cu)
+
+let schedule ?(target = Datapath.default) ~pipelined () =
+  Pass.v "schedule" (fun cu ->
+      ignore (ensure_schedule ~target ~pipelined cu);
+      Ok cu)
+
+let estimate ?(target = Datapath.default) ~pipelined ?name () =
+  Pass.v "estimate" (fun cu ->
+      let detail = ensure_dfg ~target cu in
+      let sched = ensure_schedule ~target ~pipelined cu in
+      let report =
+        Estimate.assemble ~target ~pipelined ?name (Cu.program cu)
+          ~index:(Cu.inner_index cu) detail sched
+      in
+      Cu.set_report cu report;
+      Ok cu)
+
+let names =
+  [ "loop-nest"; "legality"; "squash"; "jam"; "dfg-build"; "schedule";
+    "estimate" ]

@@ -1,0 +1,40 @@
+(** The standard passes of the Nimble-style flow, each a thin pass
+    wrapper over an existing [lib/analysis] / [lib/transform] /
+    [lib/dfg] / [lib/hw] stage.  See docs/PIPELINE.md for the
+    pass-ordering table and the thesis section each pass reproduces. *)
+
+module Datapath = Uas_hw.Datapath
+
+(** ["loop-nest"]: locate the kernel nest and warm the def/use,
+    liveness, and induction caches.  Fails with a diagnostic when the
+    outer index matches no 2-deep nest. *)
+val analyze : Pass.t
+
+(** ["legality"]: the §4.1/§4.2 check at factor [ds]; fails with the
+    verdict's violations when the nest is not transformable.  Squash
+    and jam re-derive the verdict internally (it also carries their
+    enabling rewrites), so this pass is for early/explicit checking. *)
+val legality : ds:int -> Pass.t
+
+(** ["squash"]: unroll-and-squash by [ds]; re-points the kernel to the
+    squashed steady loop. *)
+val squash : ds:int -> Pass.t
+
+(** ["jam"]: unroll-and-jam by [ds]; the kernel index is unchanged. *)
+val jam : ds:int -> Pass.t
+
+(** ["dfg-build"]: build the kernel DFG artifact. *)
+val dfg_build : ?target:Datapath.t -> unit -> Pass.t
+
+(** ["schedule"]: schedule the kernel DFG (modulo when [pipelined],
+    list otherwise), building the DFG first if missing. *)
+val schedule : ?target:Datapath.t -> pipelined:bool -> unit -> Pass.t
+
+(** ["estimate"]: assemble the hardware report from the cached DFG and
+    schedule artifacts (building them if missing) — bit-identical to
+    [Uas_hw.Estimate.kernel]. *)
+val estimate : ?target:Datapath.t -> pipelined:bool -> ?name:string -> unit -> Pass.t
+
+(** Every stage name above, in canonical pipeline order — the valid
+    arguments of nimblec's [--dump-after]. *)
+val names : string list

@@ -7,9 +7,13 @@
     shared by all pool domains and guarded by a single mutex — spans
     only lock on entry/exit, never during the timed work.
 
-    The conventional span names wired through the flow are [analyze]
-    (loop-nest lookup), [build] (squash/jam construction), [dfg-build],
-    [schedule], [estimate] and [verify]. *)
+    The {!Uas_pass.Pass} runner names its spans [pass.<name>] — one per
+    pipeline pass ([pass.loop-nest], [pass.squash], [pass.jam],
+    [pass.dfg-build], [pass.schedule], [pass.estimate], plus
+    [pass.verify] around interpreter replay).  The estimator's internal
+    [dfg-build]/[schedule]/[estimate] spans remain for finer-grained
+    attribution, and the compilation unit publishes
+    [cu.analysis-hit]/[cu.analysis-miss] counters. *)
 
 (** Record spans and counters from now on ([true]) or make them
     no-ops ([false], the initial state). *)

@@ -254,3 +254,12 @@ let apply ?(delay_of = Opinfo.default_delay) (p : Stmt.program)
     stages;
     rotated = Sset.elements rotated;
     ds }
+
+(* The non-raising entry point the pass pipeline builds on: same
+   transformation, with the §4.1/§4.2 failure modes surfaced as data
+   instead of an exception. *)
+let apply_res ?delay_of (p : Stmt.program) (nest : Loop_nest.t) ~ds :
+    (outcome, error) result =
+  match apply ?delay_of p nest ~ds with
+  | out -> Ok out
+  | exception Squash_error e -> Error e

@@ -47,3 +47,12 @@ val apply :
   Loop_nest.t ->
   ds:int ->
   outcome
+
+(** [apply] with the failure modes as data instead of an exception —
+    the entry point the pass pipeline ({!Uas_pass}) builds on. *)
+val apply_res :
+  ?delay_of:(Opinfo.op_kind -> int) ->
+  Stmt.program ->
+  Loop_nest.t ->
+  ds:int ->
+  (outcome, error) result

@@ -95,3 +95,11 @@ let apply (p : Stmt.program) (nest : Loop_nest.t) ~ds : outcome =
   let p = Loop_nest.replace p ~outer_index:i [ new_outer ] in
   let p = Stmt.add_locals p decls in
   { program = p; new_inner_body = new_body; ds }
+
+(* Non-raising entry point for the pass pipeline, as for
+   {!Squash.apply_res}. *)
+let apply_res (p : Stmt.program) (nest : Loop_nest.t) ~ds :
+    (outcome, Legality.verdict) result =
+  match apply p nest ~ds with
+  | out -> Ok out
+  | exception Jam_error v -> Error v

@@ -3,6 +3,11 @@
 open Uas_ir
 module B = Builder
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 (* --- reference programs --- *)
 
 (* Figure 2.1: the f/g nested loop.  f and g are modeled as 1-cycle

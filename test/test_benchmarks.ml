@@ -84,6 +84,7 @@ let test_all_versions_verified () =
         N.sweep b.S.Registry.b_program
           ~outer_index:b.S.Registry.b_outer_index
           ~inner_index:b.S.Registry.b_inner_index
+        |> N.successes
       in
       Alcotest.(check int)
         (b.S.Registry.b_name ^ " all versions built")
@@ -107,6 +108,7 @@ let test_versions_with_peeling () =
   let rows =
     N.sweep b.S.Registry.b_program ~outer_index:"i" ~inner_index:"j"
       ~versions:[ N.Squashed 4; N.Jammed 4; N.Squashed 16 ]
+    |> N.successes
   in
   Alcotest.(check int) "all built" 3 (List.length rows);
   List.iter

@@ -78,11 +78,12 @@ let test_registry_find () =
   Alcotest.(check bool) "unknown is None" true (S.Registry.find "nope" = None);
   Alcotest.(check int) "five benchmarks" 5 (List.length (S.Registry.all ()))
 
-let test_sweep_drops_illegal () =
-  (* a nest with an outer-carried scalar yields only the untransformed
-     versions *)
-  let open Uas_ir.Builder in
+let test_sweep_reports_illegal () =
+  (* a nest with an outer-carried scalar builds only the untransformed
+     versions; every rejected version carries a diagnostic naming the
+     rejecting pass and the loop *)
   let p =
+    let open Uas_ir.Builder in
     program "acc"
       ~locals:
         [ ("i", Uas_ir.Types.Tint); ("j", Uas_ir.Types.Tint);
@@ -93,10 +94,51 @@ let test_sweep_drops_illegal () =
           [ for_ "j" ~hi:(int 4) [ "s" <-- v "s" + load "a" (v "i") ];
             store "o" (v "i") (v "s") ] ]
   in
-  let rows = N.sweep p ~outer_index:"i" ~inner_index:"j" in
-  let names = List.map (fun (v, _, _) -> N.version_name v) rows in
+  let outcomes = N.sweep p ~outer_index:"i" ~inner_index:"j" in
+  Alcotest.(check int)
+    "every requested version has an outcome"
+    (List.length N.paper_versions)
+    (List.length outcomes);
+  let names = List.map (fun (v, _, _) -> N.version_name v) (N.successes outcomes) in
   Alcotest.(check (list string)) "only original and pipelined"
-    [ "original"; "pipelined" ] names
+    [ "original"; "pipelined" ] names;
+  let skips = N.skipped outcomes in
+  Alcotest.(check int) "eight versions skipped" 8 (List.length skips);
+  List.iter
+    (fun (v, (d : Uas_pass.Diag.t)) ->
+      Alcotest.(check bool)
+        (N.version_name v ^ " diag severity is Error")
+        true
+        (d.Uas_pass.Diag.d_severity = Uas_pass.Diag.Error);
+      Alcotest.(check bool)
+        (N.version_name v ^ " diag names the squash or jam pass")
+        true
+        (List.mem d.Uas_pass.Diag.d_pass [ "squash"; "jam" ]);
+      Alcotest.(check (option string))
+        (N.version_name v ^ " diag points at loop i")
+        (Some "i")
+        d.Uas_pass.Diag.d_loc.Uas_pass.Diag.loc_loop;
+      Alcotest.(check bool)
+        (N.version_name v ^ " diag message is non-empty")
+        true
+        (String.length d.Uas_pass.Diag.d_message > 0))
+    skips
+
+let test_skipped_footer_rendered () =
+  (* a rejected version lands in the table footer, not silently gone *)
+  let b = S.Registry.skipjack_hw ~m:16 () in
+  let row =
+    E.run_benchmark ~verify:false
+      ~versions:[ N.Original; N.Pipelined; N.Squashed 0 ]
+      b
+  in
+  Alcotest.(check int) "two cells" 2 (List.length row.E.br_cells);
+  Alcotest.(check int) "one skip" 1 (List.length row.E.br_skipped);
+  let rendered = Fmt.str "%a" E.pp_table_6_2 [ row ] in
+  Alcotest.(check bool) "footer names the version" true
+    (Helpers.contains ~sub:"skipped: squash(0)" rendered);
+  Alcotest.(check bool) "footer carries the diagnostic" true
+    (Helpers.contains ~sub:"error[squash]" rendered)
 
 let suite =
   [ Alcotest.test_case "version names" `Quick test_version_names;
@@ -107,4 +149,7 @@ let suite =
     Alcotest.test_case "figures match tables" `Quick
       test_figures_consistent_with_table;
     Alcotest.test_case "registry find" `Quick test_registry_find;
-    Alcotest.test_case "sweep drops illegal" `Quick test_sweep_drops_illegal ]
+    Alcotest.test_case "sweep reports illegal" `Quick
+      test_sweep_reports_illegal;
+    Alcotest.test_case "skipped footer rendered" `Quick
+      test_skipped_footer_rendered ]

@@ -21,12 +21,9 @@ module R = Uas_bench_suite.Registry
 let diff_versions = [ N.Original; N.Squashed 2; N.Squashed 4; N.Jammed 2 ]
 
 let build_opt p v =
-  match N.build_version p ~outer_index:"i" ~inner_index:"j" v with
-  | b -> Some b
-  | exception
-      ( Uas_transform.Squash.Squash_error _
-      | Uas_transform.Unroll_and_jam.Jam_error _ ) ->
-    None
+  match N.build_version_result p ~outer_index:"i" ~inner_index:"j" v with
+  | Ok b -> Some b
+  | Error _ -> None
 
 let test_qcheck_versions_bit_identical =
   QCheck.Test.make
@@ -58,12 +55,18 @@ let test_qcheck_parallel_sweep_equals_sequential =
           ~inner_index:"j"
       in
       let seq = sweep 1 and par = sweep 4 in
+      let outcome_equal o1 o2 =
+        match (o1, o2) with
+        | N.Built (b1, r1), N.Built (b2, r2) ->
+          b1.N.bv_program = b2.N.bv_program
+          && b1.N.bv_kernel_index = b2.N.bv_kernel_index
+          && r1 = r2
+        | N.Skipped d1, N.Skipped d2 -> d1 = d2
+        | _ -> false
+      in
       List.length seq = List.length par
       && List.for_all2
-           (fun (v1, b1, r1) (v2, b2, r2) ->
-             v1 = v2 && b1.N.bv_program = b2.N.bv_program
-             && b1.N.bv_kernel_index = b2.N.bv_kernel_index
-             && r1 = r2)
+           (fun (v1, o1) (v2, o2) -> v1 = v2 && outcome_equal o1 o2)
            seq par)
 
 (* the real hot path: a full paper-version benchmark row, verified,
@@ -87,26 +90,29 @@ let test_run_benchmark_parallel_equals_sequential () =
       Alcotest.(check bool) "verified flag" c1.E.c_verified c2.E.c_verified)
     seq par
 
-(* exceptions inside pool workers must surface, not vanish into a
-   domain: an unknown outer index raises out of a parallel sweep just
-   as it does sequentially *)
-let test_sweep_exception_propagates () =
+(* failures inside pool workers must surface as diagnostics, not
+   vanish into a domain: an unknown outer index comes back as a
+   [Skipped] outcome from a parallel sweep just as it does
+   sequentially *)
+let test_sweep_failure_surfaces () =
   let p = Helpers.fg_loop ~m:4 ~n:4 in
   let attempt jobs =
     match
       N.sweep ~versions:[ N.Squashed 2 ] ~jobs p ~outer_index:"nope"
         ~inner_index:"j"
     with
+    | [ (N.Squashed 2, N.Skipped d) ] ->
+      d.Uas_pass.Diag.d_pass = "loop-nest"
+      && d.Uas_pass.Diag.d_severity = Uas_pass.Diag.Error
     | _ -> false
-    | exception _ -> true
   in
-  Alcotest.(check bool) "sequential raises" true (attempt 1);
-  Alcotest.(check bool) "parallel raises" true (attempt 4)
+  Alcotest.(check bool) "sequential skips with diagnostic" true (attempt 1);
+  Alcotest.(check bool) "parallel skips with diagnostic" true (attempt 4)
 
 let suite =
   [ QCheck_alcotest.to_alcotest test_qcheck_versions_bit_identical;
     QCheck_alcotest.to_alcotest test_qcheck_parallel_sweep_equals_sequential;
     Alcotest.test_case "run_benchmark: 1 domain = 4 domains" `Slow
       test_run_benchmark_parallel_equals_sequential;
-    Alcotest.test_case "worker exceptions propagate" `Quick
-      test_sweep_exception_propagates ]
+    Alcotest.test_case "worker failures surface as diagnostics" `Quick
+      test_sweep_failure_surfaces ]

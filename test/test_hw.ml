@@ -28,6 +28,7 @@ let sweep b =
     let rows =
       N.sweep b.S.Registry.b_program ~outer_index:b.S.Registry.b_outer_index
         ~inner_index:b.S.Registry.b_inner_index
+      |> N.successes
     in
     Hashtbl.replace sweep_cache b.S.Registry.b_name rows;
     rows

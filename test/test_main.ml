@@ -11,6 +11,7 @@ let () =
       ("decrypt", Test_decrypt.suite);
       ("hw", Test_hw.suite);
       ("pipeline-sim", Test_pipeline_sim.suite);
+      ("pass", Test_pass.suite);
       ("core", Test_core.suite);
       ("runtime", Test_runtime.suite);
       ("differential", Test_differential.suite);
