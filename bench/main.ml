@@ -6,23 +6,36 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table-6.2 figure-6.3 ...
      dune exec bench/main.exe -- -j 4 --timings table-6.2
+     dune exec bench/main.exe -- --json BENCH_sweep.json table-6.2 micro
    Targets: table-1.1 table-6.1 table-6.2 table-6.3 figure-2 figure-2.4
             figure-4 figure-6.1 figure-6.2 figure-6.3 figure-6.4
             ablation-ports ablation-registers micro
    Flags: -j N (worker-pool size; default UAS_JOBS or the core count),
-          --timings (per-pass span/counter summary at exit) *)
+          --timings (per-pass span/counter summary at exit),
+          --interp ref|fast (interpreter tier for verification/profiling),
+          --json FILE (write the perf-trajectory document there) *)
 
 open Uas_ir
 module S = Uas_bench_suite
 module E = Uas_core.Experiments
 module N = Uas_core.Nimble
 module Instrument = Uas_runtime.Instrument
+module Trajectory = Uas_runtime.Trajectory
 
 let header title = Fmt.pr "@.==== %s ====@." title
 
 (* -j N from the command line; None lets the pool pick UAS_JOBS or the
    core count *)
 let jobs : int option ref = ref None
+
+(* the perf-trajectory document of this run (--json); microbenchmarks
+   record their estimates here as named metrics *)
+let trajectory : Trajectory.t option ref = ref None
+
+let metric ~name ~value ~unit_label =
+  match !trajectory with
+  | Some t -> Trajectory.add_metric t ~name ~value ~unit_label
+  | None -> ()
 
 (* Table 6.2 is the expensive part (50 transformed programs, each
    replayed in the interpreter); computed once — fanned out over the
@@ -316,12 +329,37 @@ let micro () =
                   nest.Uas_analysis.Loop_nest.inner_body)));
       Test.make ~name:"legality check (ds=8)"
         (Staged.stage (fun () -> ignore (Uas_analysis.Legality.check nest ~ds:8)));
+      (* the two interpreter tiers head to head, on an integer kernel
+         (Skipjack) and a float one (IIR); the ref/fast ns-per-run pairs
+         land in the --json trajectory as the recorded speedup *)
       (let w =
          Sj.workload_mem ~key:(Sj.random_key ~seed:1)
            (Sj.random_words ~seed:2 64)
        in
-       Test.make ~name:"interpret skipjack (16 blocks)"
-         (Staged.stage (fun () -> ignore (Interp.run p w)))) ]
+       Test.make ~name:"interp-ref skipjack (16 blocks)"
+         (Staged.stage (fun () -> ignore (Interp.run p w))));
+      (let w =
+         Sj.workload_mem ~key:(Sj.random_key ~seed:1)
+           (Sj.random_words ~seed:2 64)
+       in
+       let compiled = Fast_interp.compile p in
+       Test.make ~name:"interp-fast skipjack (16 blocks)"
+         (Staged.stage (fun () -> ignore (Fast_interp.run compiled w))));
+      (let module Iir = Uas_bench_suite.Iir in
+       let ip = Iir.iir ~channels:4 in
+       let w =
+         Iir.workload (Iir.random_signal ~seed:3 (4 * Iir.points_per_channel))
+       in
+       Test.make ~name:"interp-ref iir (4 channels)"
+         (Staged.stage (fun () -> ignore (Interp.run ip w))));
+      (let module Iir = Uas_bench_suite.Iir in
+       let ip = Iir.iir ~channels:4 in
+       let w =
+         Iir.workload (Iir.random_signal ~seed:3 (4 * Iir.points_per_channel))
+       in
+       let compiled = Fast_interp.compile ip in
+       Test.make ~name:"interp-fast iir (4 channels)"
+         (Staged.stage (fun () -> ignore (Fast_interp.run compiled w)))) ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
@@ -337,7 +375,9 @@ let micro () =
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ t ] -> Fmt.pr "  %-34s %12.1f ns/run@." name t
+          | Some [ t ] ->
+            Fmt.pr "  %-34s %12.1f ns/run@." name t;
+            metric ~name:("micro." ^ name) ~value:t ~unit_label:"ns/run"
           | Some _ | None -> Fmt.pr "  %-34s (no estimate)@." name)
         results)
     tests
@@ -371,14 +411,33 @@ let () =
     exit 1
   | Ok o ->
     jobs := o.Uas_core.Cli.o_jobs;
-    if o.Uas_core.Cli.o_timings then Instrument.set_enabled true;
+    (match o.Uas_core.Cli.o_interp with
+    | Some tier -> Fast_interp.set_default_tier tier
+    | None -> ());
+    (* --json embeds the span/counter breakdown, so it implies the
+       instrumentation --timings turns on *)
+    if o.Uas_core.Cli.o_timings || o.Uas_core.Cli.o_json <> None then
+      Instrument.set_enabled true;
+    let traj =
+      Trajectory.make
+        ~interp_tier:(Fast_interp.tier_name (Fast_interp.default_tier ()))
+        ~jobs:o.Uas_core.Cli.o_jobs ()
+    in
+    trajectory := Some traj;
     let requested =
       match o.Uas_core.Cli.o_targets with
       | [] -> List.map fst targets
       | names -> names
     in
-    List.iter (fun name -> (List.assoc name targets) ()) requested;
+    List.iter
+      (fun name ->
+        let (), wall_s = Trajectory.time (List.assoc name targets) in
+        Trajectory.add_target traj ~name ~wall_s)
+      requested;
     if o.Uas_core.Cli.o_timings then begin
       header "timings";
       Fmt.pr "%a" Instrument.pp_summary ()
-    end
+    end;
+    (match o.Uas_core.Cli.o_json with
+    | Some file -> Trajectory.write_file traj file
+    | None -> ())

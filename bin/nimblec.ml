@@ -125,6 +125,31 @@ let version_arg =
     & info [ "v"; "version" ] ~docv:"VERSION"
         ~doc:"original | pipelined | squash:N | jam:N | jam:J+squash:K")
 
+let interp_arg =
+  let tier_conv =
+    let parse s =
+      match Uas_ir.Fast_interp.tier_of_string s with
+      | Some t -> Ok t
+      | None -> Error (`Msg (Printf.sprintf "expected ref or fast, got %s" s))
+    in
+    let print ppf t = Fmt.string ppf (Uas_ir.Fast_interp.tier_name t) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some tier_conv) None
+    & info [ "interp" ] ~docv:"TIER"
+        ~doc:
+          "Interpreter tier: $(b,ref) (the tree-walking reference) or \
+           $(b,fast) (slot-compiled; the default).  Both produce \
+           bit-identical results and profiles.")
+
+(* the flag sets the process-wide default, so every execution path —
+   verification, profiling, direct runs — follows it *)
+let set_interp = function
+  | Some tier -> Uas_ir.Fast_interp.set_default_tier tier
+  | None -> ()
+
 (* --- list --- *)
 
 let list_cmd =
@@ -158,7 +183,8 @@ let show_cmd =
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run name verify jobs timings dump_after =
+  let run name verify jobs timings dump_after interp =
+    set_interp interp;
     if timings then Uas_runtime.Instrument.set_enabled true;
     let b = find_benchmark name in
     let after = dump_hook_of dump_after in
@@ -181,12 +207,14 @@ let estimate_cmd =
        ~doc:"Estimate all paper versions of a benchmark (Table 6.2/6.3 rows)")
     Term.(
       const run $ bench_arg $ verify $ jobs_arg $ timings_arg
-      $ dump_after_arg)
+      $ dump_after_arg $ interp_arg)
 
 (* --- run --- *)
 
 let run_cmd =
-  let run name version =
+  let run name version interp =
+    set_interp interp;
+    let tier = Uas_ir.Fast_interp.default_tier () in
     let b = find_benchmark name in
     let built =
       build_or_exit b.S.Registry.b_program
@@ -195,13 +223,16 @@ let run_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let result =
-      Uas_ir.Interp.run built.N.bv_program b.S.Registry.b_workload
+      S.Registry.run_tier tier built.N.bv_program b.S.Registry.b_workload
     in
     let dt = Unix.gettimeofday () -. t0 in
-    Fmt.pr "executed %d statements in %.3fs (estimated %d kernel cycles)@."
+    Fmt.pr
+      "executed %d statements in %.3fs on the %s tier (estimated %d kernel \
+       cycles)@."
       result.Uas_ir.Interp.profile.Uas_ir.Interp.stmts_executed dt
+      (Uas_ir.Fast_interp.tier_name tier)
       result.Uas_ir.Interp.profile.Uas_ir.Interp.total_cycles;
-    match S.Registry.check_against_reference b built.N.bv_program with
+    match S.Registry.check_result b result with
     | Ok () -> Fmt.pr "outputs match the host reference: yes@."
     | Error m ->
       Fmt.pr "outputs match the host reference: NO (%s)@." m;
@@ -210,7 +241,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute a (transformed) benchmark and verify its outputs")
-    Term.(const run $ bench_arg $ version_arg)
+    Term.(const run $ bench_arg $ version_arg $ interp_arg)
 
 (* --- dfg --- *)
 
@@ -316,7 +347,8 @@ let compile_cmd =
 (* --- profile --- *)
 
 let profile_cmd =
-  let run () =
+  let run interp =
+    set_interp interp;
     Fmt.pr "%-28s %8s %12s %9s@." "benchmark" "# loops" "# loops>1%" "total %";
     List.iter
       (fun (r : S.Profile.row) ->
@@ -326,7 +358,7 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Run the Table 1.1 loop-profiling study")
-    Term.(const run $ const ())
+    Term.(const run $ interp_arg)
 
 let () =
   let info =

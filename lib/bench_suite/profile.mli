@@ -32,7 +32,11 @@ type row = {
 }
 
 val static_loop_count : Stmt.program -> int
-val profile_app : app -> row
+
+(** [tier] selects the interpreter (default
+    {!Fast_interp.default_tier}); the profile, and hence the row, is
+    bit-identical on either tier. *)
+val profile_app : ?tier:Fast_interp.tier -> app -> row
 
 (** The full Table 1.1. *)
 val table : unit -> row list

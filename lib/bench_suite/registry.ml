@@ -97,14 +97,31 @@ let find name : benchmark option =
     (fun b -> String.lowercase_ascii b.b_name = String.lowercase_ascii name)
     (all ())
 
-(** Does running [p] on the benchmark's workload reproduce the host
+(** Run [p] on [w] on the chosen interpreter tier, under an
+    instrumentation span naming the tier. *)
+let run_tier ?fuel (tier : Fast_interp.tier) (p : Stmt.program)
+    (w : Interp.workload) : Interp.result =
+  let span =
+    match tier with Fast_interp.Ref -> "interp.run.ref" | Fast -> "interp.run.fast"
+  in
+  Uas_runtime.Instrument.span span (fun () -> Fast_interp.run_tier ?fuel tier p w)
+
+(** Does an interpreter result reproduce the benchmark's host
     reference outputs exactly? *)
-let check_against_reference (b : benchmark) (p : Stmt.program) :
-    (unit, string) result =
-  let r = Interp.run p b.b_workload in
+let check_result (b : benchmark) (r : Interp.result) : (unit, string) result =
   let check (name, expected) =
     match List.assoc_opt name r.Interp.outputs with
-    | None -> Some (Printf.sprintf "missing output %s" name)
+    | None ->
+      let available =
+        match r.Interp.outputs with
+        | [] -> "none"
+        | outs -> String.concat ", " (List.map fst outs)
+      in
+      Some
+        (Printf.sprintf
+           "benchmark %s: expected output array %s is missing from the \
+            interpreted result (available outputs: %s)"
+           b.b_name name available)
     | Some got ->
       if Array.length got <> Array.length expected then
         Some (Printf.sprintf "%s: length mismatch" name)
@@ -122,3 +139,13 @@ let check_against_reference (b : benchmark) (p : Stmt.program) :
   match List.find_map check b.b_reference with
   | None -> Ok ()
   | Some msg -> Error msg
+
+(** Does running [p] on the benchmark's workload reproduce the host
+    reference outputs exactly?  [tier] picks the interpreter (default:
+    the process-wide {!Fast_interp.default_tier}). *)
+let check_against_reference ?tier (b : benchmark) (p : Stmt.program) :
+    (unit, string) result =
+  let tier =
+    match tier with Some t -> t | None -> Fast_interp.default_tier ()
+  in
+  check_result b (run_tier tier p b.b_workload)

@@ -28,7 +28,22 @@ val all : unit -> benchmark list
 (** Case-insensitive lookup by Table 6.1 name. *)
 val find : string -> benchmark option
 
+(** Run a program on a workload on the chosen interpreter tier, under
+    an [interp.run.ref]/[interp.run.fast] instrumentation span. *)
+val run_tier :
+  ?fuel:int ->
+  Fast_interp.tier ->
+  Stmt.program ->
+  Interp.workload ->
+  Interp.result
+
+(** Does an already-computed interpreter result reproduce the host
+    reference bit-for-bit?  A missing output array is reported with the
+    benchmark name and the outputs that were actually produced. *)
+val check_result : benchmark -> Interp.result -> (unit, string) result
+
 (** Does running [p] on the benchmark workload reproduce the host
-    reference bit-for-bit? *)
+    reference bit-for-bit?  [tier] defaults to
+    {!Fast_interp.default_tier}. *)
 val check_against_reference :
-  benchmark -> Stmt.program -> (unit, string) result
+  ?tier:Fast_interp.tier -> benchmark -> Stmt.program -> (unit, string) result

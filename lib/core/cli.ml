@@ -1,27 +1,49 @@
+module Fast_interp = Uas_ir.Fast_interp
+
 type options = {
   o_jobs : int option;
   o_timings : bool;
+  o_interp : Fast_interp.tier option;
+  o_json : string option;
   o_targets : string list;
 }
 
 let parse ~available args =
-  let rec go targets jobs timings = function
+  let rec go targets jobs timings interp json = function
     | [] ->
-      Ok { o_jobs = jobs; o_timings = timings; o_targets = List.rev targets }
-    | "--timings" :: rest -> go targets jobs true rest
+      Ok
+        { o_jobs = jobs;
+          o_timings = timings;
+          o_interp = interp;
+          o_json = json;
+          o_targets = List.rev targets }
+    | "--timings" :: rest -> go targets jobs true interp json rest
     | ("-j" | "--jobs") :: rest -> (
       match rest with
       | n :: rest' -> (
         match int_of_string_opt n with
-        | Some n when n >= 1 -> go targets (Some n) timings rest'
+        | Some n when n >= 1 -> go targets (Some n) timings interp json rest'
         | Some _ | None ->
           Error (Printf.sprintf "-j expects a positive integer, got %s" n))
       | [] -> Error "-j expects a positive integer")
+    | "--interp" :: rest -> (
+      match rest with
+      | t :: rest' -> (
+        match Fast_interp.tier_of_string t with
+        | Some tier -> go targets jobs timings (Some tier) json rest'
+        | None ->
+          Error (Printf.sprintf "--interp expects ref or fast, got %s" t))
+      | [] -> Error "--interp expects ref or fast")
+    | "--json" :: rest -> (
+      match rest with
+      | f :: rest' -> go targets jobs timings interp (Some f) rest'
+      | [] -> Error "--json expects a file name")
     | arg :: rest ->
-      if List.mem arg available then go (arg :: targets) jobs timings rest
+      if List.mem arg available then
+        go (arg :: targets) jobs timings interp json rest
       else
         Error
           (Printf.sprintf "unknown target %s; available: %s" arg
              (String.concat " " available))
   in
-  go [] None false args
+  go [] None false None None args

@@ -8,6 +8,11 @@
 type options = {
   o_jobs : int option;  (** [-j N] / [--jobs N]: worker-pool size *)
   o_timings : bool;  (** [--timings]: print the instrumentation summary *)
+  o_interp : Uas_ir.Fast_interp.tier option;
+      (** [--interp ref|fast]: interpreter tier (default: the
+          process-wide {!Uas_ir.Fast_interp.default_tier}) *)
+  o_json : string option;
+      (** [--json FILE]: write the perf-trajectory JSON here *)
   o_targets : string list;
       (** requested targets, in command-line order; empty = run all *)
 }
@@ -15,5 +20,6 @@ type options = {
 (** Parse a bench command line.  Every non-flag argument must be a
     member of [available]; the first unknown one yields [Error] with a
     message naming it and listing the valid targets.  [-j] requires a
-    positive integer. *)
+    positive integer, [--interp] one of [ref]/[fast], [--json] a file
+    name. *)
 val parse : available:string list -> string list -> (options, string) result

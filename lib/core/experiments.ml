@@ -10,6 +10,8 @@ module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
 module Parallel = Uas_runtime.Parallel
 module Instrument = Uas_runtime.Instrument
+module Fast_interp = Uas_ir.Fast_interp
+module Cu = Uas_pass.Cu
 
 type cell = {
   c_version : Nimble.version;
@@ -41,23 +43,33 @@ type normalized = {
    (transform + quick synthesis) plus interpreter-replay verification —
    the independent unit of work the pool fans out.  Nothing here
    touches shared mutable state: each pipeline run builds its own
-   compilation unit, [Interp.run] copies the workload's input arrays,
-   and the benchmark record is only read. *)
-let build_cell ?after ~target ~verify (b : Registry.benchmark)
+   compilation unit, both interpreter tiers copy the workload's input
+   arrays, and the benchmark record is only read. *)
+let build_cell ?after ~target ~verify ~tier (b : Registry.benchmark)
     (v : Nimble.version) : (cell, skip) result =
   match
-    Nimble.run_version ~target ?after b.Registry.b_program
+    Nimble.run_version_cu ~target ?after b.Registry.b_program
       ~outer_index:b.Registry.b_outer_index
       ~inner_index:b.Registry.b_inner_index v
   with
-  | Nimble.Skipped d -> Error { s_version = v; s_diag = d }
-  | Nimble.Built (built, report) ->
+  | Error d -> Error { s_version = v; s_diag = d }
+  | Ok (cu, built, report) ->
     let verified =
       (not verify)
       || Instrument.span "pass.verify" (fun () ->
-             match
-               Registry.check_against_reference b built.Nimble.bv_program
-             with
+             let result =
+               match (tier : Fast_interp.tier) with
+               | Ref ->
+                 Instrument.span "interp.run.ref" (fun () ->
+                     Uas_ir.Interp.run built.Nimble.bv_program
+                       b.Registry.b_workload)
+               | Fast ->
+                 (* reuse (or create) the unit's compiled artifact *)
+                 let compiled = Cu.compiled cu in
+                 Instrument.span "interp.run.fast" (fun () ->
+                     Fast_interp.run compiled b.Registry.b_workload)
+             in
+             match Registry.check_result b result with
              | Ok () -> true
              | Error _ -> false)
     in
@@ -76,26 +88,35 @@ let row_of_results b results =
     in the interpreter against the host reference (slower; on by
     default).  [after] observes the compilation unit after every pass
     (nimblec's [--dump-after]); dumping interleaves across domains, so
-    pass [jobs:1] with it. *)
-let run_benchmark ?(target = Datapath.default) ?(verify = true)
+    pass [jobs:1] with it.  [tier] picks the verification interpreter
+    (default: the process-wide {!Fast_interp.default_tier}). *)
+let run_benchmark ?(target = Datapath.default) ?(verify = true) ?tier
     ?(versions = Nimble.paper_versions) ?jobs ?after
     (b : Registry.benchmark) : bench_row =
+  let tier =
+    match tier with Some t -> t | None -> Fast_interp.default_tier ()
+  in
   row_of_results b
-    (Parallel.map ?jobs (build_cell ?after ~target ~verify b) versions)
+    (Parallel.map ?jobs (build_cell ?after ~target ~verify ~tier b) versions)
 
 (** Table 6.2 over the whole suite.  All (benchmark, version) cells —
     ~50 independent build+estimate+verify tasks — go through one flat
     pool fan-out, so the hot path scales with the core count instead of
     running strictly sequentially. *)
-let table_6_2 ?(target = Datapath.default) ?(verify = true) ?jobs () :
+let table_6_2 ?(target = Datapath.default) ?(verify = true) ?tier ?jobs () :
     bench_row list =
+  let tier =
+    match tier with Some t -> t | None -> Fast_interp.default_tier ()
+  in
   let benches = Registry.all () in
   let versions = Nimble.paper_versions in
   let tasks =
     List.concat_map (fun b -> List.map (fun v -> (b, v)) versions) benches
   in
   let cells =
-    Parallel.map ?jobs (fun (b, v) -> build_cell ~target ~verify b v) tasks
+    Parallel.map ?jobs
+      (fun (b, v) -> build_cell ~target ~verify ~tier b v)
+      tasks
   in
   (* regroup the flat, input-ordered cell list benchmark-major *)
   let nv = List.length versions in

@@ -42,10 +42,14 @@ type normalized = {
     sequential run).  [verify] replays every version in the interpreter
     (on by default).  [after] observes the compilation unit after every
     pipeline pass (pass [jobs:1] with it — output hooks interleave
-    across domains). *)
+    across domains).  [tier] picks the verification interpreter
+    (default {!Uas_ir.Fast_interp.default_tier}); the fast tier reuses
+    each compilation unit's memoized compiled program and produces
+    bit-identical cells. *)
 val run_benchmark :
   ?target:Datapath.t ->
   ?verify:bool ->
+  ?tier:Uas_ir.Fast_interp.tier ->
   ?versions:Nimble.version list ->
   ?jobs:int ->
   ?after:Uas_pass.Pass.hook ->
@@ -55,7 +59,12 @@ val run_benchmark :
 (** The whole suite; every (benchmark, version) cell is an independent
     pool task, so the full table scales with the core count. *)
 val table_6_2 :
-  ?target:Datapath.t -> ?verify:bool -> ?jobs:int -> unit -> bench_row list
+  ?target:Datapath.t ->
+  ?verify:bool ->
+  ?tier:Uas_ir.Fast_interp.tier ->
+  ?jobs:int ->
+  unit ->
+  bench_row list
 
 (** Table 6.3 normalization against the Original cell.
     @raise Invalid_argument without an Original version. *)

@@ -112,22 +112,32 @@ let estimate ?(target = Datapath.default) (b : built) : Estimate.report =
     or the diagnostic explaining why the version was skipped. *)
 type outcome = Built of built * Estimate.report | Skipped of Diag.t
 
-(** Transform + quick-synthesis pipeline for one version, end to
-    end. *)
-let run_version ?(target = Datapath.default) ?after (p : Stmt.program)
-    ~outer_index ~inner_index (version : version) : outcome =
+(** Transform + quick-synthesis pipeline for one version, keeping the
+    final compilation unit (whose memoized artifacts — notably the
+    fast-interpreter compilation — downstream verification reuses). *)
+let run_version_cu ?(target = Datapath.default) ?after (p : Stmt.program)
+    ~outer_index ~inner_index (version : version) :
+    (Cu.t * built * Estimate.report, Diag.t) result =
   let cu = Cu.make p ~outer_index ~inner_index in
   let passes = transform_passes version @ estimate_passes ~target version in
   match Pass.run ?after cu passes with
   | Ok cu -> (
     match Cu.report cu with
-    | Some r -> Built (built_of_cu version cu, r)
+    | Some r -> Ok (cu, built_of_cu version cu, r)
     | None ->
       (* the estimate pass always sets the report artifact *)
       assert false)
   | Error d ->
     Instrument.incr "sweep.illegal-versions";
-    Skipped d
+    Error d
+
+(** Transform + quick-synthesis pipeline for one version, end to
+    end. *)
+let run_version ?target ?after (p : Stmt.program) ~outer_index ~inner_index
+    (version : version) : outcome =
+  match run_version_cu ?target ?after p ~outer_index ~inner_index version with
+  | Ok (_, b, r) -> Built (b, r)
+  | Error d -> Skipped d
 
 (** Build and estimate every requested version of a benchmark nest,
     fanning the independent versions out over the domain pool.  Every

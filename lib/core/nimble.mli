@@ -65,6 +65,19 @@ type outcome =
   | Built of built * Uas_hw.Estimate.report
   | Skipped of Uas_pass.Diag.t
 
+(** Run one version's full pipeline (transform + quick synthesis),
+    returning the final compilation unit alongside the built version —
+    callers that go on to execute the program can reuse the unit's
+    memoized {!Uas_pass.Cu.compiled} artifact. *)
+val run_version_cu :
+  ?target:Uas_hw.Datapath.t ->
+  ?after:Uas_pass.Pass.hook ->
+  Stmt.program ->
+  outer_index:string ->
+  inner_index:string ->
+  version ->
+  (Uas_pass.Cu.t * built * Uas_hw.Estimate.report, Uas_pass.Diag.t) result
+
 (** Run one version's full pipeline (transform + quick synthesis). *)
 val run_version :
   ?target:Uas_hw.Datapath.t ->

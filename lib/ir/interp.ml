@@ -276,6 +276,88 @@ let diff_outputs (a : result) (b : result) : string option =
   in
   List.find_map check a.outputs
 
+let profiles_equal (a : profile) (b : profile) : bool =
+  a.total_cycles = b.total_cycles
+  && a.stmts_executed = b.stmts_executed
+  && a.mem_refs = b.mem_refs
+  && Hashtbl.length a.loops = Hashtbl.length b.loops
+  && Hashtbl.fold
+       (fun path (la : loop_stats) ok ->
+         ok
+         &&
+         match Hashtbl.find_opt b.loops path with
+         | Some lb -> la.trips = lb.trips && la.cycles = lb.cycles
+         | None -> false)
+       a.loops true
+
+(** Describe the first difference between two profiles, for test
+    diagnostics. *)
+let diff_profiles (a : profile) (b : profile) : string option =
+  if a.total_cycles <> b.total_cycles then
+    Some
+      (Printf.sprintf "total_cycles: %d vs %d" a.total_cycles b.total_cycles)
+  else if a.stmts_executed <> b.stmts_executed then
+    Some
+      (Printf.sprintf "stmts_executed: %d vs %d" a.stmts_executed
+         b.stmts_executed)
+  else if a.mem_refs <> b.mem_refs then
+    Some (Printf.sprintf "mem_refs: %d vs %d" a.mem_refs b.mem_refs)
+  else if Hashtbl.length a.loops <> Hashtbl.length b.loops then
+    Some
+      (Printf.sprintf "loop count: %d vs %d" (Hashtbl.length a.loops)
+         (Hashtbl.length b.loops))
+  else
+    Hashtbl.fold
+      (fun path (la : loop_stats) acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match Hashtbl.find_opt b.loops path with
+          | None -> Some (Printf.sprintf "loop %s missing in second profile" path)
+          | Some lb ->
+            if la.trips <> lb.trips then
+              Some
+                (Printf.sprintf "loop %s trips: %d vs %d" path la.trips
+                   lb.trips)
+            else if la.cycles <> lb.cycles then
+              Some
+                (Printf.sprintf "loop %s cycles: %d vs %d" path la.cycles
+                   lb.cycles)
+            else None))
+      a.loops None
+
+(** First difference between two complete results — outputs, final
+    scalars, then profile.  [None] means bit-for-bit identical. *)
+let diff_results (a : result) (b : result) : string option =
+  match diff_outputs a b with
+  | Some _ as d -> d
+  | None -> (
+    let sorted r =
+      List.sort (fun (x, _) (y, _) -> String.compare x y) r.final_scalars
+    in
+    let sa = sorted a and sb = sorted b in
+    let scalar_diff =
+      if List.length sa <> List.length sb then
+        Some
+          (Printf.sprintf "final scalar count: %d vs %d" (List.length sa)
+             (List.length sb))
+      else
+        List.find_map
+          (fun ((na, va), (nb, vb)) ->
+            if not (String.equal na nb) then
+              Some (Printf.sprintf "final scalars: %s vs %s" na nb)
+            else if not (equal_value va vb) then
+              Some (Fmt.str "final scalar %s: %a vs %a" na pp_value va
+                      pp_value vb)
+            else None)
+          (List.combine sa sb)
+    in
+    match scalar_diff with
+    | Some _ as d -> d
+    | None ->
+      Option.map (Printf.sprintf "profile: %s")
+        (diff_profiles a.profile b.profile))
+
 (* --- profiling report for the Table 1.1 experiment --- *)
 
 type loop_report = {

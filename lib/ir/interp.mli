@@ -55,6 +55,18 @@ val outputs_equal : result -> result -> bool
 (** Human-readable description of the first output difference. *)
 val diff_outputs : result -> result -> string option
 
+(** Bit-for-bit equality of profiles: cycles, statements, memory
+    references and every per-loop trip/cycle count. *)
+val profiles_equal : profile -> profile -> bool
+
+(** Human-readable description of the first profile difference. *)
+val diff_profiles : profile -> profile -> string option
+
+(** First difference between two complete results — outputs, final
+    scalars, then profile.  [None] means bit-for-bit identical (the
+    contract the fast tier is held to). *)
+val diff_results : result -> result -> string option
+
 type loop_report = {
   lr_path : string;
   lr_trips : int;

@@ -1,0 +1,43 @@
+(** Dense integer slot resolution for the fast interpreter tier.
+
+    Maps every scalar, array and ROM name of a program to a dense
+    integer slot so {!Fast_interp} can replace the reference
+    interpreter's string-keyed hashtables with array indexing.
+
+    Scalar slots list the declared scalars first (params then locals,
+    declaration order), followed by loop indices used without a
+    declaration — the reference interpreter admits those dynamically,
+    so they need slots (guarded by a definedness flag) to reproduce its
+    behavior exactly. *)
+
+open Types
+
+type t
+
+val of_program : Stmt.program -> t
+
+(** {2 Scalars} *)
+
+val scalar_count : t -> int
+
+(** Number of declared scalars; they occupy slots [0, declared_count). *)
+val declared_count : t -> int
+
+val scalar_slot : t -> var -> int option
+val scalar_name : t -> int -> var
+
+(** [true] for declared scalars; [false] for undeclared loop indices,
+    which only enter the environment when their loop first executes. *)
+val scalar_is_declared : t -> int -> bool
+
+(** {2 Arrays (declaration order)} *)
+
+val array_count : t -> int
+val array_slot : t -> array_id -> int option
+val array_name : t -> int -> array_id
+
+(** {2 ROMs (declaration order)} *)
+
+val rom_count : t -> int
+val rom_slot : t -> rom_id -> int option
+val rom_name : t -> int -> rom_id

@@ -42,6 +42,7 @@ type t = {
   mutable c_dfg : Uas_dfg.Build.detailed option;
   mutable c_schedule : Uas_dfg.Sched.schedule option;
   mutable c_report : Uas_hw.Estimate.report option;
+  mutable c_compiled : Fast_interp.compiled option;
   mutable c_hits : int;
   mutable c_misses : int;
 }
@@ -58,6 +59,7 @@ let make p ~outer_index ~inner_index =
     c_dfg = None;
     c_schedule = None;
     c_report = None;
+    c_compiled = None;
     c_hits = 0;
     c_misses = 0 }
 
@@ -78,7 +80,8 @@ let with_program ?(preserves = []) ?inner_index cu p =
     (* downstream artifacts never survive a program change *)
     c_dfg = None;
     c_schedule = None;
-    c_report = None }
+    c_report = None;
+    c_compiled = None }
 
 (* One memoized lookup: serve the cache or compute-and-fill, keeping
    the per-unit and global counters honest. *)
@@ -139,6 +142,22 @@ let schedule cu = cu.c_schedule
 let set_schedule cu s = cu.c_schedule <- Some s
 let report cu = cu.c_report
 let set_report cu r = cu.c_report <- Some r
+
+let compiled cu =
+  match cu.c_compiled with
+  | Some c ->
+    cu.c_hits <- cu.c_hits + 1;
+    Instrument.incr "cu.compiled-hit";
+    c
+  | None ->
+    cu.c_misses <- cu.c_misses + 1;
+    Instrument.incr "cu.compiled-miss";
+    let c =
+      Instrument.span "interp.compile" (fun () ->
+          Fast_interp.compile cu.cu_program)
+    in
+    cu.c_compiled <- Some c;
+    c
 
 let cached cu = function
   | Nest -> Option.is_some cu.c_nest

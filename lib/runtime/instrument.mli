@@ -53,3 +53,7 @@ val pp_summary : unit Fmt.t
     [{"spans": {name: {"calls": n, "total_ms": x, "mean_ms": x,
     "max_ms": x}}, "counters": {name: n}}]. *)
 val to_json : unit -> string
+
+(** Escape a string for embedding in a JSON string literal (also used
+    by {!Trajectory}). *)
+val json_escape : string -> string

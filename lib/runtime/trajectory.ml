@@ -1,0 +1,71 @@
+(* The perf-trajectory collector behind bench/main.exe --json: one
+   schema-stable JSON document per harness run, recording what ran
+   (targets with wall-clock), what was measured (named metrics), how it
+   was configured (interpreter tier, pool size) and, when
+   instrumentation is enabled, the full span/counter breakdown.
+
+   The schema is versioned and deliberately free of timestamps and
+   hostnames so committed snapshots diff cleanly run-to-run; bump
+   [version] on any key change. *)
+
+let schema = "uas-bench-trajectory"
+let version = 1
+
+type target = { t_name : string; t_wall_s : float }
+type metric = { m_name : string; m_value : float; m_unit : string }
+
+type t = {
+  interp_tier : string;
+  jobs : int option;
+  mutable rev_targets : target list;
+  mutable rev_metrics : metric list;
+}
+
+let make ~interp_tier ~jobs () =
+  { interp_tier; jobs; rev_targets = []; rev_metrics = [] }
+
+let add_target t ~name ~wall_s =
+  t.rev_targets <- { t_name = name; t_wall_s = wall_s } :: t.rev_targets
+
+let add_metric t ~name ~value ~unit_label =
+  t.rev_metrics <-
+    { m_name = name; m_value = value; m_unit = unit_label } :: t.rev_metrics
+
+(** [time f] runs [f ()] and returns its result with the elapsed
+    wall-clock seconds. *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let targets t = List.rev t.rev_targets
+let metrics t = List.rev t.rev_metrics
+
+let esc = Instrument.json_escape
+
+let to_json t =
+  let target_json x =
+    Printf.sprintf "{\"name\":\"%s\",\"wall_s\":%.6f}" (esc x.t_name)
+      x.t_wall_s
+  in
+  let metric_json x =
+    Printf.sprintf "{\"name\":\"%s\",\"value\":%.6f,\"unit\":\"%s\"}"
+      (esc x.m_name) x.m_value (esc x.m_unit)
+  in
+  let jobs_json =
+    match t.jobs with None -> "null" | Some n -> string_of_int n
+  in
+  Printf.sprintf
+    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"targets\":[%s],\"metrics\":[%s],\"instrumentation\":%s}"
+    (esc schema) version (esc t.interp_tier) jobs_json
+    (String.concat "," (List.map target_json (targets t)))
+    (String.concat "," (List.map metric_json (metrics t)))
+    (Instrument.to_json ())
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')

@@ -1,0 +1,45 @@
+(** The perf-trajectory document behind [bench/main.exe --json FILE]:
+    a schema-stable JSON record of one harness run — per-target
+    wall-clock, named metrics (e.g. microbenchmark ns/run), the
+    interpreter tier and pool size, and the {!Instrument} span/counter
+    breakdown.
+
+    Schema (version 1; no timestamps, so snapshots diff cleanly):
+    {v
+    { "schema": "uas-bench-trajectory",
+      "version": 1,
+      "interp_tier": "fast",
+      "jobs": null | N,
+      "targets": [ {"name": "...", "wall_s": s}, ... ],
+      "metrics": [ {"name": "...", "value": x, "unit": "..."}, ... ],
+      "instrumentation": { "spans": {...}, "counters": {...} } }
+    v} *)
+
+val schema : string
+val version : int
+
+type t
+
+val make : interp_tier:string -> jobs:int option -> unit -> t
+
+(** Record a completed harness target and its wall-clock seconds. *)
+val add_target : t -> name:string -> wall_s:float -> unit
+
+(** Record a named scalar measurement ([unit_label] e.g. ["ns/run"]). *)
+val add_metric : t -> name:string -> value:float -> unit_label:string -> unit
+
+(** [time f] runs [f ()], returning its result and the elapsed
+    wall-clock seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+type target = { t_name : string; t_wall_s : float }
+type metric = { m_name : string; m_value : float; m_unit : string }
+
+val targets : t -> target list
+val metrics : t -> metric list
+
+(** The full document, keys in schema order. *)
+val to_json : t -> string
+
+(** Write {!to_json} (newline-terminated) to [path]. *)
+val write_file : t -> string -> unit

@@ -1,0 +1,270 @@
+(* The fast-tier contract: the slot-compiled interpreter must be
+   observationally identical to the reference tree-walker — outputs,
+   final scalars, the complete cycle/trip/mem-ref profile, the same
+   Stuck messages and the same Out_of_fuel cutoff.  The reference
+   interpreter stays the oracle everywhere in this file; the fast tier
+   is always the candidate. *)
+
+open Uas_ir
+module N = Uas_core.Nimble
+module R = Uas_bench_suite.Registry
+
+(* run both tiers; fail the test with the first difference *)
+let check_parity ~msg (p : Stmt.program) (w : Interp.workload) =
+  let reference = Interp.run p w in
+  let fast = Fast_interp.run_program p w in
+  match Interp.diff_results reference fast with
+  | None -> ()
+  | Some d -> Alcotest.failf "%s: fast tier diverges: %s" msg d
+
+(* --- random nests, all transform versions ------------------------- *)
+
+let fast_versions = [ N.Original; N.Squashed 2; N.Squashed 4; N.Jammed 2;
+                      N.Combined (2, 2) ]
+
+let test_qcheck_fast_tier_bit_identical =
+  QCheck.Test.make
+    ~name:"fast tier = reference (results + profiles), all versions"
+    ~count:40 Helpers.arbitrary_diff_nest_program
+    (fun p ->
+      let w = Helpers.random_workload ~seed:23 p in
+      List.iter
+        (fun v ->
+          match
+            N.build_version_result p ~outer_index:"i" ~inner_index:"j" v
+          with
+          | Error _ -> ()  (* illegal at this factor: dropped, as in sweep *)
+          | Ok b -> (
+            let reference = Interp.run b.N.bv_program w in
+            let fast = Fast_interp.run_program b.N.bv_program w in
+            match Interp.diff_results reference fast with
+            | None -> ()
+            | Some d ->
+              QCheck.Test.fail_reportf "%s: fast tier diverges: %s@\n%a"
+                (N.version_name v) d Pp.pp_program b.N.bv_program))
+        fast_versions;
+      true)
+
+(* compilation must be reusable: one compiled program replayed on
+   several workloads, each bit-identical to a fresh reference run *)
+let test_compiled_reuse =
+  QCheck.Test.make ~name:"one compilation, many workloads" ~count:20
+    Helpers.arbitrary_nest_program
+    (fun p ->
+      let compiled = Fast_interp.compile p in
+      List.iter
+        (fun seed ->
+          let w = Helpers.random_workload ~seed p in
+          let reference = Interp.run p w in
+          let fast = Fast_interp.run compiled w in
+          match Interp.diff_results reference fast with
+          | None -> ()
+          | Some d ->
+            QCheck.Test.fail_reportf "seed %d: fast tier diverges: %s" seed d)
+        [ 1; 2; 3 ];
+      true)
+
+(* --- the whole Table 6.1 suite ------------------------------------ *)
+
+let test_registry_benchmarks_identical () =
+  List.iter
+    (fun (b : R.benchmark) ->
+      check_parity ~msg:b.R.b_name b.R.b_program b.R.b_workload)
+    (R.all ())
+
+let test_registry_check_fast_tier () =
+  List.iter
+    (fun (b : R.benchmark) ->
+      match R.check_against_reference ~tier:Fast_interp.Fast b b.R.b_program with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: fast-tier check failed: %s" b.R.b_name e)
+    (R.all ())
+
+(* --- Stuck parity -------------------------------------------------- *)
+
+module B = Builder
+
+let stuck_of f =
+  match f () with
+  | (_ : Interp.result) -> None
+  | exception Interp.Stuck m -> Some m
+
+let check_stuck_parity ~msg p w =
+  let reference = stuck_of (fun () -> Interp.run p w) in
+  let fast = stuck_of (fun () -> Fast_interp.run_program p w) in
+  match (reference, fast) with
+  | Some a, Some b -> Alcotest.(check string) (msg ^ ": same message") a b
+  | None, None -> Alcotest.failf "%s: expected Stuck from both tiers" msg
+  | Some a, None -> Alcotest.failf "%s: only reference stuck (%s)" msg a
+  | None, Some b -> Alcotest.failf "%s: only fast tier stuck (%s)" msg b
+
+let w0 = Interp.workload ()
+
+let nest body =
+  B.program "stuck" ~locals:[ ("i", Types.Tint); ("a", Types.Tint) ]
+    ~arrays:[ B.output "dst" 4 ]
+    ~roms:[ B.rom_decl "tab" [| 1; 2; 3 |] ]
+    [ B.for_ "i" ~hi:(B.int 4) body ]
+
+let test_stuck_parity () =
+  check_stuck_parity ~msg:"store out of bounds"
+    (nest [ B.store "dst" (B.int 9) (B.v "i") ])
+    w0;
+  check_stuck_parity ~msg:"load from undeclared array"
+    (nest [ B.("a" <-- load "nope" (v "i")) ])
+    w0;
+  check_stuck_parity ~msg:"store to undeclared array"
+    (nest [ B.store "nope" (B.v "i") (B.v "i") ])
+    w0;
+  check_stuck_parity ~msg:"read of undeclared scalar"
+    (nest [ B.store "dst" (B.v "i") (B.v "ghost") ])
+    w0;
+  check_stuck_parity ~msg:"assignment to undeclared scalar"
+    (nest [ B.("ghost" <-- v "i") ])
+    w0;
+  check_stuck_parity ~msg:"division by zero"
+    (nest [ B.("a" <-- v "i" / (v "i" - v "i")) ])
+    w0;
+  check_stuck_parity ~msg:"rom lookup out of bounds"
+    (nest [ B.("a" <-- rom "tab" (v "i" + int 2)) ])
+    w0;
+  check_stuck_parity ~msg:"lookup in undeclared rom"
+    (nest [ B.("a" <-- rom "missing" (v "i")) ])
+    w0;
+  check_stuck_parity ~msg:"non-integer loop bound"
+    (B.program "fbound" ~locals:[ ("i", Types.Tint) ]
+       [ B.for_ "i" ~hi:(B.flt 2.0) [] ])
+    w0;
+  check_stuck_parity ~msg:"workload sets undeclared scalar"
+    (nest [ B.store "dst" (B.v "i") (B.v "i") ])
+    (Interp.workload ~scalars:[ ("ghost", Types.VInt 1) ] ());
+  check_stuck_parity ~msg:"workload array length mismatch"
+    (B.program "wl" ~locals:[ ("i", Types.Tint) ]
+       ~arrays:[ B.input "src" 4; B.output "dst" 4 ]
+       [ B.for_ "i" ~hi:(B.int 4)
+           [ B.store "dst" (B.v "i") (B.load "src" (B.v "i")) ] ])
+    (Interp.workload ~arrays:[ ("src", [| Types.VInt 1 |]) ] ())
+
+(* an undeclared loop index is admitted dynamically by the reference
+   interpreter: legal to read after its loop ran, stuck before *)
+let test_undeclared_index_parity () =
+  let p after =
+    B.program "undecl" ~locals:[ ("a", Types.Tint) ]
+      ~arrays:[ B.output "dst" 4 ]
+      ([ B.for_ "u" ~hi:(B.int 3) [ B.("a" <-- v "u") ] ] @ after)
+  in
+  check_parity ~msg:"read undeclared index after its loop"
+    (p [ B.store "dst" (B.int 0) (B.v "u") ])
+    w0;
+  check_stuck_parity ~msg:"read undeclared index before its loop"
+    (B.program "undecl2" ~locals:[ ("a", Types.Tint) ]
+       ~arrays:[ B.output "dst" 4 ]
+       [ B.store "dst" (B.int 0) (B.v "u");
+         B.for_ "u" ~hi:(B.int 3) [ B.("a" <-- v "u") ] ])
+    w0;
+  (* a zero-trip loop still defines its index (the C-style exit value) *)
+  check_parity ~msg:"zero-trip loop defines its index"
+    (p [ B.for_ "u" ~lo:(B.int 5) ~hi:(B.int 2) [];
+         B.store "dst" (B.int 1) (B.v "u") ])
+    w0
+
+(* --- Out_of_fuel parity -------------------------------------------- *)
+
+let test_fuel_parity () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  let w = Helpers.random_workload p in
+  (* total statements executed by a full run *)
+  let full = (Interp.run p w).Interp.profile.Interp.stmts_executed in
+  let runs_with fuel f =
+    match f fuel with
+    | (_ : Interp.result) -> true
+    | exception Interp.Out_of_fuel -> false
+  in
+  List.iter
+    (fun fuel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fuel %d: same cutoff" fuel)
+        (runs_with fuel (fun fuel -> Interp.run ~fuel p w))
+        (runs_with fuel (fun fuel -> Fast_interp.run_program ~fuel p w)))
+    [ 1; 2; full - 1; full; full + 1 ]
+
+(* --- tier plumbing ------------------------------------------------- *)
+
+let test_tier_of_string () =
+  let check s expected =
+    Alcotest.(check bool) s true (Fast_interp.tier_of_string s = expected)
+  in
+  check "ref" (Some Fast_interp.Ref);
+  check "reference" (Some Fast_interp.Ref);
+  check "fast" (Some Fast_interp.Fast);
+  check "FAST" (Some Fast_interp.Fast);
+  check "turbo" None
+
+let test_run_tier_dispatch () =
+  let p = Helpers.fg_loop ~m:3 ~n:3 in
+  let w = Helpers.random_workload p in
+  let a = Fast_interp.run_tier Fast_interp.Ref p w in
+  let b = Fast_interp.run_tier Fast_interp.Fast p w in
+  match Interp.diff_results a b with
+  | None -> ()
+  | Some d -> Alcotest.failf "tiers diverge: %s" d
+
+(* the satellite fix: a missing output array must be reported with the
+   benchmark name and the outputs the run actually produced *)
+let test_registry_missing_output_message () =
+  let b = R.skipjack_mem ~m:4 () in
+  let b' =
+    { b with R.b_reference = [ ("data_missing", [| Types.VInt 0 |]) ] }
+  in
+  match R.check_against_reference ~tier:Fast_interp.Fast b' b.R.b_program with
+  | Ok () -> Alcotest.fail "expected a missing-output error"
+  | Error msg ->
+    let has sub =
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S" sub)
+        true
+        (Helpers.contains ~sub msg)
+    in
+    has "Skipjack-mem";
+    has "data_missing";
+    has "data_out"
+
+(* the experiments path: table cells must verify identically on either
+   tier (the sweep runs verification on the fast tier by default) *)
+let test_run_benchmark_tiers_agree () =
+  let module E = Uas_core.Experiments in
+  let b = R.skipjack_mem ~m:8 () in
+  let row tier =
+    (E.run_benchmark ~verify:true ~tier ~versions:fast_versions ~jobs:2 b)
+      .E.br_cells
+  in
+  let fast = row Fast_interp.Fast and reference = row Fast_interp.Ref in
+  Alcotest.(check int) "cell count" (List.length reference) (List.length fast);
+  List.iter2
+    (fun (c1 : E.cell) (c2 : E.cell) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s verified on both tiers"
+           (N.version_name c1.E.c_version))
+        true
+        (c1.E.c_verified && c2.E.c_verified);
+      Alcotest.(check bool) "same report" true (c1.E.c_report = c2.E.c_report))
+    reference fast
+
+let suite =
+  [ QCheck_alcotest.to_alcotest test_qcheck_fast_tier_bit_identical;
+    QCheck_alcotest.to_alcotest test_compiled_reuse;
+    Alcotest.test_case "registry benchmarks bit-identical" `Slow
+      test_registry_benchmarks_identical;
+    Alcotest.test_case "registry check passes on fast tier" `Slow
+      test_registry_check_fast_tier;
+    Alcotest.test_case "Stuck parity (messages bit-identical)" `Quick
+      test_stuck_parity;
+    Alcotest.test_case "undeclared loop index parity" `Quick
+      test_undeclared_index_parity;
+    Alcotest.test_case "Out_of_fuel parity" `Quick test_fuel_parity;
+    Alcotest.test_case "tier_of_string" `Quick test_tier_of_string;
+    Alcotest.test_case "run_tier dispatch" `Quick test_run_tier_dispatch;
+    Alcotest.test_case "missing output error names benchmark" `Quick
+      test_registry_missing_output_message;
+    Alcotest.test_case "run_benchmark: ref and fast tiers agree" `Slow
+      test_run_benchmark_tiers_agree ]

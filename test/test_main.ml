@@ -15,6 +15,7 @@ let () =
       ("core", Test_core.suite);
       ("runtime", Test_runtime.suite);
       ("differential", Test_differential.suite);
+      ("fast-interp", Test_fast_interp.suite);
       ("bitwidth", Test_bitwidth.suite);
       ("c-export", Test_c_export.suite);
       ("goldens", Test_goldens.suite);

@@ -151,9 +151,13 @@ let available = [ "table-6.2"; "figure-2"; "micro" ]
 let ok_options =
   Alcotest.testable
     (fun ppf (o : Cli.options) ->
-      Fmt.pf ppf "{jobs=%a; timings=%b; targets=[%s]}"
+      Fmt.pf ppf "{jobs=%a; timings=%b; interp=%a; json=%a; targets=[%s]}"
         Fmt.(option int)
         o.Cli.o_jobs o.Cli.o_timings
+        Fmt.(option (of_to_string Uas_ir.Fast_interp.tier_name))
+        o.Cli.o_interp
+        Fmt.(option string)
+        o.Cli.o_json
         (String.concat " " o.Cli.o_targets))
     ( = )
 
@@ -167,16 +171,39 @@ let check_error msg args =
   | Ok _ -> Alcotest.failf "%s: expected an error" msg
   | Error e -> e
 
+let defaults =
+  { Cli.o_jobs = None;
+    o_timings = false;
+    o_interp = None;
+    o_json = None;
+    o_targets = [] }
+
 let test_cli_parse () =
-  check_ok "no args" []
-    { Cli.o_jobs = None; o_timings = false; o_targets = [] };
+  check_ok "no args" [] defaults;
   check_ok "targets in order" [ "micro"; "table-6.2" ]
-    { Cli.o_jobs = None; o_timings = false; o_targets = [ "micro"; "table-6.2" ] };
+    { defaults with Cli.o_targets = [ "micro"; "table-6.2" ] };
   check_ok "flags anywhere"
     [ "-j"; "4"; "table-6.2"; "--timings" ]
-    { Cli.o_jobs = Some 4; o_timings = true; o_targets = [ "table-6.2" ] };
+    { defaults with
+      Cli.o_jobs = Some 4;
+      o_timings = true;
+      o_targets = [ "table-6.2" ] };
   check_ok "--jobs alias" [ "--jobs"; "2" ]
-    { Cli.o_jobs = Some 2; o_timings = false; o_targets = [] }
+    { defaults with Cli.o_jobs = Some 2 }
+
+let test_cli_parse_interp_json () =
+  check_ok "--interp ref"
+    [ "--interp"; "ref"; "micro" ]
+    { defaults with
+      Cli.o_interp = Some Uas_ir.Fast_interp.Ref;
+      o_targets = [ "micro" ] };
+  check_ok "--interp fast" [ "--interp"; "fast" ]
+    { defaults with Cli.o_interp = Some Uas_ir.Fast_interp.Fast };
+  check_ok "--json file" [ "--json"; "out.json" ]
+    { defaults with Cli.o_json = Some "out.json" };
+  ignore (check_error "--interp without value" [ "--interp" ]);
+  ignore (check_error "--interp junk" [ "--interp"; "turbo" ]);
+  ignore (check_error "--json without value" [ "--json" ])
 
 let test_cli_rejects_unknown_target () =
   let e = check_error "typo" [ "table-6.2"; "tabel-6.3" ] in
@@ -209,6 +236,8 @@ let suite =
     Alcotest.test_case "Instrument under the pool" `Quick
       test_instrument_thread_safe;
     Alcotest.test_case "bench CLI: parse" `Quick test_cli_parse;
+    Alcotest.test_case "bench CLI: --interp/--json" `Quick
+      test_cli_parse_interp_json;
     Alcotest.test_case "bench CLI: unknown target" `Quick
       test_cli_rejects_unknown_target;
     Alcotest.test_case "bench CLI: bad -j" `Quick test_cli_rejects_bad_jobs ]
