@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --json BENCH_sweep.json table-6.2 micro
    Targets: table-1.1 table-6.1 table-6.2 table-6.3 figure-2 figure-2.4
             figure-4 figure-6.1 figure-6.2 figure-6.3 figure-6.4
-            ablation-ports ablation-registers micro
+            ablation-ports ablation-registers plan micro
    Flags: -j N (worker-pool size; default UAS_JOBS or the core count),
           --timings (per-pass span/counter summary at exit),
           --interp ref|fast (interpreter tier for verification/profiling),
@@ -19,6 +19,7 @@ open Uas_ir
 module S = Uas_bench_suite
 module E = Uas_core.Experiments
 module N = Uas_core.Nimble
+module P = Uas_core.Planner
 module Instrument = Uas_runtime.Instrument
 module Trajectory = Uas_runtime.Trajectory
 
@@ -300,6 +301,63 @@ let ablation_width () =
         (float_of_int aware /. float_of_int default))
     (S.Registry.all ())
 
+(* --- the transform planner: ranked rewrite sequences per benchmark --- *)
+
+let plan_rows_for_trajectory (plan : P.plan) : Trajectory.plan_row list =
+  let rank = ref 0 in
+  List.map
+    (fun (row : P.row) ->
+      let label = row.P.r_candidate.P.c_label
+      and ds = row.P.r_candidate.P.c_ds in
+      match row.P.r_outcome with
+      | Ok (r : Uas_hw.Estimate.report) ->
+        incr rank;
+        let speedup, ratio =
+          match plan.P.p_baseline with
+          | Some base -> (P.speedup ~base r, P.ratio ~base r)
+          | None -> (1.0, 1.0)
+        in
+        { Trajectory.pr_rank = !rank;
+          pr_label = label;
+          pr_ds = ds;
+          pr_ii = r.Uas_hw.Estimate.r_ii;
+          pr_area = r.Uas_hw.Estimate.r_area_rows;
+          pr_cycles = r.Uas_hw.Estimate.r_total_cycles;
+          pr_speedup = speedup;
+          pr_ratio = ratio;
+          pr_skipped = None }
+      | Error d ->
+        { Trajectory.pr_rank = 0;
+          pr_label = label;
+          pr_ds = ds;
+          pr_ii = 0;
+          pr_area = 0;
+          pr_cycles = 0;
+          pr_speedup = 0.0;
+          pr_ratio = 0.0;
+          pr_skipped = Some (Uas_pass.Diag.to_string d) })
+    plan.P.p_rows
+
+let plan_target () =
+  header "Transform plans: rewrite sequences ending in squash, ranked by \
+          the cost model";
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      let plan =
+        P.plan ?jobs:!jobs b.S.Registry.b_program
+          ~outer_index:b.S.Registry.b_outer_index
+          ~inner_index:b.S.Registry.b_inner_index
+          ~benchmark:b.S.Registry.b_name
+      in
+      Fmt.pr "%a@." P.pp plan;
+      match !trajectory with
+      | Some t ->
+        Trajectory.add_plan t ~benchmark:plan.P.p_benchmark
+          ~objective:(P.objective_name plan.P.p_objective)
+          (plan_rows_for_trajectory plan)
+      | None -> ())
+    (S.Registry.all ())
+
 (* --- Bechamel microbenchmarks of the passes --- *)
 
 let micro () =
@@ -398,6 +456,7 @@ let targets =
     ("ablation-ports", ablation_ports);
     ("ablation-registers", ablation_registers);
     ("ablation-width", ablation_width);
+    ("plan", plan_target);
     ("micro", micro) ]
 
 let () =

@@ -12,8 +12,10 @@ open Cmdliner
 module S = Uas_bench_suite
 module N = Uas_core.Nimble
 module E = Uas_core.Experiments
+module P = Uas_core.Planner
 module Cu = Uas_pass.Cu
 module Diag = Uas_pass.Diag
+module Rewrite = Uas_transform.Rewrite
 
 let find_benchmark name =
   match S.Registry.find name with
@@ -55,18 +57,24 @@ let dump_after_arg =
     & info [ "dump-after" ] ~docv:"PASS"
         ~doc:
           "Print the IR after the named pipeline pass (DOT via Graphviz \
-           for the graph stages dfg-build/schedule).  Passes: loop-nest, \
-           legality, squash, jam, dfg-build, schedule, estimate.")
+           for the graph stages dfg-build/schedule).  Accepts the stage \
+           passes (loop-nest, legality, dfg-build, schedule, estimate) \
+           and every registered rewrite name (squash, jam, interchange, \
+           ...).")
+
+(* Every name --dump-after accepts: the stage passes plus the rewrite
+   registry. *)
+let dumpable_passes () = Uas_pass.Stages.names @ Rewrite.names ()
 
 (* The validated hook: [None] when not dumping. *)
 let dump_hook_of = function
   | None -> None
-  | Some pass when List.mem pass Uas_pass.Stages.names ->
+  | Some pass when List.mem pass (dumpable_passes ()) ->
     Some (dump_hook pass)
   | Some pass ->
     Fmt.epr "unknown pass %s; passes: %s@." pass
-      (String.concat ", " Uas_pass.Stages.names);
-    exit 2
+      (String.concat ", " (dumpable_passes ()));
+    exit 1
 
 let parse_version s =
   let fail () =
@@ -344,6 +352,52 @@ let compile_cmd =
              print the result")
     Term.(const run $ path $ version_arg $ estimate_flag $ dump_after_arg)
 
+(* --- plan --- *)
+
+let objective_arg =
+  let objective_conv =
+    let parse s =
+      match P.objective_of_string s with
+      | Some o -> Ok o
+      | None ->
+        Error (`Msg (Printf.sprintf "expected ii, area or ratio, got %s" s))
+    in
+    let print ppf o = Fmt.string ppf (P.objective_name o) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt objective_conv P.Ratio
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:
+          "Ranking objective: $(b,ii) (kernel initiation interval), \
+           $(b,area) (area rows), or $(b,ratio) (speedup per area, the \
+           Figure 6.3 efficiency metric; the default)")
+
+let plan_benchmark ?jobs ~objective (b : S.Registry.benchmark) =
+  let plan =
+    P.plan ?jobs ~objective b.S.Registry.b_program
+      ~outer_index:b.S.Registry.b_outer_index
+      ~inner_index:b.S.Registry.b_inner_index ~benchmark:b.S.Registry.b_name
+  in
+  Fmt.pr "%a@." P.pp plan
+
+let plan_cmd =
+  let run name objective jobs =
+    match name with
+    | Some name -> plan_benchmark ?jobs ~objective (find_benchmark name)
+    | None ->
+      List.iter (fun b -> plan_benchmark ?jobs ~objective b) (S.Registry.all ())
+  in
+  let bench_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Rank rewrite sequences ending in squash by the cost model \
+             (all benchmarks when none is named)")
+    Term.(const run $ bench_opt $ objective_arg $ jobs_arg)
+
 (* --- profile --- *)
 
 let profile_cmd =
@@ -360,6 +414,25 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Run the Table 1.1 loop-profiling study")
     Term.(const run $ interp_arg)
 
+(* `nimblec --plan` at the top level plans every registry benchmark —
+   the one-shot planner entry; without it, the group prints its help. *)
+let default_term =
+  let run plan_flag objective jobs =
+    if plan_flag then begin
+      List.iter (fun b -> plan_benchmark ?jobs ~objective b) (S.Registry.all ());
+      `Ok ()
+    end
+    else `Help (`Pager, None)
+  in
+  let plan_flag =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:"Rank rewrite sequences ending in squash by the cost model, \
+                for every benchmark (see also the $(b,plan) subcommand)")
+  in
+  Term.(ret (const run $ plan_flag $ objective_arg $ jobs_arg))
+
 let () =
   let info =
     Cmd.info "nimblec"
@@ -367,6 +440,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; show_cmd; estimate_cmd; run_cmd; dfg_cmd; profile_cmd;
-            compile_cmd; export_cmd ]))
+       (Cmd.group ~default:default_term info
+          [ list_cmd; show_cmd; estimate_cmd; run_cmd; dfg_cmd; plan_cmd;
+            profile_cmd; compile_cmd; export_cmd ]))

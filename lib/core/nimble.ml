@@ -23,6 +23,7 @@ module Cu = Uas_pass.Cu
 module Diag = Uas_pass.Diag
 module Pass = Uas_pass.Pass
 module Stages = Uas_pass.Stages
+module Rewrite = Uas_transform.Rewrite
 
 type version =
   | Original
@@ -58,18 +59,19 @@ type built = {
 let pipelined = function Original -> false | _ -> true
 
 (** The transformation pipeline of a version: locate/analyze the nest,
-    then the squash/jam composition. *)
+    then the squash/jam composition, each transform a registered
+    rewrite converted to a pass. *)
 let transform_passes (version : version) : Pass.t list =
   Stages.analyze
   ::
   (match version with
   | Original | Pipelined -> []
-  | Squashed ds -> [ Stages.squash ~ds ]
-  | Jammed ds -> [ Stages.jam ~ds ]
+  | Squashed ds -> [ Rewrite.pass ~factor:ds "squash" ]
+  | Jammed ds -> [ Rewrite.pass ~factor:ds "jam" ]
   | Combined (jam_ds, squash_ds) ->
     (* the squash pass re-analyzes the jammed program: the jam pass
        invalidated the loop-nest cache along with the program *)
-    [ Stages.jam ~ds:jam_ds; Stages.squash ~ds:squash_ds ])
+    [ Rewrite.pass ~factor:jam_ds "jam"; Rewrite.pass ~factor:squash_ds "squash" ])
 
 (** The quick-synthesis pipeline of a version (§5.2): DFG, schedule,
     estimate report. *)

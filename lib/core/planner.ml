@@ -1,0 +1,218 @@
+(* The cost-model-driven transform planner: enumerate legal rewrite
+   sequences ending in unroll-and-squash, score each with the §5.2
+   quick-synthesis estimate, and rank them by an objective.
+
+   A candidate is an enabling prefix (hoist, if-conversion,
+   scalarization, scalar cleanup, interchange — the §4.2 rewrites that
+   widen squash's applicability or shrink its kernel) followed by
+   squash at DS in {2, 4, 8}; the two untransformed designs (original,
+   pipelined) anchor the ranking.  Every candidate runs the same
+   memoized pass pipeline the sweep engine uses — analyze, the rewrite
+   passes from the registry, then dfg-build/schedule/estimate — fanned
+   out over the domain pool.  An illegal candidate keeps its diagnostic
+   and ranks below every estimated one, so a plan table always accounts
+   for the full search space. *)
+
+module Estimate = Uas_hw.Estimate
+module Datapath = Uas_hw.Datapath
+module Parallel = Uas_runtime.Parallel
+module Cu = Uas_pass.Cu
+module Diag = Uas_pass.Diag
+module Pass = Uas_pass.Pass
+module Stages = Uas_pass.Stages
+module Rewrite = Uas_transform.Rewrite
+
+type objective = Ii | Area | Ratio
+
+let objective_name = function Ii -> "ii" | Area -> "area" | Ratio -> "ratio"
+
+let objective_of_string = function
+  | "ii" -> Some Ii
+  | "area" -> Some Area
+  | "ratio" -> Some Ratio
+  | _ -> None
+
+(** A point of the search space: the rewrite sequence (registry names;
+    squash last carries the factor) and the squash factor, or one of
+    the two baselines at [ds = 1]. *)
+type candidate = {
+  c_label : string;
+  c_sequence : string list;  (** registry names, applied in order *)
+  c_ds : int;  (** squash factor; 1 on the baselines *)
+  c_pipelined : bool;  (** modulo-scheduled kernel? *)
+}
+
+(** The enabling prefixes the planner explores, each a registry-name
+    sequence. *)
+let enabling_prefixes : string list list =
+  [ []; [ "hoist" ]; [ "ifconv" ]; [ "scalarize" ]; [ "scalar-opts" ];
+    [ "interchange" ]; [ "hoist"; "scalar-opts" ] ]
+
+let default_factors = [ 2; 4; 8 ]
+
+let label_of sequence ds =
+  match sequence with
+  | [] -> Printf.sprintf "squash(%d)" ds
+  | prefix ->
+    Printf.sprintf "%s+squash(%d)" (String.concat "+" prefix) ds
+
+let candidates ?(factors = default_factors) () : candidate list =
+  { c_label = "original"; c_sequence = []; c_ds = 1; c_pipelined = false }
+  :: { c_label = "pipelined"; c_sequence = []; c_ds = 1; c_pipelined = true }
+  :: List.concat_map
+       (fun prefix ->
+         List.map
+           (fun ds ->
+             { c_label = label_of prefix ds;
+               c_sequence = prefix @ [ "squash" ];
+               c_ds = ds;
+               c_pipelined = true })
+           factors)
+       enabling_prefixes
+
+(** One scored candidate: the estimate report, or the diagnostic of the
+    pass that rejected it. *)
+type row = {
+  r_candidate : candidate;
+  r_outcome : (Estimate.report, Diag.t) result;
+}
+
+type plan = {
+  p_benchmark : string;
+  p_objective : objective;
+  p_baseline : Estimate.report option;  (** the original design's report *)
+  p_rows : row list;  (** ranked, best first; skipped candidates last *)
+}
+
+let rewrite_passes (c : candidate) : Pass.t list =
+  List.map
+    (fun name ->
+      if String.equal name "squash" then Rewrite.pass ~factor:c.c_ds "squash"
+      else Rewrite.pass name)
+    c.c_sequence
+
+let run_candidate ~target (p : Uas_ir.Stmt.program) ~outer_index ~inner_index
+    (c : candidate) : row =
+  let cu = Cu.make p ~outer_index ~inner_index in
+  let passes =
+    (Stages.analyze :: rewrite_passes c)
+    @ [ Stages.dfg_build ~target ();
+        Stages.schedule ~target ~pipelined:c.c_pipelined ();
+        Stages.estimate ~target ~pipelined:c.c_pipelined ~name:c.c_label () ]
+  in
+  match Pass.run cu passes with
+  | Ok cu -> (
+    match Cu.report cu with
+    | Some r -> { r_candidate = c; r_outcome = Ok r }
+    | None -> assert false (* the estimate pass always sets the report *))
+  | Error d -> { r_candidate = c; r_outcome = Error d }
+
+(* ---- metrics and ranking ---- *)
+
+let speedup ~(base : Estimate.report) (r : Estimate.report) =
+  float_of_int base.Estimate.r_total_cycles
+  /. float_of_int (max 1 r.Estimate.r_total_cycles)
+
+let area_factor ~(base : Estimate.report) (r : Estimate.report) =
+  float_of_int r.Estimate.r_area_rows
+  /. float_of_int (max 1 base.Estimate.r_area_rows)
+
+let ratio ~base r = speedup ~base r /. area_factor ~base r
+
+(* Smaller key ranks first; ties break deterministically on II, cycles,
+   area, and finally the label, so plan tables are reproducible across
+   domain pools. *)
+let rank_key objective ~base (row : row) =
+  match row.r_outcome with
+  | Error _ -> (infinity, (max_int, max_int, max_int, row.r_candidate.c_label))
+  | Ok r ->
+    let primary =
+      match objective with
+      | Ii -> float_of_int r.Estimate.r_ii
+      | Area -> float_of_int r.Estimate.r_area_rows
+      | Ratio -> (
+        match base with Some b -> -.ratio ~base:b r | None -> 0.0)
+    in
+    ( primary,
+      ( r.Estimate.r_ii,
+        r.Estimate.r_total_cycles,
+        r.Estimate.r_area_rows,
+        row.r_candidate.c_label ) )
+
+(** Score every candidate of the search space on the benchmark nest and
+    rank by [objective] (default: [Ratio], the Figure 6.3 efficiency
+    metric).  Candidates fan out over the domain pool like sweep
+    versions. *)
+let plan ?(target = Datapath.default) ?jobs ?(objective = Ratio)
+    ?(factors = default_factors) (p : Uas_ir.Stmt.program) ~outer_index
+    ~inner_index ~benchmark : plan =
+  let rows =
+    Parallel.map ?jobs
+      (run_candidate ~target p ~outer_index ~inner_index)
+      (candidates ~factors ())
+  in
+  let baseline =
+    List.find_map
+      (fun row ->
+        match (row.r_candidate.c_label, row.r_outcome) with
+        | "original", Ok r -> Some r
+        | _ -> None)
+      rows
+  in
+  let ranked =
+    List.stable_sort
+      (fun a b ->
+        compare (rank_key objective ~base:baseline a)
+          (rank_key objective ~base:baseline b))
+      rows
+  in
+  { p_benchmark = benchmark;
+    p_objective = objective;
+    p_baseline = baseline;
+    p_rows = ranked }
+
+(** The rank (1-based, in plan order) of the first estimated row whose
+    label satisfies the predicate. *)
+let rank_of (plan : plan) f : int option =
+  let rec go k = function
+    | [] -> None
+    | { r_candidate; r_outcome = Ok _ } :: _ when f r_candidate -> Some k
+    | _ :: rest -> go (k + 1) rest
+  in
+  go 1 plan.p_rows
+
+(* ---- rendering ---- *)
+
+let pp ppf (plan : plan) =
+  Fmt.pf ppf "plan for %s (objective: %s)@." plan.p_benchmark
+    (objective_name plan.p_objective);
+  Fmt.pf ppf "%-4s %-28s %4s %6s %6s %8s %8s %7s %7s@." "rank" "plan" "DS"
+    "II" "sched" "area" "cycles" "speedup" "ratio";
+  let rank = ref 0 in
+  List.iter
+    (fun row ->
+      match row.r_outcome with
+      | Ok r ->
+        incr rank;
+        let sp, rt =
+          match plan.p_baseline with
+          | Some base -> (speedup ~base r, ratio ~base r)
+          | None -> (1.0, 1.0)
+        in
+        Fmt.pf ppf "%-4d %-28s %4d %6d %6d %8d %8d %7.2f %7.2f@." !rank
+          row.r_candidate.c_label row.r_candidate.c_ds r.Estimate.r_ii
+          r.Estimate.r_sched_len r.Estimate.r_area_rows
+          r.Estimate.r_total_cycles sp rt
+      | Error _ -> ())
+    plan.p_rows;
+  let skipped =
+    List.filter_map
+      (fun row ->
+        match row.r_outcome with
+        | Error d -> Some (row.r_candidate.c_label, d)
+        | Ok _ -> None)
+      plan.p_rows
+  in
+  List.iter
+    (fun (label, d) -> Fmt.pf ppf "skipped: %s — %a@." label Diag.pp d)
+    skipped

@@ -1,0 +1,82 @@
+(** The cost-model-driven transform planner: enumerate rewrite
+    sequences ending in unroll-and-squash (enabling prefixes from the
+    {!Uas_transform.Rewrite} registry × DS in [{2, 4, 8}]), score each
+    with the §5.2 quick-synthesis estimate on the sweep engine's
+    memoized pass pipeline, and rank by an objective.  Illegal
+    candidates keep their diagnostics and rank last, so the table
+    accounts for the whole search space. *)
+
+module Estimate = Uas_hw.Estimate
+module Datapath = Uas_hw.Datapath
+module Diag = Uas_pass.Diag
+
+(** What the ranking optimizes: kernel initiation interval, area rows,
+    or speedup per area (the Figure 6.3 efficiency metric, the
+    default). *)
+type objective = Ii | Area | Ratio
+
+val objective_name : objective -> string
+
+(** ["ii"], ["area"], ["ratio"]. *)
+val objective_of_string : string -> objective option
+
+(** A point of the search space. *)
+type candidate = {
+  c_label : string;  (** e.g. ["hoist+squash(4)"], ["original"] *)
+  c_sequence : string list;  (** registry names, applied in order *)
+  c_ds : int;  (** squash factor; 1 on the baselines *)
+  c_pipelined : bool;  (** modulo-scheduled kernel? *)
+}
+
+(** The enabling prefixes explored, each a registry-name sequence. *)
+val enabling_prefixes : string list list
+
+(** The squash factors explored by default: [2; 4; 8]. *)
+val default_factors : int list
+
+(** The full search space: the [original]/[pipelined] baselines plus
+    every enabling prefix × factor, squash last. *)
+val candidates : ?factors:int list -> unit -> candidate list
+
+type row = {
+  r_candidate : candidate;
+  r_outcome : (Estimate.report, Diag.t) result;
+}
+
+type plan = {
+  p_benchmark : string;
+  p_objective : objective;
+  p_baseline : Estimate.report option;  (** the original design's report *)
+  p_rows : row list;  (** ranked, best first; skipped candidates last *)
+}
+
+(** Score every candidate on the benchmark nest and rank.  Candidates
+    fan out over the domain pool ([jobs]) like sweep versions; ranking
+    is deterministic (ties break on II, cycles, area, label). *)
+val plan :
+  ?target:Datapath.t ->
+  ?jobs:int ->
+  ?objective:objective ->
+  ?factors:int list ->
+  Uas_ir.Stmt.program ->
+  outer_index:string ->
+  inner_index:string ->
+  benchmark:string ->
+  plan
+
+(** The 1-based rank of the first estimated row whose candidate
+    satisfies the predicate; [None] when every match was skipped. *)
+val rank_of : plan -> (candidate -> bool) -> int option
+
+(** The relative metrics of the ranking, against the original design's
+    report. *)
+val speedup : base:Estimate.report -> Estimate.report -> float
+
+val area_factor : base:Estimate.report -> Estimate.report -> float
+
+(** [speedup /. area_factor] — the Figure 6.3 efficiency metric. *)
+val ratio : base:Estimate.report -> Estimate.report -> float
+
+(** The ranked plan table, skipped candidates footnoted with their
+    diagnostics. *)
+val pp : plan Fmt.t

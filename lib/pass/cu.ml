@@ -67,10 +67,11 @@ let program cu = cu.cu_program
 let outer_index cu = cu.cu_outer
 let inner_index cu = cu.cu_inner
 
-let with_program ?(preserves = []) ?inner_index cu p =
+let with_program ?(preserves = []) ?outer_index ?inner_index cu p =
   let keep a v = if List.mem a preserves then v else None in
   { cu with
     cu_program = p;
+    cu_outer = (match outer_index with Some i -> i | None -> cu.cu_outer);
     cu_inner = (match inner_index with Some i -> i | None -> cu.cu_inner);
     c_nest = keep Nest cu.c_nest;
     c_def_use = keep Def_use cu.c_def_use;

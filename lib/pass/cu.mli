@@ -55,9 +55,16 @@ val inner_index : t -> string
 (** [with_program cu p] is the unit a transform pass returns: program
     replaced, analyses dropped except those in [preserves] (default:
     none), artifacts dropped, cache counters carried over.
-    [inner_index] re-points the kernel when the transform moved it. *)
+    [inner_index] re-points the kernel when the transform moved it;
+    [outer_index] re-points the nest itself (interchange swaps the two,
+    flattening collapses them onto one loop). *)
 val with_program :
-  ?preserves:analysis list -> ?inner_index:string -> t -> Stmt.program -> t
+  ?preserves:analysis list ->
+  ?outer_index:string ->
+  ?inner_index:string ->
+  t ->
+  Stmt.program ->
+  t
 
 (** {2 Memoized analyses} *)
 

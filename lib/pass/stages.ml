@@ -1,14 +1,13 @@
-(* The standard passes: each wraps one existing compiler stage in the
-   Pass/Cu/Diag protocol.  Artifact-producing stages (dfg-build,
-   schedule, estimate) are written ensure-style — they reuse a cached
-   artifact when an earlier pass already built it, and build it
-   themselves when run standalone — so pipelines stay composable
-   without recomputation. *)
+(* The analysis and quick-synthesis passes: each wraps one existing
+   compiler stage in the Pass/Cu/Diag protocol.  (The transform passes
+   live in the Uas_transform.Rewrite registry, which builds on this
+   layer.)  Artifact-producing stages (dfg-build, schedule, estimate)
+   are written ensure-style — they reuse a cached artifact when an
+   earlier pass already built it, and build it themselves when run
+   standalone — so pipelines stay composable without recomputation. *)
 
 module Loop_nest = Uas_analysis.Loop_nest
 module Legality = Uas_analysis.Legality
-module Squash = Uas_transform.Squash
-module Jam = Uas_transform.Unroll_and_jam
 module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
 
@@ -37,27 +36,6 @@ let legality ~ds =
         Error
           (Diag.errorf ~pass:"legality" ~loop:(Cu.outer_index cu)
              "factor %d: %a" ds Legality.pp_verdict verdict))
-
-let squash ~ds =
-  Pass.v "squash" (fun cu ->
-      match Squash.apply_res (Cu.program cu) (Cu.nest cu) ~ds with
-      | Ok out ->
-        Ok
-          (Cu.with_program cu out.Squash.program
-             ~inner_index:out.Squash.new_inner_index)
-      | Error e ->
-        Error
-          (Diag.errorf ~pass:"squash" ~loop:(Cu.outer_index cu)
-             "factor %d: %a" ds Squash.pp_error e))
-
-let jam ~ds =
-  Pass.v "jam" (fun cu ->
-      match Jam.apply_res (Cu.program cu) (Cu.nest cu) ~ds with
-      | Ok out -> Ok (Cu.with_program cu out.Jam.program)
-      | Error verdict ->
-        Error
-          (Diag.errorf ~pass:"jam" ~loop:(Cu.outer_index cu) "factor %d: %a"
-             ds Legality.pp_verdict verdict))
 
 (* ensure-style artifact accessors *)
 
@@ -101,6 +79,4 @@ let estimate ?(target = Datapath.default) ~pipelined ?name () =
       Cu.set_report cu report;
       Ok cu)
 
-let names =
-  [ "loop-nest"; "legality"; "squash"; "jam"; "dfg-build"; "schedule";
-    "estimate" ]
+let names = [ "loop-nest"; "legality"; "dfg-build"; "schedule"; "estimate" ]

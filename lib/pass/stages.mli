@@ -1,7 +1,10 @@
-(** The standard passes of the Nimble-style flow, each a thin pass
-    wrapper over an existing [lib/analysis] / [lib/transform] /
-    [lib/dfg] / [lib/hw] stage.  See docs/PIPELINE.md for the
-    pass-ordering table and the thesis section each pass reproduces. *)
+(** The analysis and quick-synthesis passes of the Nimble-style flow,
+    each a thin pass wrapper over an existing [lib/analysis] /
+    [lib/dfg] / [lib/hw] stage.  The transform passes (squash, jam,
+    interchange, ...) live in the [Uas_transform.Rewrite] registry and
+    convert to passes through [Rewrite.pass].  See docs/PIPELINE.md for
+    the pass-ordering table and the thesis section each pass
+    reproduces. *)
 
 module Datapath = Uas_hw.Datapath
 
@@ -16,13 +19,6 @@ val analyze : Pass.t
     enabling rewrites), so this pass is for early/explicit checking. *)
 val legality : ds:int -> Pass.t
 
-(** ["squash"]: unroll-and-squash by [ds]; re-points the kernel to the
-    squashed steady loop. *)
-val squash : ds:int -> Pass.t
-
-(** ["jam"]: unroll-and-jam by [ds]; the kernel index is unchanged. *)
-val jam : ds:int -> Pass.t
-
 (** ["dfg-build"]: build the kernel DFG artifact. *)
 val dfg_build : ?target:Datapath.t -> unit -> Pass.t
 
@@ -35,6 +31,6 @@ val schedule : ?target:Datapath.t -> pipelined:bool -> unit -> Pass.t
     [Uas_hw.Estimate.kernel]. *)
 val estimate : ?target:Datapath.t -> pipelined:bool -> ?name:string -> unit -> Pass.t
 
-(** Every stage name above, in canonical pipeline order — the valid
-    arguments of nimblec's [--dump-after]. *)
+(** Every stage name above, in canonical pipeline order.  nimblec's
+    [--dump-after] accepts these plus every registered rewrite name. *)
 val names : string list

@@ -9,20 +9,41 @@
    [version] on any key change. *)
 
 let schema = "uas-bench-trajectory"
-let version = 1
+
+(* v2: the "plans" array (ranked planner tables per benchmark). *)
+let version = 2
 
 type target = { t_name : string; t_wall_s : float }
 type metric = { m_name : string; m_value : float; m_unit : string }
+
+type plan_row = {
+  pr_rank : int;  (** 1-based plan order; 0 on skipped candidates *)
+  pr_label : string;
+  pr_ds : int;
+  pr_ii : int;
+  pr_area : int;
+  pr_cycles : int;
+  pr_speedup : float;
+  pr_ratio : float;
+  pr_skipped : string option;  (** the diagnostic, when skipped *)
+}
+
+type plan = {
+  pl_benchmark : string;
+  pl_objective : string;
+  pl_rows : plan_row list;
+}
 
 type t = {
   interp_tier : string;
   jobs : int option;
   mutable rev_targets : target list;
   mutable rev_metrics : metric list;
+  mutable rev_plans : plan list;
 }
 
 let make ~interp_tier ~jobs () =
-  { interp_tier; jobs; rev_targets = []; rev_metrics = [] }
+  { interp_tier; jobs; rev_targets = []; rev_metrics = []; rev_plans = [] }
 
 let add_target t ~name ~wall_s =
   t.rev_targets <- { t_name = name; t_wall_s = wall_s } :: t.rev_targets
@@ -30,6 +51,11 @@ let add_target t ~name ~wall_s =
 let add_metric t ~name ~value ~unit_label =
   t.rev_metrics <-
     { m_name = name; m_value = value; m_unit = unit_label } :: t.rev_metrics
+
+let add_plan t ~benchmark ~objective rows =
+  t.rev_plans <-
+    { pl_benchmark = benchmark; pl_objective = objective; pl_rows = rows }
+    :: t.rev_plans
 
 (** [time f] runs [f ()] and returns its result with the elapsed
     wall-clock seconds. *)
@@ -40,6 +66,7 @@ let time f =
 
 let targets t = List.rev t.rev_targets
 let metrics t = List.rev t.rev_metrics
+let plans t = List.rev t.rev_plans
 
 let esc = Instrument.json_escape
 
@@ -52,14 +79,29 @@ let to_json t =
     Printf.sprintf "{\"name\":\"%s\",\"value\":%.6f,\"unit\":\"%s\"}"
       (esc x.m_name) x.m_value (esc x.m_unit)
   in
+  let plan_row_json (r : plan_row) =
+    Printf.sprintf
+      "{\"rank\":%d,\"label\":\"%s\",\"ds\":%d,\"ii\":%d,\"area\":%d,\"cycles\":%d,\"speedup\":%.4f,\"ratio\":%.4f,\"skipped\":%s}"
+      r.pr_rank (esc r.pr_label) r.pr_ds r.pr_ii r.pr_area r.pr_cycles
+      r.pr_speedup r.pr_ratio
+      (match r.pr_skipped with
+      | None -> "null"
+      | Some d -> Printf.sprintf "\"%s\"" (esc d))
+  in
+  let plan_json (p : plan) =
+    Printf.sprintf "{\"benchmark\":\"%s\",\"objective\":\"%s\",\"rows\":[%s]}"
+      (esc p.pl_benchmark) (esc p.pl_objective)
+      (String.concat "," (List.map plan_row_json p.pl_rows))
+  in
   let jobs_json =
     match t.jobs with None -> "null" | Some n -> string_of_int n
   in
   Printf.sprintf
-    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"targets\":[%s],\"metrics\":[%s],\"instrumentation\":%s}"
+    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"targets\":[%s],\"metrics\":[%s],\"plans\":[%s],\"instrumentation\":%s}"
     (esc schema) version (esc t.interp_tier) jobs_json
     (String.concat "," (List.map target_json (targets t)))
     (String.concat "," (List.map metric_json (metrics t)))
+    (String.concat "," (List.map plan_json (plans t)))
     (Instrument.to_json ())
 
 let write_file t path =

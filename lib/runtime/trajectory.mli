@@ -1,17 +1,23 @@
 (** The perf-trajectory document behind [bench/main.exe --json FILE]:
     a schema-stable JSON record of one harness run — per-target
-    wall-clock, named metrics (e.g. microbenchmark ns/run), the
-    interpreter tier and pool size, and the {!Instrument} span/counter
-    breakdown.
+    wall-clock, named metrics (e.g. microbenchmark ns/run), ranked
+    planner tables, the interpreter tier and pool size, and the
+    {!Instrument} span/counter breakdown.
 
-    Schema (version 1; no timestamps, so snapshots diff cleanly):
+    Schema (version 2; no timestamps, so snapshots diff cleanly):
     {v
     { "schema": "uas-bench-trajectory",
-      "version": 1,
+      "version": 2,
       "interp_tier": "fast",
       "jobs": null | N,
       "targets": [ {"name": "...", "wall_s": s}, ... ],
       "metrics": [ {"name": "...", "value": x, "unit": "..."}, ... ],
+      "plans": [ { "benchmark": "...", "objective": "...",
+                   "rows": [ {"rank": k, "label": "...", "ds": d,
+                              "ii": n, "area": n, "cycles": n,
+                              "speedup": x, "ratio": x,
+                              "skipped": null | "diagnostic"}, ... ] },
+                 ... ],
       "instrumentation": { "spans": {...}, "counters": {...} } }
     v} *)
 
@@ -28,6 +34,29 @@ val add_target : t -> name:string -> wall_s:float -> unit
 (** Record a named scalar measurement ([unit_label] e.g. ["ns/run"]). *)
 val add_metric : t -> name:string -> value:float -> unit_label:string -> unit
 
+(** One row of a recorded plan table: rank 0 and a [pr_skipped]
+    diagnostic mark a candidate the planner could not estimate. *)
+type plan_row = {
+  pr_rank : int;
+  pr_label : string;
+  pr_ds : int;
+  pr_ii : int;
+  pr_area : int;
+  pr_cycles : int;
+  pr_speedup : float;
+  pr_ratio : float;
+  pr_skipped : string option;
+}
+
+type plan = {
+  pl_benchmark : string;
+  pl_objective : string;
+  pl_rows : plan_row list;
+}
+
+(** Record one benchmark's ranked plan table. *)
+val add_plan : t -> benchmark:string -> objective:string -> plan_row list -> unit
+
 (** [time f] runs [f ()], returning its result and the elapsed
     wall-clock seconds. *)
 val time : (unit -> 'a) -> 'a * float
@@ -37,6 +66,7 @@ type metric = { m_name : string; m_value : float; m_unit : string }
 
 val targets : t -> target list
 val metrics : t -> metric list
+val plans : t -> plan list
 
 (** The full document, keys in schema order. *)
 val to_json : t -> string

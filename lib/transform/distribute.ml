@@ -35,6 +35,9 @@ exception Distribute_error of failure
 let () =
   Printexc.register_printer (function
     | Distribute_error f -> Some (Fmt.str "Distribute_error: %a" pp_failure f)
+    | _ -> None);
+  Uas_pass.Diag.register_exn_translator (function
+    | Distribute_error f -> Some (Fmt.str "%a" pp_failure f)
     | _ -> None)
 
 (** Why cutting [l.body] after its first [cut] statements would be

@@ -30,6 +30,9 @@ exception Flatten_error of failure
 let () =
   Printexc.register_printer (function
     | Flatten_error f -> Some (Fmt.str "Flatten_error: %a" pp_failure f)
+    | _ -> None);
+  Uas_pass.Diag.register_exn_translator (function
+    | Flatten_error f -> Some (Fmt.str "%a" pp_failure f)
     | _ -> None)
 
 let static_bounds lo hi step =
@@ -38,25 +41,23 @@ let static_bounds lo hi step =
     Some (l, if h <= l then 0 else (h - l + step - 1) / step)
   | _ -> None
 
-(** Flatten the nest with this outer index inside [p].  The flattened
-    index is freshly named and declared; the original indices become
-    plain scalars recomputed at the top of the body.
-    @raise Flatten_error when the nest is imperfect or dynamic
+(** Flatten the nest with this outer index inside [p], also returning
+    the fresh flattened index (callers maintaining a current-kernel
+    pointer need it).  The flattened index is freshly named and
+    declared; the original indices become plain scalars recomputed at
+    the top of the body.
     @raise Not_found when absent. *)
-let apply (p : Stmt.program) ~outer_index : Stmt.program =
+let apply_res (p : Stmt.program) ~outer_index :
+    (Stmt.program * string, failure) result =
   let nest = Loop_nest.find_by_outer_index p outer_index in
-  if nest.Loop_nest.pre <> [] || nest.post <> [] then
-    raise (Flatten_error Not_perfect);
-  let lo_i, trips_i =
-    match static_bounds nest.outer_lo nest.outer_hi nest.outer_step with
-    | Some b -> b
-    | None -> raise (Flatten_error Non_static_bounds)
-  in
-  let lo_j, trips_j =
-    match static_bounds nest.inner_lo nest.inner_hi nest.inner_step with
-    | Some b -> b
-    | None -> raise (Flatten_error Non_static_bounds)
-  in
+  match
+    ( nest.Loop_nest.pre = [] && nest.post = [],
+      static_bounds nest.outer_lo nest.outer_hi nest.outer_step,
+      static_bounds nest.inner_lo nest.inner_hi nest.inner_step )
+  with
+  | false, _, _ -> Error Not_perfect
+  | true, None, _ | true, _, None -> Error Non_static_bounds
+  | true, Some (lo_i, trips_i), Some (lo_j, trips_j) ->
   let t = Stmt.fresh_var p (nest.outer_index ^ "@flat") in
   let recompute =
     [ Stmt.Assign
@@ -102,4 +103,12 @@ let apply (p : Stmt.program) ~outer_index : Stmt.program =
   let p =
     Loop_nest.replace p ~outer_index ((flattened :: exit_fixes))
   in
-  Stmt.add_locals p [ (t, Types.Tint) ]
+  Ok (Stmt.add_locals p [ (t, Types.Tint) ], t)
+
+(** [apply_res], raising and dropping the fresh index.
+    @raise Flatten_error when the nest is imperfect or dynamic
+    @raise Not_found when absent. *)
+let apply (p : Stmt.program) ~outer_index : Stmt.program =
+  match apply_res p ~outer_index with
+  | Ok (q, _) -> q
+  | Error f -> raise (Flatten_error f)

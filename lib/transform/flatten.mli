@@ -11,6 +11,14 @@ val pp_failure : failure Fmt.t
 
 exception Flatten_error of failure
 
-(** @raise Flatten_error on imperfect/dynamic nests
+(** Flatten the nest with this outer index, also returning the fresh
+    flattened index — the entry point the {!Rewrite} registry builds
+    on.
+    @raise Not_found when absent. *)
+val apply_res :
+  Stmt.program -> outer_index:string -> (Stmt.program * string, failure) result
+
+(** [apply_res], raising and dropping the fresh index.
+    @raise Flatten_error on imperfect/dynamic nests
     @raise Not_found when absent. *)
 val apply : Stmt.program -> outer_index:string -> Stmt.program

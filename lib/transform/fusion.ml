@@ -20,11 +20,13 @@ type failure =
   | Different_bounds
   | Scalar_flow of string
   | Array_conflict of string
+  | No_fusable_pair
 
 let pp_failure ppf = function
   | Different_bounds -> Fmt.string ppf "loop bounds differ"
   | Scalar_flow v -> Fmt.pf ppf "scalar %s flows between the loops" v
   | Array_conflict a -> Fmt.pf ppf "array %s conflicts across the loops" a
+  | No_fusable_pair -> Fmt.string ppf "no adjacent fusable pair of loops"
 
 let accesses_of body =
   let of_expr e =
@@ -102,3 +104,10 @@ let apply_first (p : Stmt.program) : Stmt.program option =
   in
   let body = go p.body in
   if !changed then Some { p with body } else None
+
+(** [apply_first] with the no-pair case as a failure — the entry point
+    the {!Rewrite} registry builds on. *)
+let apply_res (p : Stmt.program) : (Stmt.program, failure) result =
+  match apply_first p with
+  | Some q -> Ok q
+  | None -> Error No_fusable_pair

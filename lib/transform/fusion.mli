@@ -8,6 +8,7 @@ type failure =
   | Different_bounds
   | Scalar_flow of string
   | Array_conflict of string
+  | No_fusable_pair
 
 val pp_failure : failure Fmt.t
 
@@ -24,3 +25,7 @@ val fuse : Stmt.loop -> Stmt.loop -> Stmt.loop
 
 (** Fuse the first adjacent fusable pair found; [None] when none. *)
 val apply_first : Stmt.program -> Stmt.program option
+
+(** [apply_first] with the no-pair case as a failure — the entry point
+    the {!Rewrite} registry builds on. *)
+val apply_res : Stmt.program -> (Stmt.program, failure) result

@@ -33,6 +33,9 @@ exception Interchange_error of failure
 let () =
   Printexc.register_printer (function
     | Interchange_error f -> Some (Fmt.str "Interchange_error: %a" pp_failure f)
+    | _ -> None);
+  Uas_pass.Diag.register_exn_translator (function
+    | Interchange_error f -> Some (Fmt.str "%a" pp_failure f)
     | _ -> None)
 
 let check (nest : Loop_nest.t) : failure option =
@@ -75,24 +78,32 @@ let check (nest : Loop_nest.t) : failure option =
       | None -> None)
   end
 
-(** Interchange the nest identified by its outer index inside [p]. *)
-let apply (p : Stmt.program) ~outer_index : Stmt.program =
+(** Interchange the nest identified by its outer index inside [p], the
+    §4.1/§4.2 failure modes as data. *)
+let apply_res (p : Stmt.program) ~outer_index :
+    (Stmt.program, failure) result =
   let nest = Loop_nest.find_by_outer_index p outer_index in
-  (match check nest with
-  | Some f -> raise (Interchange_error f)
-  | None -> ());
-  let swapped =
-    Stmt.For
-      { index = nest.inner_index;
-        lo = nest.inner_lo;
-        hi = nest.inner_hi;
-        step = nest.inner_step;
-        body =
-          [ Stmt.For
-              { index = nest.outer_index;
-                lo = nest.outer_lo;
-                hi = nest.outer_hi;
-                step = nest.outer_step;
-                body = nest.inner_body } ] }
-  in
-  Loop_nest.replace p ~outer_index [ swapped ]
+  match check nest with
+  | Some f -> Error f
+  | None ->
+    let swapped =
+      Stmt.For
+        { index = nest.inner_index;
+          lo = nest.inner_lo;
+          hi = nest.inner_hi;
+          step = nest.inner_step;
+          body =
+            [ Stmt.For
+                { index = nest.outer_index;
+                  lo = nest.outer_lo;
+                  hi = nest.outer_hi;
+                  step = nest.outer_step;
+                  body = nest.inner_body } ] }
+    in
+    Ok (Loop_nest.replace p ~outer_index [ swapped ])
+
+(** [apply_res], raising the failure. *)
+let apply (p : Stmt.program) ~outer_index : Stmt.program =
+  match apply_res p ~outer_index with
+  | Ok q -> q
+  | Error f -> raise (Interchange_error f)

@@ -52,6 +52,14 @@ let peel_back (p : Stmt.program) (nest : Loop_nest.t) ~iterations :
       let p = Loop_nest.replace p ~outer_index:nest.outer_index replacement in
       (p, nest')
 
+(** [peel_back] with the [Ir_error] message surfaced as data — the
+    entry point the {!Rewrite} registry builds on. *)
+let peel_back_res (p : Stmt.program) (nest : Loop_nest.t) ~iterations :
+    (Stmt.program * Loop_nest.t, string) result =
+  match peel_back p nest ~iterations with
+  | r -> Ok r
+  | exception Types.Ir_error m -> Error m
+
 (** Peel the first [iterations] iterations of a plain loop, for use by
     transformations on single loops.  Static bounds required. *)
 let peel_front_loop (l : Stmt.loop) ~iterations : Stmt.t list * Stmt.loop =

@@ -39,6 +39,9 @@ exception Pipeline_error of failure
 let () =
   Printexc.register_printer (function
     | Pipeline_error f -> Some (Fmt.str "Pipeline_error: %a" pp_failure f)
+    | _ -> None);
+  Uas_pass.Diag.register_exn_translator (function
+    | Pipeline_error f -> Some (Fmt.str "%a" pp_failure f)
     | _ -> None)
 
 let failures (l : Stmt.loop) ~stages : failure list =

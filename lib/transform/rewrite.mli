@@ -1,0 +1,93 @@
+(** First-class loop rewrites: every transformation of the library
+    behind one named, parameterized interface on the pass pipeline's
+    compilation units, plus the registry that maps stable names to
+    rewrites.
+
+    A rewrite is applied uniformly as
+    [apply rw ~params cu : (Cu.t, Diag.t) result]: success is a new
+    unit with the transformed program (analyses invalidated, kernel
+    indices re-pointed when the rewrite moved the kernel), failure is a
+    structured diagnostic — never an escaping transform exception.
+    [check] answers the legality question alone; [apply] always checks
+    first.
+
+    Registered names (registration order): interchange, tiling, peel,
+    fusion, distribute, flatten, hoist, ifconv, scalarize, scalar-opts,
+    expand, pipeline-sw, unroll, jam, squash. *)
+
+module Cu = Uas_pass.Cu
+module Diag = Uas_pass.Diag
+module Pass = Uas_pass.Pass
+
+(** Parameters of a rewrite application.  [target] names the loop the
+    rewrite acts on — the nest's outer index for nest rewrites, the
+    loop's own index for single-loop rewrites — and defaults to the
+    unit's kernel ([Cu.outer_index] / [Cu.inner_index] respectively).
+    [factor] is the rewrite's count (unroll/squash factor DS, tile
+    size, peel iterations, stage count, expansion data-set number);
+    [cut] is distribution's statement position.  A rewrite that needs a
+    missing parameter fails with a diagnostic, not an exception. *)
+type params = {
+  target : string option;
+  factor : int option;
+  cut : int option;
+}
+
+(** All fields [None]: every rewrite acts on the kernel nest with its
+    required counts missing. *)
+val default_params : params
+
+(** A named, parameterized loop rewrite.  The descriptive fields drive
+    docs/TRANSFORMS.md and [nimblec] listings; [rw_check]/[rw_apply]
+    are the raw callbacks — use {!check}/{!apply}, which add the
+    exception guard. *)
+type t = {
+  rw_name : string;  (** stable registry/pass name *)
+  rw_summary : string;  (** one-line description *)
+  rw_section : string;  (** thesis section reproduced *)
+  rw_legality : string;  (** legality test, prose *)
+  rw_parameters : string;  (** parameter conventions, prose *)
+  rw_failure_modes : string;  (** failure modes, prose *)
+  rw_check : params -> Cu.t -> Diag.t option;
+  rw_apply : params -> Cu.t -> (Cu.t, Diag.t) result;
+}
+
+val name : t -> string
+
+(** Would applying the rewrite here succeed?  [None] when legal, the
+    diagnostic otherwise.  Escaping layer-local exceptions are
+    translated like pass failures; unrecognized exceptions (genuine
+    bugs) propagate. *)
+val check : ?params:params -> t -> Cu.t -> Diag.t option
+
+(** Apply the rewrite: {!check} first, then transform.  On success the
+    unit's kernel indices follow the kernel (squash's fresh steady
+    index, interchange's swap, flattening's collapse). *)
+val apply : ?params:params -> t -> Cu.t -> (Cu.t, Diag.t) result
+
+(** {2 Registry} *)
+
+(** Add a rewrite; @raise Invalid_argument on a duplicate name. *)
+val register : t -> unit
+
+(** Every registered rewrite, in registration order. *)
+val all : unit -> t list
+
+(** Registered names, in registration order — these are also valid
+    [--dump-after] selectors in nimblec. *)
+val names : unit -> string list
+
+val find : string -> t option
+
+(** @raise Invalid_argument on unknown names, listing the valid ones. *)
+val get : string -> t
+
+(** {2 Pipeline integration} *)
+
+(** The rewrite as a pipeline pass named [rw_name]. *)
+val to_pass : ?params:params -> t -> Pass.t
+
+(** [pass ?target ?factor ?cut name] looks the rewrite up and converts
+    it: [pass ~factor:4 "squash"] is the historical squash pipeline
+    pass.  @raise Invalid_argument on unknown names. *)
+val pass : ?target:string -> ?factor:int -> ?cut:int -> string -> Pass.t

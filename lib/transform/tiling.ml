@@ -54,6 +54,7 @@ let tile_loop (l : Stmt.loop) ~tile ~tile_index : Stmt.t list =
 (** Tile the loop with index [index] inside [p]; the tile index is
     freshly named and declared. *)
 let apply (p : Stmt.program) ~index ~tile : Stmt.program =
+  if tile <= 0 then Types.ir_error "tile size must be positive";
   let tile_index = Stmt.fresh_var p (index ^ "@tile") in
   let replaced = ref false in
   let rec go stmts =
@@ -71,3 +72,10 @@ let apply (p : Stmt.program) ~index ~tile : Stmt.program =
   let body = go p.body in
   if not !replaced then Types.ir_error "no loop with index %s" index;
   Stmt.add_locals { p with body } [ (tile_index, Types.Tint) ]
+
+(** [apply] with the [Ir_error] message surfaced as data — the entry
+    point the {!Rewrite} registry builds on. *)
+let apply_res (p : Stmt.program) ~index ~tile : (Stmt.program, string) result =
+  match apply p ~index ~tile with
+  | q -> Ok q
+  | exception Types.Ir_error m -> Error m

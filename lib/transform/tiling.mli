@@ -11,3 +11,8 @@ val tile_loop : Stmt.loop -> tile:int -> tile_index:string -> Stmt.t list
 (** Tile the loop with this index; the tile index is freshly named and
     declared.  @raise Ir_error when absent. *)
 val apply : Stmt.program -> index:string -> tile:int -> Stmt.program
+
+(** [apply] with the failure message as data — the entry point the
+    {!Rewrite} registry builds on. *)
+val apply_res :
+  Stmt.program -> index:string -> tile:int -> (Stmt.program, string) result

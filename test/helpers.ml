@@ -133,14 +133,12 @@ let gen_sizes ~m_max ~n_max =
    integer code that only reads variables already defined (or the
    pre-loaded live-ins and the loop indices). *)
 
-let gen_nest_program_sized ~m_max ~n_max : Stmt.program QCheck.Gen.t =
- fun st ->
+(* Random straight-line integer statements over the scalars a..d:
+   each assigns one scalar an expression reading only the loop indices,
+   already-[defined] scalars, masked "tab" lookups and constants. *)
+let gen_straightline ~defined ~n_stmts st =
   let open QCheck.Gen in
-  let m = int_range 1 m_max st in
-  let n = int_range 1 n_max st in
   let vars = [| "a"; "b"; "c"; "d" |] in
-  (* a and b are pre-loaded; c, d must be defined before use *)
-  let defined = ref [ "a"; "b" ] in
   let rec gen_expr depth st =
     let leaf () =
       match int_range 0 4 st with
@@ -168,18 +166,24 @@ let gen_nest_program_sized ~m_max ~n_max : Stmt.program QCheck.Gen.t =
         B.load "tab" (B.band (sub ()) (B.int 63))
     end
   in
-  let n_stmts = int_range 1 6 st in
-  let body =
-    List.init n_stmts (fun _ ->
-        let dst = vars.(int_range 0 3 st) in
-        let e = gen_expr (int_range 1 3 st) st in
-        if not (List.mem dst !defined) then defined := dst :: !defined;
-        B.(dst <-- e))
-  in
+  List.init n_stmts (fun _ ->
+      let dst = vars.(int_range 0 3 st) in
+      let e = gen_expr (int_range 1 3 st) st in
+      if not (List.mem dst !defined) then defined := dst :: !defined;
+      B.(dst <-- e))
+
+let gen_nest_program_sized ~m_max ~n_max : Stmt.program QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let m = int_range 1 m_max st in
+  let n = int_range 1 n_max st in
+  (* a and b are pre-loaded; c, d must be defined before use *)
+  let defined = ref [ "a"; "b" ] in
+  let body = gen_straightline ~defined ~n_stmts:(int_range 1 6 st) st in
   B.program "gen_nest"
     ~locals:
-      ([ ("i", Types.Tint); ("j", Types.Tint) ]
-      @ Array.to_list (Array.map (fun v -> (v, Types.Tint)) vars))
+      [ ("i", Types.Tint); ("j", Types.Tint); ("a", Types.Tint);
+        ("b", Types.Tint); ("c", Types.Tint); ("d", Types.Tint) ]
     ~arrays:[ B.input "src" m; B.input "tab" 64; B.output "dst" m ]
     [ B.for_ "i" ~hi:(B.int m)
         [ B.("a" <-- load "src" (v "i"));
@@ -201,3 +205,33 @@ let gen_diff_nest_program = gen_nest_program_sized ~m_max:6 ~n_max:12
 
 let arbitrary_diff_nest_program =
   QCheck.make gen_diff_nest_program ~print:Pp.program_to_string
+
+(* Perfect-nest variant for the nest rewrites (interchange, flatten,
+   tiling): the whole body lives in the inner loop, every scalar read
+   is preceded by a definition there, all loads are read-only, and each
+   (i, j) iteration writes its own dst cell — so the loops are legally
+   reorderable by construction. *)
+let gen_perfect_nest_program_sized ~m_max ~n_max : Stmt.program QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let m = int_range 1 m_max st in
+  let n = int_range 1 n_max st in
+  let defined = ref [ "a"; "b" ] in
+  let stmts = gen_straightline ~defined ~n_stmts:(int_range 1 5 st) st in
+  B.program "gen_perfect"
+    ~locals:
+      [ ("i", Types.Tint); ("j", Types.Tint); ("a", Types.Tint);
+        ("b", Types.Tint); ("c", Types.Tint); ("d", Types.Tint) ]
+    ~arrays:[ B.input "src" (m * n); B.input "tab" 64; B.output "dst" (m * n) ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.for_ "j" ~hi:(B.int n)
+            ([ B.("a" <-- load "src" ((v "i" * int n) + v "j"));
+               B.("b" <-- bxor (v "a") (int 5)) ]
+            @ stmts
+            @ [ B.store "dst" B.((v "i" * int n) + v "j") (B.v "a") ]) ]
+    ]
+
+let gen_perfect_nest_program = gen_perfect_nest_program_sized ~m_max:5 ~n_max:5
+
+let arbitrary_perfect_nest_program =
+  QCheck.make gen_perfect_nest_program ~print:Pp.program_to_string

@@ -64,6 +64,103 @@ let test_compiled_reuse =
         [ 1; 2; 3 ];
       true)
 
+(* --- rewritten nests, both tiers ---------------------------------- *)
+
+module Rw = Uas_transform.Rewrite
+module Cu = Uas_pass.Cu
+
+let rw_params ?target ?factor ?cut () = { Rw.target; factor; cut }
+
+let apply_rewrite name params p =
+  Rw.apply ~params (Rw.get name)
+    (Cu.make p ~outer_index:"i" ~inner_index:"j")
+
+(* a legal rewrite must (1) preserve the reference outputs and (2) keep
+   the two tiers bit-identical on the rewritten program *)
+let check_rewritten_parity ~msg p q w =
+  (match Interp.diff_outputs (Interp.run p w) (Interp.run q w) with
+  | None -> ()
+  | Some d ->
+    Alcotest.failf "%s: rewrite changed the outputs: %s@\n%a" msg d
+      Pp.pp_program q);
+  match Interp.diff_results (Interp.run q w) (Fast_interp.run_program q w) with
+  | None -> ()
+  | Some d ->
+    Alcotest.failf "%s: fast tier diverges: %s@\n%a" msg d Pp.pp_program q
+
+(* the enabling rewrites on random nests: tiling always applies;
+   distribution (and fusion re-merging its output) whenever the cut is
+   legal on the generated body *)
+let test_qcheck_enabling_rewrites_parity =
+  QCheck.Test.make
+    ~name:"tiling/distribute/fusion keep tiers bit-identical (random nests)"
+    ~count:40 Helpers.arbitrary_diff_nest_program
+    (fun p ->
+      let w = Helpers.random_workload ~seed:31 p in
+      (match apply_rewrite "tiling" (rw_params ~factor:3 ()) p with
+      | Error d ->
+        Alcotest.failf "tiling refused: %s" (Uas_pass.Diag.to_string d)
+      | Ok cu -> check_rewritten_parity ~msg:"tiling" p (Cu.program cu) w);
+      (match apply_rewrite "distribute" (rw_params ~cut:1 ()) p with
+      | Error _ -> () (* a value crosses the cut: legitimately refused *)
+      | Ok cu -> (
+        let q = Cu.program cu in
+        check_rewritten_parity ~msg:"distribute" p q w;
+        match apply_rewrite "fusion" Rw.default_params q with
+        | Error _ -> ()
+        | Ok cu2 ->
+          check_rewritten_parity ~msg:"distribute+fusion" p (Cu.program cu2) w));
+      true)
+
+(* perfect static nests are interchange/flatten-legal by construction:
+   assert the rewrites apply, then check both tiers on the result *)
+let test_qcheck_perfect_nest_rewrites_parity =
+  QCheck.Test.make
+    ~name:"interchange/flatten/tiling keep tiers bit-identical (perfect nests)"
+    ~count:40 Helpers.arbitrary_perfect_nest_program
+    (fun p ->
+      let w = Helpers.random_workload ~seed:47 p in
+      List.iter
+        (fun (msg, name, ps) ->
+          match apply_rewrite name ps p with
+          | Error d ->
+            Alcotest.failf "%s refused on a perfect nest: %s" msg
+              (Uas_pass.Diag.to_string d)
+          | Ok cu -> check_rewritten_parity ~msg p (Cu.program cu) w)
+        [ ("interchange", "interchange", Rw.default_params);
+          ("tiling(2)", "tiling", rw_params ~factor:2 ());
+          ("flatten", "flatten", Rw.default_params) ];
+      true)
+
+(* distribution then fusion on a two-stream nest, both legal by
+   construction — the guaranteed-coverage counterpart of the
+   opportunistic random-nest case above *)
+let test_distribute_fusion_parity () =
+  let m = 4 and n = 6 in
+  let module B = Builder in
+  let at = B.((v "i" * int n) + v "j") in
+  let p =
+    B.program "streams"
+      ~locals:[ ("i", Types.Tint); ("j", Types.Tint) ]
+      ~arrays:
+        [ B.input "s1" (m * n); B.input "s2" (m * n); B.output "d1" (m * n);
+          B.output "d2" (m * n) ]
+      [ B.for_ "i" ~hi:(B.int m)
+          [ B.for_ "j" ~hi:(B.int n)
+              [ B.store "d1" at (B.load "s1" at);
+                B.store "d2" at (B.load "s2" at) ] ]
+      ]
+  in
+  let w = Helpers.random_workload p in
+  match apply_rewrite "distribute" (rw_params ~cut:1 ()) p with
+  | Error d -> Alcotest.failf "distribute refused: %s" (Uas_pass.Diag.to_string d)
+  | Ok cu -> (
+    let q = Cu.program cu in
+    check_rewritten_parity ~msg:"distribute" p q w;
+    match apply_rewrite "fusion" Rw.default_params q with
+    | Error d -> Alcotest.failf "fusion refused: %s" (Uas_pass.Diag.to_string d)
+    | Ok cu2 -> check_rewritten_parity ~msg:"fusion" p (Cu.program cu2) w)
+
 (* --- the whole Table 6.1 suite ------------------------------------ *)
 
 let test_registry_benchmarks_identical () =
@@ -253,6 +350,10 @@ let test_run_benchmark_tiers_agree () =
 let suite =
   [ QCheck_alcotest.to_alcotest test_qcheck_fast_tier_bit_identical;
     QCheck_alcotest.to_alcotest test_compiled_reuse;
+    QCheck_alcotest.to_alcotest test_qcheck_enabling_rewrites_parity;
+    QCheck_alcotest.to_alcotest test_qcheck_perfect_nest_rewrites_parity;
+    Alcotest.test_case "distribute+fusion parity (two streams)" `Quick
+      test_distribute_fusion_parity;
     Alcotest.test_case "registry benchmarks bit-identical" `Slow
       test_registry_benchmarks_identical;
     Alcotest.test_case "registry check passes on fast tier" `Slow

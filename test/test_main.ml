@@ -12,6 +12,7 @@ let () =
       ("hw", Test_hw.suite);
       ("pipeline-sim", Test_pipeline_sim.suite);
       ("pass", Test_pass.suite);
+      ("rewrite", Test_rewrite.suite);
       ("core", Test_core.suite);
       ("runtime", Test_runtime.suite);
       ("differential", Test_differential.suite);

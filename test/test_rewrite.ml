@@ -1,0 +1,329 @@
+(* The first-class rewrite layer: registry completeness, the uniform
+   (Cu.t, Diag.t) result application contract, check/apply agreement,
+   the no-escaping-exception guarantee through Pass.run, agreement with
+   the direct transform entry points, and the cost-model planner built
+   on top of the registry. *)
+
+open Uas_ir
+module B = Builder
+module Rw = Uas_transform.Rewrite
+module Sq = Uas_transform.Squash
+module Cu = Uas_pass.Cu
+module Diag = Uas_pass.Diag
+module Pass = Uas_pass.Pass
+module Stages = Uas_pass.Stages
+module P = Uas_core.Planner
+module R = Uas_bench_suite.Registry
+
+let expected_names =
+  [ "interchange"; "tiling"; "peel"; "fusion"; "distribute"; "flatten";
+    "hoist"; "ifconv"; "scalarize"; "scalar-opts"; "expand"; "pipeline-sw";
+    "unroll"; "jam"; "squash" ]
+
+let cu_of p = Cu.make p ~outer_index:"i" ~inner_index:"j"
+let params ?target ?factor ?cut () = { Rw.target; factor; cut }
+
+(* --- the registry --------------------------------------------------- *)
+
+let test_registry_names () =
+  Alcotest.(check (list string))
+    "all 15 transforms registered, in order" expected_names (Rw.names ())
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find squash" true (Rw.find "squash" <> None);
+  Alcotest.(check bool) "find unknown" true (Rw.find "unsquash" = None);
+  (match Rw.get "unsquash" with
+  | exception Invalid_argument m ->
+    Alcotest.(check bool)
+      "error lists the valid names" true
+      (Helpers.contains ~sub:"squash" m)
+  | _ -> Alcotest.fail "get on an unknown name must raise");
+  match Rw.register (Rw.get "squash") with
+  | exception Invalid_argument m ->
+    Alcotest.(check bool)
+      "duplicate rejected" true
+      (Helpers.contains ~sub:"duplicate" m)
+  | () -> Alcotest.fail "duplicate registration must be rejected"
+
+(* every catalog entry carries the documentation docs/TRANSFORMS.md is
+   generated from *)
+let test_catalog_documented () =
+  List.iter
+    (fun (rw : Rw.t) ->
+      let nonempty what s =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s documented" rw.Rw.rw_name what)
+          true
+          (String.length s > 0)
+      in
+      nonempty "summary" rw.Rw.rw_summary;
+      nonempty "section" rw.Rw.rw_section;
+      nonempty "legality" rw.Rw.rw_legality;
+      nonempty "parameters" rw.Rw.rw_parameters;
+      nonempty "failure modes" rw.Rw.rw_failure_modes)
+    (Rw.all ())
+
+(* the --dump-after selector space: stage names and rewrite names must
+   never collide *)
+let test_selector_names_unique () =
+  let all = Stages.names @ Rw.names () in
+  Alcotest.(check int)
+    "pass and rewrite names never collide" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+(* docs/TRANSFORMS.md documents the same catalog: every registered
+   rewrite has a `name` table row (declared as a test dep; skipped when
+   run outside the dune sandbox) *)
+let test_catalog_in_docs () =
+  match
+    List.find_opt Sys.file_exists
+      [ "../docs/TRANSFORMS.md"; "docs/TRANSFORMS.md" ]
+  with
+  | None -> Alcotest.skip ()
+  | Some path ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let doc = really_input_string ic len in
+    close_in ic;
+    List.iter
+      (fun n ->
+        Alcotest.(check bool)
+          (Printf.sprintf "docs/TRANSFORMS.md has a `%s` row" n)
+          true
+          (Helpers.contains ~sub:(Printf.sprintf "| `%s` |" n) doc))
+      (Rw.names ())
+
+(* --- uniform application -------------------------------------------- *)
+
+(* every rewrite, applied with generic parameters: the outcome is
+   always Ok or a diagnostic attributed to the rewrite by name — and Ok
+   programs compute the same outputs as the original *)
+let uniform_on ~msg p ~factor =
+  List.iter
+    (fun (rw : Rw.t) ->
+      let name = Rw.name rw in
+      let case = Printf.sprintf "%s/%s" msg name in
+      match Rw.apply ~params:(params ~factor ~cut:1 ()) rw (cu_of p) with
+      | Ok cu' -> Helpers.assert_equivalent ~msg:case p (Cu.program cu')
+      | Error d ->
+        Alcotest.(check string)
+          (case ^ ": diagnostic attributed to the rewrite")
+          name d.Diag.d_pass
+      | exception e ->
+        Alcotest.failf "%s: escaped exception %s" case (Printexc.to_string e))
+    (Rw.all ())
+
+let test_uniform_application () =
+  uniform_on ~msg:"fg" (Helpers.fg_loop ~m:6 ~n:4) ~factor:2;
+  uniform_on ~msg:"mem" (Helpers.memory_loop ~m:8 ~n:4) ~factor:4
+
+let test_missing_parameter_diagnostics () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  List.iter
+    (fun n ->
+      match Rw.apply (Rw.get n) (cu_of p) with
+      | Error d ->
+        Alcotest.(check bool)
+          (n ^ ": missing factor reported")
+          true
+          (Helpers.contains ~sub:"missing required parameter: factor"
+             (Diag.to_string d))
+      | Ok _ -> Alcotest.failf "%s: must fail without a factor" n)
+    [ "tiling"; "peel"; "pipeline-sw"; "unroll"; "jam"; "squash" ];
+  match Rw.apply (Rw.get "distribute") (cu_of p) with
+  | Error d ->
+    Alcotest.(check bool)
+      "distribute: missing cut reported" true
+      (Helpers.contains ~sub:"missing required parameter: cut"
+         (Diag.to_string d))
+  | Ok _ -> Alcotest.fail "distribute: must fail without a cut"
+
+(* check answers exactly the question apply decides: same verdict, same
+   diagnostic text, across legal and illegal parameter sets *)
+let test_check_agrees_with_apply () =
+  let programs =
+    [ Helpers.fg_loop ~m:6 ~n:4; Helpers.memory_loop ~m:4 ~n:6 ]
+  in
+  let param_sets =
+    [ params (); params ~factor:0 (); params ~factor:2 ~cut:1 ();
+      params ~factor:3 ~cut:99 ~target:"ghost" () ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun ps ->
+          List.iter
+            (fun rw ->
+              match (Rw.check ~params:ps rw (cu_of p),
+                     Rw.apply ~params:ps rw (cu_of p))
+              with
+              | None, Ok _ -> ()
+              | Some d, Error d' ->
+                Alcotest.(check string)
+                  (Rw.name rw ^ ": same diagnostic")
+                  (Diag.to_string d) (Diag.to_string d')
+              | Some d, Ok _ ->
+                Alcotest.failf "%s: check refused (%s) but apply succeeded"
+                  (Rw.name rw) (Diag.to_string d)
+              | None, Error d ->
+                Alcotest.failf "%s: check passed but apply failed (%s)"
+                  (Rw.name rw) (Diag.to_string d))
+            (Rw.all ()))
+        param_sets)
+    programs
+
+(* the satellite guarantee: no parameter set makes any rewrite escape
+   Pass.run as a backtrace — every failure is a structured diagnostic *)
+let test_no_exception_escapes_pass_run () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  let param_sets =
+    [ Rw.default_params; params ~factor:0 ();
+      params ~factor:(-3) ~cut:(-1) ();
+      params ~factor:2 ~cut:1 ~target:"ghost" (); params ~factor:7 ~cut:42 () ]
+  in
+  List.iter
+    (fun ps ->
+      List.iter
+        (fun rw ->
+          match Pass.run (cu_of p) [ Rw.to_pass ~params:ps rw ] with
+          | Ok _ | Error _ -> ()
+          | exception e ->
+            Alcotest.failf "%s: exception escaped Pass.run: %s" (Rw.name rw)
+              (Printexc.to_string e))
+        (Rw.all ()))
+    param_sets
+
+(* --- agreement with the direct entry points ------------------------- *)
+
+let test_squash_registry_matches_direct () =
+  let p = Helpers.fg_loop ~m:8 ~n:4 in
+  let direct = Sq.apply p (Helpers.nest_of p "i") ~ds:4 in
+  match Rw.apply ~params:(params ~factor:4 ()) (Rw.get "squash") (cu_of p) with
+  | Error d -> Alcotest.failf "squash via registry failed: %s" (Diag.to_string d)
+  | Ok cu' ->
+    Alcotest.(check bool)
+      "same transformed program" true
+      (Cu.program cu' = direct.Sq.program);
+    Alcotest.(check string) "kernel re-pointed to the steady loop"
+      direct.Sq.new_inner_index (Cu.inner_index cu');
+    Alcotest.(check string) "outer index unchanged" "i" (Cu.outer_index cu')
+
+(* a perfect static nest, every (i, j) iteration writing its own cell:
+   interchange and flattening are legal here *)
+let perfect_nest ~m ~n =
+  B.program "perfect"
+    ~locals:[ ("i", Types.Tint); ("j", Types.Tint); ("t", Types.Tint) ]
+    ~arrays:[ B.input "src" (m * n); B.output "dst" (m * n) ]
+    [ B.for_ "i" ~hi:(B.int m)
+        [ B.for_ "j" ~hi:(B.int n)
+            [ B.("t" <-- load "src" ((v "i" * int n) + v "j"));
+              B.store "dst" B.((v "i" * int n) + v "j") B.(v "t" + int 1) ] ]
+    ]
+
+let test_interchange_repoints_kernel () =
+  let p = perfect_nest ~m:4 ~n:6 in
+  match Rw.apply (Rw.get "interchange") (cu_of p) with
+  | Error d -> Alcotest.failf "interchange refused: %s" (Diag.to_string d)
+  | Ok cu' ->
+    Alcotest.(check string) "outer index" "j" (Cu.outer_index cu');
+    Alcotest.(check string) "inner index" "i" (Cu.inner_index cu');
+    Helpers.assert_equivalent ~msg:"interchange" p (Cu.program cu')
+
+let test_flatten_repoints_kernel () =
+  let p = perfect_nest ~m:3 ~n:5 in
+  match Rw.apply (Rw.get "flatten") (cu_of p) with
+  | Error d -> Alcotest.failf "flatten refused: %s" (Diag.to_string d)
+  | Ok cu' ->
+    Alcotest.(check string) "collapsed kernel: a single loop"
+      (Cu.outer_index cu') (Cu.inner_index cu');
+    Alcotest.(check bool)
+      "fresh flat index" true
+      (not (String.equal (Cu.outer_index cu') "i"));
+    Helpers.assert_equivalent ~msg:"flatten" p (Cu.program cu')
+
+(* --- the planner ---------------------------------------------------- *)
+
+let test_planner_objective_parsing () =
+  List.iter
+    (fun (s, o) ->
+      Alcotest.(check bool) s true (P.objective_of_string s = o))
+    [ ("ii", Some P.Ii); ("area", Some P.Area); ("ratio", Some P.Ratio);
+      ("latency", None) ];
+  Alcotest.(check string) "name" "ratio" (P.objective_name P.Ratio)
+
+let test_planner_search_space () =
+  let cands = P.candidates () in
+  (* the two baselines plus every enabling prefix × squash factor *)
+  Alcotest.(check int) "search-space size"
+    (2 + (List.length P.enabling_prefixes * List.length P.default_factors))
+    (List.length cands);
+  let labels = List.map (fun c -> c.P.c_label) cands in
+  Alcotest.(check int) "labels unique" (List.length labels)
+    (List.length (List.sort_uniq compare labels));
+  List.iter
+    (fun c ->
+      if c.P.c_ds > 1 then
+        match List.rev c.P.c_sequence with
+        | "squash" :: _ -> ()
+        | _ -> Alcotest.failf "%s: sequence must end in squash" c.P.c_label)
+    cands
+
+let skipjack_plan objective =
+  let b = R.skipjack_mem ~m:8 () in
+  P.plan ~jobs:2 ~objective b.R.b_program ~outer_index:b.R.b_outer_index
+    ~inner_index:b.R.b_inner_index ~benchmark:b.R.b_name
+
+(* the ISSUE acceptance criterion: on Skipjack, some squash DS=4 plan
+   must beat the untransformed DS=1 design on initiation interval *)
+let test_planner_ranks_skipjack () =
+  let plan = skipjack_plan P.Ii in
+  Alcotest.(check int) "whole search space accounted for"
+    (List.length (P.candidates ()))
+    (List.length plan.P.p_rows);
+  Alcotest.(check bool) "baseline measured" true (plan.P.p_baseline <> None);
+  (match
+     ( P.rank_of plan (fun c -> c.P.c_ds = 4),
+       P.rank_of plan (fun c -> String.equal c.P.c_label "original") )
+   with
+  | Some s, Some o ->
+    Alcotest.(check bool)
+      (Printf.sprintf "squash DS=4 (rank %d) beats DS=1 (rank %d) on II" s o)
+      true (s < o)
+  | _ -> Alcotest.fail "both squash(4) and the original must be estimated");
+  (* ranking is deterministic, and the table renders *)
+  let labels p = List.map (fun r -> r.P.r_candidate.P.c_label) p.P.p_rows in
+  Alcotest.(check (list string))
+    "deterministic ranking" (labels plan)
+    (labels (skipjack_plan P.Ii));
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Fmt.str "%a" P.pp plan) > 0)
+
+let suite =
+  [ Alcotest.test_case "registry names" `Quick test_registry_names;
+    Alcotest.test_case "registry lookup and duplicates" `Quick
+      test_registry_lookup;
+    Alcotest.test_case "catalog fully documented" `Quick
+      test_catalog_documented;
+    Alcotest.test_case "dump-after selectors unique" `Quick
+      test_selector_names_unique;
+    Alcotest.test_case "catalog documented in docs/TRANSFORMS.md" `Quick
+      test_catalog_in_docs;
+    Alcotest.test_case "uniform result application" `Quick
+      test_uniform_application;
+    Alcotest.test_case "missing parameters are diagnostics" `Quick
+      test_missing_parameter_diagnostics;
+    Alcotest.test_case "check agrees with apply" `Quick
+      test_check_agrees_with_apply;
+    Alcotest.test_case "no exception escapes Pass.run" `Quick
+      test_no_exception_escapes_pass_run;
+    Alcotest.test_case "squash via registry = direct" `Quick
+      test_squash_registry_matches_direct;
+    Alcotest.test_case "interchange re-points the kernel" `Quick
+      test_interchange_repoints_kernel;
+    Alcotest.test_case "flatten re-points the kernel" `Quick
+      test_flatten_repoints_kernel;
+    Alcotest.test_case "planner objective parsing" `Quick
+      test_planner_objective_parsing;
+    Alcotest.test_case "planner search space" `Quick test_planner_search_space;
+    Alcotest.test_case "planner ranks Skipjack (DS=4 beats DS=1)" `Slow
+      test_planner_ranks_skipjack ]
