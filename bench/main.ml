@@ -13,7 +13,10 @@
    Flags: -j N (worker-pool size; default UAS_JOBS or the core count),
           --timings (per-pass span/counter summary at exit),
           --interp ref|fast (interpreter tier for verification/profiling),
-          --json FILE (write the perf-trajectory document there) *)
+          --json FILE (write the perf-trajectory document there),
+          --validate off|probe (translation-validate every rewrite),
+          --task-timeout SECS / --retries N (pool supervision),
+          --fault PLAN (arm the fault-injection registry; testing) *)
 
 open Uas_ir
 module S = Uas_bench_suite
@@ -29,6 +32,11 @@ let header title = Fmt.pr "@.==== %s ====@." title
    core count *)
 let jobs : int option ref = ref None
 
+(* the fault-tolerance knobs (--validate / --task-timeout / --retries) *)
+let validate : bool ref = ref false
+let task_timeout : float option ref = ref None
+let retries : int option ref = ref None
+
 (* the perf-trajectory document of this run (--json); microbenchmarks
    record their estimates here as named metrics *)
 let trajectory : Trajectory.t option ref = ref None
@@ -38,17 +46,45 @@ let metric ~name ~value ~unit_label =
   | Some t -> Trajectory.add_metric t ~name ~value ~unit_label
   | None -> ()
 
+let incident ~site ~cell ~message =
+  match !trajectory with
+  | Some t -> Trajectory.add_incident t ~site ~cell ~message
+  | None -> ()
+
 (* Table 6.2 is the expensive part (50 transformed programs, each
    replayed in the interpreter); computed once — fanned out over the
-   domain pool — and shared. *)
+   domain pool — and shared.  Degraded cells and skips land in the
+   trajectory's incident log. *)
 let rows_cache : E.bench_row list option ref = ref None
 
 let rows () =
   match !rows_cache with
   | Some r -> r
   | None ->
-    let r = E.table_6_2 ~verify:true ?jobs:!jobs () in
+    let r =
+      E.table_6_2 ~verify:true ~validate:!validate ?jobs:!jobs
+        ?timeout_s:!task_timeout ?retries:!retries ()
+    in
     rows_cache := Some r;
+    List.iter
+      (fun (row : E.bench_row) ->
+        let bench = row.E.br_benchmark.S.Registry.b_name in
+        List.iter
+          (fun (c : E.cell) ->
+            List.iter
+              (fun d ->
+                incident ~site:"sweep"
+                  ~cell:(bench ^ "/" ^ N.version_name c.E.c_version)
+                  ~message:(Uas_pass.Diag.to_string d))
+              c.E.c_incidents)
+          row.E.br_cells;
+        List.iter
+          (fun (s : E.skip) ->
+            incident ~site:"sweep"
+              ~cell:(bench ^ "/" ^ N.version_name s.E.s_version)
+              ~message:("skipped: " ^ Uas_pass.Diag.to_string s.E.s_diag))
+          row.E.br_skipped)
+      r;
     r
 
 (* --- Table 1.1 --- *)
@@ -231,8 +267,12 @@ let combined () =
         [ N.Original; N.Jammed 2; N.Squashed 4; N.Combined (2, 2);
           N.Combined (2, 4); N.Combined (4, 2) ]
       in
+      let probe =
+        if !validate then Some b.S.Registry.b_workload else None
+      in
       let outcomes =
-        N.sweep ~versions ?jobs:!jobs b.S.Registry.b_program
+        N.sweep ~versions ?jobs:!jobs ?validate:probe
+          ?timeout_s:!task_timeout ?retries:!retries b.S.Registry.b_program
           ~outer_index:b.S.Registry.b_outer_index
           ~inner_index:b.S.Registry.b_inner_index
       in
@@ -259,6 +299,17 @@ let combined () =
               r.Uas_hw.Estimate.r_ii r.Uas_hw.Estimate.r_area_rows speedup
               area (speedup /. area))
           rows);
+      List.iter
+        (fun (v, ds) ->
+          List.iter
+            (fun d ->
+              Fmt.pr "degraded: %-12s — %a@." (N.version_name v)
+                Uas_pass.Diag.pp d;
+              incident ~site:"combined"
+                ~cell:(b.S.Registry.b_name ^ "/" ^ N.version_name v)
+                ~message:(Uas_pass.Diag.to_string d))
+            ds)
+        (N.degraded outcomes);
       List.iter
         (fun (v, d) ->
           Fmt.pr "skipped: %-12s — %a@." (N.version_name v) Uas_pass.Diag.pp d)
@@ -343,13 +394,26 @@ let plan_target () =
           the cost model";
   List.iter
     (fun (b : S.Registry.benchmark) ->
+      let probe =
+        if !validate then Some b.S.Registry.b_workload else None
+      in
       let plan =
-        P.plan ?jobs:!jobs b.S.Registry.b_program
+        P.plan ?jobs:!jobs ?validate:probe ?timeout_s:!task_timeout
+          ?retries:!retries b.S.Registry.b_program
           ~outer_index:b.S.Registry.b_outer_index
           ~inner_index:b.S.Registry.b_inner_index
           ~benchmark:b.S.Registry.b_name
       in
       Fmt.pr "%a@." P.pp plan;
+      List.iter
+        (fun (row : P.row) ->
+          List.iter
+            (fun d ->
+              incident ~site:"plan"
+                ~cell:(plan.P.p_benchmark ^ "/" ^ row.P.r_candidate.P.c_label)
+                ~message:(Uas_pass.Diag.to_string d))
+            row.P.r_incidents)
+        plan.P.p_rows;
       match !trajectory with
       | Some t ->
         Trajectory.add_plan t ~benchmark:plan.P.p_benchmark
@@ -469,7 +533,30 @@ let () =
     Fmt.epr "%s@." msg;
     exit 1
   | Ok o ->
+    (* a malformed UAS_JOBS or UAS_FAULT fails up front, not as a
+       backtrace out of the first pool dispatch *)
+    (match Uas_runtime.Parallel.default_jobs_result () with
+    | Ok _ -> ()
+    | Error m ->
+      Fmt.epr "%s@." m;
+      exit 1);
+    (match Uas_runtime.Fault.env_error () with
+    | None -> ()
+    | Some m ->
+      Fmt.epr "%s: %s@." Uas_runtime.Fault.env_var m;
+      exit 1);
+    (match o.Uas_core.Cli.o_fault with
+    | None -> ()
+    | Some plan -> (
+      match Uas_runtime.Fault.arm plan with
+      | Ok () -> ()
+      | Error m ->
+        Fmt.epr "--fault: %s@." m;
+        exit 1));
     jobs := o.Uas_core.Cli.o_jobs;
+    validate := o.Uas_core.Cli.o_validate;
+    task_timeout := o.Uas_core.Cli.o_task_timeout;
+    retries := o.Uas_core.Cli.o_retries;
     (match o.Uas_core.Cli.o_interp with
     | Some tier -> Fast_interp.set_default_tier tier
     | None -> ());

@@ -16,6 +16,26 @@ module P = Uas_core.Planner
 module Cu = Uas_pass.Cu
 module Diag = Uas_pass.Diag
 module Rewrite = Uas_transform.Rewrite
+module Parallel = Uas_runtime.Parallel
+module Fault = Uas_runtime.Fault
+
+(* A runtime configuration problem (malformed UAS_JOBS / UAS_FAULT /
+   --fault) exits with a structured diagnostic, never a backtrace. *)
+let runtime_error fmt =
+  Format.kasprintf
+    (fun msg ->
+      Fmt.epr "nimblec: %a@." Diag.pp (Diag.errorf ~pass:"runtime" "%s" msg);
+      exit 1)
+    fmt
+
+(* --fault PLAN arms the injection registry for this invocation; the
+   plan is validated here so a typo is a diagnostic, not a surprise. *)
+let arm_fault = function
+  | None -> ()
+  | Some plan -> (
+    match Fault.arm plan with
+    | Ok () -> ()
+    | Error m -> runtime_error "--fault: %s" m)
 
 let find_benchmark name =
   match S.Registry.find name with
@@ -133,6 +153,56 @@ let version_arg =
     & info [ "v"; "version" ] ~docv:"VERSION"
         ~doc:"original | pipelined | squash:N | jam:N | jam:J+squash:K")
 
+let validate_arg =
+  let mode_conv = Arg.enum [ ("off", false); ("probe", true) ] in
+  Arg.(
+    value
+    & opt mode_conv false
+    & info [ "validate" ] ~docv:"MODE"
+        ~doc:
+          "Translation validation of every rewrite: $(b,off) (the \
+           default) or $(b,probe) (replay the benchmark workload on \
+           both interpreter tiers after each rewrite; a miscompiling \
+           rewrite degrades its cell to the last-known-good program \
+           instead of propagating a wrong one)")
+
+let task_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "task-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Per-task wall-clock budget for the worker pool; an \
+           overrunning task is marked timed out and its cell skipped \
+           instead of hanging the sweep")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Retry budget for retryable (injected-fault) task failures")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"PLAN"
+        ~doc:
+          "Arm the deterministic fault-injection registry (testing; \
+           same grammar as $(b,UAS_FAULT): site[=label]:kind:nth,...)")
+
+(* --task-timeout / --retries bounds checked once, up front *)
+let check_supervision timeout_s retries =
+  (match timeout_s with
+  | Some t when t <= 0.0 ->
+    runtime_error "--task-timeout expects positive seconds, got %g" t
+  | _ -> ());
+  match retries with
+  | Some n when n < 0 ->
+    runtime_error "--retries expects a non-negative integer, got %d" n
+  | _ -> ()
+
 let interp_arg =
   let tier_conv =
     let parse s =
@@ -191,14 +261,19 @@ let show_cmd =
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run name verify jobs timings dump_after interp =
+  let run name verify jobs timings dump_after interp validate timeout_s
+      retries fault =
     set_interp interp;
+    check_supervision timeout_s retries;
+    arm_fault fault;
     if timings then Uas_runtime.Instrument.set_enabled true;
     let b = find_benchmark name in
     let after = dump_hook_of dump_after in
     (* dumping from pool domains would interleave: force sequential *)
     let jobs = if Option.is_some after then Some 1 else jobs in
-    let row = E.run_benchmark ~verify ?jobs ?after b in
+    let row =
+      E.run_benchmark ~verify ~validate ?jobs ?timeout_s ?retries ?after b
+    in
     Fmt.pr "%a@." E.pp_table_6_2 [ row ];
     Fmt.pr "%a@." E.pp_table_6_3 [ row ];
     if timings then Fmt.pr "%a" Uas_runtime.Instrument.pp_summary ()
@@ -215,7 +290,8 @@ let estimate_cmd =
        ~doc:"Estimate all paper versions of a benchmark (Table 6.2/6.3 rows)")
     Term.(
       const run $ bench_arg $ verify $ jobs_arg $ timings_arg
-      $ dump_after_arg $ interp_arg)
+      $ dump_after_arg $ interp_arg $ validate_arg $ task_timeout_arg
+      $ retries_arg $ fault_arg)
 
 (* --- run --- *)
 
@@ -374,20 +450,26 @@ let objective_arg =
            $(b,area) (area rows), or $(b,ratio) (speedup per area, the \
            Figure 6.3 efficiency metric; the default)")
 
-let plan_benchmark ?jobs ~objective (b : S.Registry.benchmark) =
+let plan_benchmark ?jobs ?(validate = false) ?timeout_s ?retries ~objective
+    (b : S.Registry.benchmark) =
+  let probe = if validate then Some b.S.Registry.b_workload else None in
   let plan =
-    P.plan ?jobs ~objective b.S.Registry.b_program
-      ~outer_index:b.S.Registry.b_outer_index
+    P.plan ?jobs ~objective ?validate:probe ?timeout_s ?retries
+      b.S.Registry.b_program ~outer_index:b.S.Registry.b_outer_index
       ~inner_index:b.S.Registry.b_inner_index ~benchmark:b.S.Registry.b_name
   in
   Fmt.pr "%a@." P.pp plan
 
 let plan_cmd =
-  let run name objective jobs =
+  let run name objective jobs validate timeout_s retries fault =
+    check_supervision timeout_s retries;
+    arm_fault fault;
+    let plan_one =
+      plan_benchmark ?jobs ~validate ?timeout_s ?retries ~objective
+    in
     match name with
-    | Some name -> plan_benchmark ?jobs ~objective (find_benchmark name)
-    | None ->
-      List.iter (fun b -> plan_benchmark ?jobs ~objective b) (S.Registry.all ())
+    | Some name -> plan_one (find_benchmark name)
+    | None -> List.iter plan_one (S.Registry.all ())
   in
   let bench_opt =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
@@ -396,7 +478,9 @@ let plan_cmd =
     (Cmd.info "plan"
        ~doc:"Rank rewrite sequences ending in squash by the cost model \
              (all benchmarks when none is named)")
-    Term.(const run $ bench_opt $ objective_arg $ jobs_arg)
+    Term.(
+      const run $ bench_opt $ objective_arg $ jobs_arg $ validate_arg
+      $ task_timeout_arg $ retries_arg $ fault_arg)
 
 (* --- profile --- *)
 
@@ -417,9 +501,13 @@ let profile_cmd =
 (* `nimblec --plan` at the top level plans every registry benchmark —
    the one-shot planner entry; without it, the group prints its help. *)
 let default_term =
-  let run plan_flag objective jobs =
+  let run plan_flag objective jobs validate timeout_s retries fault =
     if plan_flag then begin
-      List.iter (fun b -> plan_benchmark ?jobs ~objective b) (S.Registry.all ());
+      check_supervision timeout_s retries;
+      arm_fault fault;
+      List.iter
+        (plan_benchmark ?jobs ~validate ?timeout_s ?retries ~objective)
+        (S.Registry.all ());
       `Ok ()
     end
     else `Help (`Pager, None)
@@ -431,9 +519,20 @@ let default_term =
           ~doc:"Rank rewrite sequences ending in squash by the cost model, \
                 for every benchmark (see also the $(b,plan) subcommand)")
   in
-  Term.(ret (const run $ plan_flag $ objective_arg $ jobs_arg))
+  Term.(
+    ret
+      (const run $ plan_flag $ objective_arg $ jobs_arg $ validate_arg
+      $ task_timeout_arg $ retries_arg $ fault_arg))
 
 let () =
+  (* a malformed UAS_JOBS or UAS_FAULT is a diagnostic up front, not an
+     Invalid_argument backtrace out of the first pool dispatch *)
+  (match Parallel.default_jobs_result () with
+  | Ok _ -> ()
+  | Error m -> runtime_error "%s" m);
+  (match Fault.env_error () with
+  | None -> ()
+  | Some m -> runtime_error "%s: %s" Fault.env_var m);
   let info =
     Cmd.info "nimblec"
       ~doc:"Unroll-and-squash loop pipelining flow"

@@ -97,6 +97,27 @@ let find name : benchmark option =
     (fun b -> String.lowercase_ascii b.b_name = String.lowercase_ascii name)
     (all ())
 
+(* The [interp.run] fault-injection site (label: tier name).  The
+   [stall] kind exhausts the fuel budget instead of spinning — the run
+   surfaces as [Out_of_fuel], exactly what a runaway interpretation
+   looks like to callers; [corrupt] perturbs the first output value of
+   an otherwise-normal run. *)
+let stall_fuel = 64
+
+let tier_name = function Fast_interp.Ref -> "ref" | Fast -> "fast"
+
+let corrupt_result (r : Interp.result) : Interp.result =
+  match r.Interp.outputs with
+  | [] -> r
+  | (name, vs) :: rest ->
+    let vs = Array.copy vs in
+    if Array.length vs > 0 then
+      vs.(0) <-
+        (match vs.(0) with
+        | Types.VInt x -> Types.VInt (x + 1)
+        | Types.VFloat x -> Types.VFloat (x +. 1.0));
+    { r with Interp.outputs = (name, vs) :: rest }
+
 (** Run [p] on [w] on the chosen interpreter tier, under an
     instrumentation span naming the tier. *)
 let run_tier ?fuel (tier : Fast_interp.tier) (p : Stmt.program)
@@ -104,7 +125,17 @@ let run_tier ?fuel (tier : Fast_interp.tier) (p : Stmt.program)
   let span =
     match tier with Fast_interp.Ref -> "interp.run.ref" | Fast -> "interp.run.fast"
   in
-  Uas_runtime.Instrument.span span (fun () -> Fast_interp.run_tier ?fuel tier p w)
+  Uas_runtime.Instrument.span span (fun () ->
+      match Uas_runtime.Fault.hit ~label:(tier_name tier) "interp.run" with
+      | None -> Fast_interp.run_tier ?fuel tier p w
+      | Some Uas_runtime.Fault.Raise ->
+        raise
+          (Uas_runtime.Fault.Injected
+             { site = "interp.run"; kind = Uas_runtime.Fault.Raise })
+      | Some Uas_runtime.Fault.Stall ->
+        Fast_interp.run_tier ~fuel:stall_fuel tier p w
+      | Some Uas_runtime.Fault.Corrupt ->
+        corrupt_result (Fast_interp.run_tier ?fuel tier p w))
 
 (** Does an interpreter result reproduce the benchmark's host
     reference outputs exactly? *)

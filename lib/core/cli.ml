@@ -5,24 +5,22 @@ type options = {
   o_timings : bool;
   o_interp : Fast_interp.tier option;
   o_json : string option;
+  o_validate : bool;
+  o_task_timeout : float option;
+  o_retries : int option;
+  o_fault : string option;
   o_targets : string list;
 }
 
 let parse ~available args =
-  let rec go targets jobs timings interp json = function
-    | [] ->
-      Ok
-        { o_jobs = jobs;
-          o_timings = timings;
-          o_interp = interp;
-          o_json = json;
-          o_targets = List.rev targets }
-    | "--timings" :: rest -> go targets jobs true interp json rest
+  let rec go acc = function
+    | [] -> Ok { acc with o_targets = List.rev acc.o_targets }
+    | "--timings" :: rest -> go { acc with o_timings = true } rest
     | ("-j" | "--jobs") :: rest -> (
       match rest with
       | n :: rest' -> (
         match int_of_string_opt n with
-        | Some n when n >= 1 -> go targets (Some n) timings interp json rest'
+        | Some n when n >= 1 -> go { acc with o_jobs = Some n } rest'
         | Some _ | None ->
           Error (Printf.sprintf "-j expects a positive integer, got %s" n))
       | [] -> Error "-j expects a positive integer")
@@ -30,20 +28,59 @@ let parse ~available args =
       match rest with
       | t :: rest' -> (
         match Fast_interp.tier_of_string t with
-        | Some tier -> go targets jobs timings (Some tier) json rest'
+        | Some tier -> go { acc with o_interp = Some tier } rest'
         | None ->
           Error (Printf.sprintf "--interp expects ref or fast, got %s" t))
       | [] -> Error "--interp expects ref or fast")
     | "--json" :: rest -> (
       match rest with
-      | f :: rest' -> go targets jobs timings interp (Some f) rest'
+      | f :: rest' -> go { acc with o_json = Some f } rest'
       | [] -> Error "--json expects a file name")
+    | "--validate" :: rest -> (
+      match rest with
+      | "off" :: rest' -> go { acc with o_validate = false } rest'
+      | "probe" :: rest' -> go { acc with o_validate = true } rest'
+      | m :: _ -> Error (Printf.sprintf "--validate expects off or probe, got %s" m)
+      | [] -> Error "--validate expects off or probe")
+    | "--task-timeout" :: rest -> (
+      match rest with
+      | s :: rest' -> (
+        match float_of_string_opt s with
+        | Some t when t > 0.0 -> go { acc with o_task_timeout = Some t } rest'
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "--task-timeout expects positive seconds, got %s" s))
+      | [] -> Error "--task-timeout expects positive seconds")
+    | "--retries" :: rest -> (
+      match rest with
+      | n :: rest' -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> go { acc with o_retries = Some n } rest'
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "--retries expects a non-negative integer, got %s"
+               n))
+      | [] -> Error "--retries expects a non-negative integer")
+    | "--fault" :: rest -> (
+      match rest with
+      | p :: rest' -> go { acc with o_fault = Some p } rest'
+      | [] -> Error "--fault expects a fault plan (site[=label]:kind:nth,...)")
     | arg :: rest ->
       if List.mem arg available then
-        go (arg :: targets) jobs timings interp json rest
+        go { acc with o_targets = arg :: acc.o_targets } rest
       else
         Error
           (Printf.sprintf "unknown target %s; available: %s" arg
              (String.concat " " available))
   in
-  go [] None false None None args
+  go
+    { o_jobs = None;
+      o_timings = false;
+      o_interp = None;
+      o_json = None;
+      o_validate = false;
+      o_task_timeout = None;
+      o_retries = None;
+      o_fault = None;
+      o_targets = [] }
+    args

@@ -13,6 +13,16 @@ type options = {
           process-wide {!Uas_ir.Fast_interp.default_tier}) *)
   o_json : string option;
       (** [--json FILE]: write the perf-trajectory JSON here *)
+  o_validate : bool;
+      (** [--validate off|probe]: translation-validate every rewrite on
+          the benchmark workload (default off) *)
+  o_task_timeout : float option;
+      (** [--task-timeout SECS]: per-task wall budget for the pool *)
+  o_retries : int option;
+      (** [--retries N]: retry budget for retryable task failures *)
+  o_fault : string option;
+      (** [--fault PLAN]: arm the fault-injection registry (testing;
+          same grammar as [UAS_FAULT]) *)
   o_targets : string list;
       (** requested targets, in command-line order; empty = run all *)
 }
@@ -21,5 +31,7 @@ type options = {
     member of [available]; the first unknown one yields [Error] with a
     message naming it and listing the valid targets.  [-j] requires a
     positive integer, [--interp] one of [ref]/[fast], [--json] a file
-    name. *)
+    name, [--validate] one of [off]/[probe], [--task-timeout] positive
+    seconds, [--retries] a non-negative integer, [--fault] a plan
+    string (validated when armed, not here). *)
 val parse : available:string list -> string list -> (options, string) result

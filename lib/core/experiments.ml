@@ -10,13 +10,19 @@ module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
 module Parallel = Uas_runtime.Parallel
 module Instrument = Uas_runtime.Instrument
+module Fault = Uas_runtime.Fault
 module Fast_interp = Uas_ir.Fast_interp
 module Cu = Uas_pass.Cu
+module Diag = Uas_pass.Diag
 
 type cell = {
   c_version : Nimble.version;
   c_report : Estimate.report;
   c_verified : bool;  (** outputs match the host reference *)
+  c_incidents : Diag.t list;
+      (** non-fatal trouble the cell degraded around: rewrites rejected
+          by translation validation, verification runs that went stuck
+          or out of fuel — rendered as [degraded:] table footers *)
 }
 
 type skip = {
@@ -39,41 +45,88 @@ type normalized = {
   n_operator_share : float;  (** operators as a fraction of area (Fig 6.4) *)
 }
 
+let tier_label = function Fast_interp.Ref -> "ref" | Fast -> "fast"
+
 (* One (benchmark, version) cell: the version's pass pipeline
    (transform + quick synthesis) plus interpreter-replay verification —
    the independent unit of work the pool fans out.  Nothing here
    touches shared mutable state: each pipeline run builds its own
    compilation unit, both interpreter tiers copy the workload's input
-   arrays, and the benchmark record is only read. *)
-let build_cell ?after ~target ~verify ~tier (b : Registry.benchmark)
-    (v : Nimble.version) : (cell, skip) result =
+   arrays, and the benchmark record is only read.
+
+   The whole cell runs inside a fault scope named
+   "<benchmark>/<version>", so a labeled fault spec lands on one exact
+   cell at any pool size.  A verification run that goes wrong — stuck,
+   out of fuel, an injected interpreter fault, outputs differing from
+   the host reference — marks the cell unverified with an incident; it
+   never aborts the sweep. *)
+let build_cell ?after ?(validate = false) ~target ~verify ~tier
+    (b : Registry.benchmark) (v : Nimble.version) : (cell, skip) result =
+  Fault.with_scope (b.Registry.b_name ^ "/" ^ Nimble.version_name v)
+  @@ fun () ->
+  let probe = if validate then Some b.Registry.b_workload else None in
   match
-    Nimble.run_version_cu ~target ?after b.Registry.b_program
+    Nimble.run_version_cu ~target ?after ?validate:probe b.Registry.b_program
       ~outer_index:b.Registry.b_outer_index
       ~inner_index:b.Registry.b_inner_index v
   with
   | Error d -> Error { s_version = v; s_diag = d }
   | Ok (cu, built, report) ->
+    let incidents = ref (Cu.incidents cu) in
+    let incident fmt =
+      Fmt.kstr
+        (fun m ->
+          incidents := !incidents @ [ Diag.errorf ~pass:"verify" "%s" m ])
+        fmt
+    in
     let verified =
       (not verify)
       || Instrument.span "pass.verify" (fun () ->
-             let result =
+             let run ?fuel () =
                match (tier : Fast_interp.tier) with
                | Ref ->
                  Instrument.span "interp.run.ref" (fun () ->
-                     Uas_ir.Interp.run built.Nimble.bv_program
+                     Uas_ir.Interp.run ?fuel built.Nimble.bv_program
                        b.Registry.b_workload)
                | Fast ->
                  (* reuse (or create) the unit's compiled artifact *)
                  let compiled = Cu.compiled cu in
                  Instrument.span "interp.run.fast" (fun () ->
-                     Fast_interp.run compiled b.Registry.b_workload)
+                     Fast_interp.run ?fuel compiled b.Registry.b_workload)
              in
-             match Registry.check_result b result with
-             | Ok () -> true
-             | Error _ -> false)
+             match
+               (* the [interp.run] fault site, tier-labeled like
+                  [Registry.run_tier] *)
+               match Fault.hit ~label:(tier_label tier) "interp.run" with
+               | None -> run ()
+               | Some Fault.Raise ->
+                 raise
+                   (Fault.Injected { site = "interp.run"; kind = Fault.Raise })
+               | Some Fault.Stall -> run ~fuel:Registry.stall_fuel ()
+               | Some Fault.Corrupt -> Registry.corrupt_result (run ())
+             with
+             | result -> (
+               match Registry.check_result b result with
+               | Ok () -> true
+               | Error m ->
+                 incident "outputs differ from host reference: %s" m;
+                 false)
+             | exception Uas_ir.Interp.Stuck m ->
+               incident "verification run stuck: %s" m;
+               false
+             | exception Uas_ir.Interp.Out_of_fuel ->
+               incident "verification run out of fuel";
+               false
+             | exception Fault.Injected { site; kind } ->
+               incident "injected fault at site %s (kind %s)" site
+                 (Fault.kind_name kind);
+               false)
     in
-    Ok { c_version = v; c_report = report; c_verified = verified }
+    Ok
+      { c_version = v;
+        c_report = report;
+        c_verified = verified;
+        c_incidents = !incidents }
 
 let row_of_results b results =
   { br_benchmark = b;
@@ -83,28 +136,47 @@ let row_of_results b results =
         (function Ok _ -> None | Error s -> Some s)
         results }
 
+(* A task the pool itself gave up on — uncaught exception after
+   retries, wall-budget timeout — becomes a skipped cell, so one bad
+   (benchmark, version) can never abort the table. *)
+let skip_of_failure v (tf : Parallel.Task_failure.t) : skip =
+  Instrument.incr "sweep.task-failures";
+  { s_version = v;
+    s_diag = Diag.errorf ~pass:"task" "%s" (Parallel.Task_failure.to_message tf)
+  }
+
 (** Run the full Table 6.2 sweep for one benchmark, versions fanned out
     over the domain pool.  [verify] replays every transformed program
     in the interpreter against the host reference (slower; on by
-    default).  [after] observes the compilation unit after every pass
-    (nimblec's [--dump-after]); dumping interleaves across domains, so
-    pass [jobs:1] with it.  [tier] picks the verification interpreter
-    (default: the process-wide {!Fast_interp.default_tier}). *)
+    default).  [validate] translation-validates every rewrite on the
+    benchmark workload (degrading cells whose rewrites miscompile).
+    [timeout_s]/[retries] supervise the pool tasks
+    ({!Uas_runtime.Parallel.map_results}).  [after] observes the
+    compilation unit after every pass (nimblec's [--dump-after]);
+    dumping interleaves across domains, so pass [jobs:1] with it.
+    [tier] picks the verification interpreter (default: the
+    process-wide {!Fast_interp.default_tier}). *)
 let run_benchmark ?(target = Datapath.default) ?(verify = true) ?tier
-    ?(versions = Nimble.paper_versions) ?jobs ?after
-    (b : Registry.benchmark) : bench_row =
+    ?(validate = false) ?(versions = Nimble.paper_versions) ?jobs ?timeout_s
+    ?retries ?after (b : Registry.benchmark) : bench_row =
   let tier =
     match tier with Some t -> t | None -> Fast_interp.default_tier ()
   in
   row_of_results b
-    (Parallel.map ?jobs (build_cell ?after ~target ~verify ~tier b) versions)
+    (Parallel.map_results ?jobs ?timeout_s ?retries
+       (build_cell ?after ~validate ~target ~verify ~tier b)
+       versions
+    |> List.map2
+         (fun v -> function
+           | Ok r -> r | Error tf -> Error (skip_of_failure v tf))
+         versions)
 
 (** Table 6.2 over the whole suite.  All (benchmark, version) cells —
     ~50 independent build+estimate+verify tasks — go through one flat
     pool fan-out, so the hot path scales with the core count instead of
     running strictly sequentially. *)
-let table_6_2 ?(target = Datapath.default) ?(verify = true) ?tier ?jobs () :
-    bench_row list =
+let table_6_2 ?(target = Datapath.default) ?(verify = true) ?tier
+    ?(validate = false) ?jobs ?timeout_s ?retries () : bench_row list =
   let tier =
     match tier with Some t -> t | None -> Fast_interp.default_tier ()
   in
@@ -114,9 +186,13 @@ let table_6_2 ?(target = Datapath.default) ?(verify = true) ?tier ?jobs () :
     List.concat_map (fun b -> List.map (fun v -> (b, v)) versions) benches
   in
   let cells =
-    Parallel.map ?jobs
-      (fun (b, v) -> build_cell ~target ~verify ~tier b v)
+    Parallel.map_results ?jobs ?timeout_s ?retries
+      (fun (b, v) -> build_cell ~validate ~target ~verify ~tier b v)
       tasks
+    |> List.map2
+         (fun (_, v) -> function
+           | Ok r -> r | Error tf -> Error (skip_of_failure v tf))
+         tasks
   in
   (* regroup the flat, input-ordered cell list benchmark-major *)
   let nv = List.length versions in
@@ -213,9 +289,23 @@ let figure_2_4 ~cycles : (string * usage_cell list) list =
 
 let pp_version ppf v = Fmt.string ppf (Nimble.version_name v)
 
-(* The skipped-version footer shared by the Table 6.2/6.3 printers:
-   one "skipped: <version> — <diagnostic>" line per version a pass
-   rejected.  Empty (and silent) when every version built. *)
+(* The footers shared by the Table 6.2/6.3 printers: one
+   "degraded: <version> — <diagnostic>" line per incident a cell
+   recovered from, then one "skipped: <version> — <diagnostic>" line
+   per version a pass rejected.  Both empty (and silent) when every
+   version built cleanly — the clean table output is byte-identical to
+   the pre-fault-tolerance printers. *)
+let pp_degraded ppf (cells : cell list) =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "  degraded: %-12s — %a@\n"
+            (Nimble.version_name c.c_version)
+            Uas_pass.Diag.pp d)
+        c.c_incidents)
+    cells
+
 let pp_skipped ppf (skips : skip list) =
   List.iter
     (fun s ->
@@ -240,6 +330,7 @@ let pp_table_6_2 ppf (rows : bench_row list) =
             r.Estimate.r_mem_refs
             (if c.c_verified then "yes" else "NO"))
         row.br_cells;
+      pp_degraded ppf row.br_cells;
       pp_skipped ppf row.br_skipped)
     rows
 
@@ -257,6 +348,7 @@ let pp_table_6_3 ppf (rows : bench_row list) =
             (Nimble.version_name n.n_version)
             n.n_speedup n.n_area n.n_registers n.n_efficiency)
         (normalize row);
+      pp_degraded ppf row.br_cells;
       pp_skipped ppf row.br_skipped)
     rows
 

@@ -12,6 +12,11 @@ type cell = {
   c_version : Nimble.version;
   c_report : Estimate.report;
   c_verified : bool;  (** outputs match the host reference *)
+  c_incidents : Uas_pass.Diag.t list;
+      (** non-fatal trouble the cell degraded around (rewrites rejected
+          by translation validation, verification runs gone stuck/out
+          of fuel, reference mismatches) — rendered as [degraded:]
+          footers; empty on a clean cell *)
 }
 
 type skip = {
@@ -45,24 +50,42 @@ type normalized = {
     across domains).  [tier] picks the verification interpreter
     (default {!Uas_ir.Fast_interp.default_tier}); the fast tier reuses
     each compilation unit's memoized compiled program and produces
-    bit-identical cells. *)
+    bit-identical cells.
+
+    Fault tolerance: every cell runs inside a
+    [Uas_runtime.Fault.with_scope] frame named
+    ["<benchmark>/<version>"]; [validate] translation-validates each
+    rewrite on the benchmark workload (a miscompiling rewrite degrades
+    its cell instead of propagating a wrong program);
+    [timeout_s]/[retries] supervise the pool
+    ({!Uas_runtime.Parallel.map_results}), and a task the pool gives up
+    on surfaces as a skipped cell with a [task] diagnostic.  A
+    verification run that goes stuck or out of fuel marks its cell
+    unverified with an incident — it never aborts the sweep. *)
 val run_benchmark :
   ?target:Datapath.t ->
   ?verify:bool ->
   ?tier:Uas_ir.Fast_interp.tier ->
+  ?validate:bool ->
   ?versions:Nimble.version list ->
   ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
   ?after:Uas_pass.Pass.hook ->
   Registry.benchmark ->
   bench_row
 
 (** The whole suite; every (benchmark, version) cell is an independent
-    pool task, so the full table scales with the core count. *)
+    pool task, so the full table scales with the core count.  Fault
+    tolerance as in {!run_benchmark}. *)
 val table_6_2 :
   ?target:Datapath.t ->
   ?verify:bool ->
   ?tier:Uas_ir.Fast_interp.tier ->
+  ?validate:bool ->
   ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
   unit ->
   bench_row list
 
@@ -96,6 +119,11 @@ type usage_cell = {
 val figure_2_4 : cycles:int -> (string * usage_cell list) list
 
 val pp_version : Nimble.version Fmt.t
+
+(** The [degraded: <version> — <diagnostic>] footer lines of a row's
+    cells (one per incident; silent on clean cells). *)
+val pp_degraded : cell list Fmt.t
+
 val pp_table_6_2 : bench_row list Fmt.t
 val pp_table_6_3 : bench_row list Fmt.t
 val pp_series : unit_label:string -> series Fmt.t

@@ -19,6 +19,7 @@ module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
 module Parallel = Uas_runtime.Parallel
 module Instrument = Uas_runtime.Instrument
+module Fault = Uas_runtime.Fault
 module Cu = Uas_pass.Cu
 module Diag = Uas_pass.Diag
 module Pass = Uas_pass.Pass
@@ -60,18 +61,23 @@ let pipelined = function Original -> false | _ -> true
 
 (** The transformation pipeline of a version: locate/analyze the nest,
     then the squash/jam composition, each transform a registered
-    rewrite converted to a pass. *)
-let transform_passes (version : version) : Pass.t list =
+    rewrite converted to a pass.  [validate] translation-validates every
+    rewrite application on the given probe workload
+    ({!Rewrite.validated_apply}): a rewrite whose output fails the
+    check is skipped — the pipeline degrades to the last-known-good
+    program with an incident logged on the unit. *)
+let transform_passes ?validate (version : version) : Pass.t list =
   Stages.analyze
   ::
   (match version with
   | Original | Pipelined -> []
-  | Squashed ds -> [ Rewrite.pass ~factor:ds "squash" ]
-  | Jammed ds -> [ Rewrite.pass ~factor:ds "jam" ]
+  | Squashed ds -> [ Rewrite.pass ~factor:ds ?validate "squash" ]
+  | Jammed ds -> [ Rewrite.pass ~factor:ds ?validate "jam" ]
   | Combined (jam_ds, squash_ds) ->
     (* the squash pass re-analyzes the jammed program: the jam pass
        invalidated the loop-nest cache along with the program *)
-    [ Rewrite.pass ~factor:jam_ds "jam"; Rewrite.pass ~factor:squash_ds "squash" ])
+    [ Rewrite.pass ~factor:jam_ds ?validate "jam";
+      Rewrite.pass ~factor:squash_ds ?validate "squash" ])
 
 (** The quick-synthesis pipeline of a version (§5.2): DFG, schedule,
     estimate report. *)
@@ -110,18 +116,26 @@ let estimate ?(target = Datapath.default) (b : built) : Estimate.report =
     ~name:(version_name b.bv_version)
     b.bv_program ~index:b.bv_kernel_index
 
-(** Per-version result of a sweep: the built program with its report,
-    or the diagnostic explaining why the version was skipped. *)
-type outcome = Built of built * Estimate.report | Skipped of Diag.t
+(** Per-version result of a sweep: the built program with its report;
+    built but degraded (one or more rewrites failed validation and were
+    not applied — the report describes the last-known-good program, the
+    diagnostics say what went wrong); or skipped with the diagnostic
+    explaining why the version was not built at all. *)
+type outcome =
+  | Built of built * Estimate.report
+  | Degraded of built * Estimate.report * Diag.t list
+  | Skipped of Diag.t
 
 (** Transform + quick-synthesis pipeline for one version, keeping the
     final compilation unit (whose memoized artifacts — notably the
     fast-interpreter compilation — downstream verification reuses). *)
-let run_version_cu ?(target = Datapath.default) ?after (p : Stmt.program)
-    ~outer_index ~inner_index (version : version) :
+let run_version_cu ?(target = Datapath.default) ?after ?validate
+    (p : Stmt.program) ~outer_index ~inner_index (version : version) :
     (Cu.t * built * Estimate.report, Diag.t) result =
   let cu = Cu.make p ~outer_index ~inner_index in
-  let passes = transform_passes version @ estimate_passes ~target version in
+  let passes =
+    transform_passes ?validate version @ estimate_passes ~target version
+  in
   match Pass.run ?after cu passes with
   | Ok cu -> (
     match Cu.report cu with
@@ -133,36 +147,70 @@ let run_version_cu ?(target = Datapath.default) ?after (p : Stmt.program)
     Instrument.incr "sweep.illegal-versions";
     Error d
 
+let outcome_of_cu_result = function
+  | Ok (cu, b, r) -> (
+    match Cu.incidents cu with [] -> Built (b, r) | ds -> Degraded (b, r, ds))
+  | Error d -> Skipped d
+
 (** Transform + quick-synthesis pipeline for one version, end to
     end. *)
-let run_version ?target ?after (p : Stmt.program) ~outer_index ~inner_index
-    (version : version) : outcome =
-  match run_version_cu ?target ?after p ~outer_index ~inner_index version with
-  | Ok (_, b, r) -> Built (b, r)
-  | Error d -> Skipped d
+let run_version ?target ?after ?validate (p : Stmt.program) ~outer_index
+    ~inner_index (version : version) : outcome =
+  outcome_of_cu_result
+    (run_version_cu ?target ?after ?validate p ~outer_index ~inner_index
+       version)
 
 (** Build and estimate every requested version of a benchmark nest,
     fanning the independent versions out over the domain pool.  Every
-    version gets an outcome: [Built] with its report, or [Skipped] with
-    the diagnostic of the pass that rejected it. *)
+    version gets an outcome: [Built] with its report, [Degraded] when
+    validation rejected a rewrite, or [Skipped] with the diagnostic of
+    the pass that rejected it — a task the pool itself gives up on
+    (uncaught exception after retries, wall-budget timeout) becomes
+    [Skipped] too, so no single bad cell can abort the sweep. *)
 let sweep ?(target = Datapath.default) ?(versions = paper_versions) ?jobs
-    (p : Stmt.program) ~outer_index ~inner_index :
-    (version * outcome) list =
-  Parallel.map ?jobs
-    (fun v -> (v, run_version ~target p ~outer_index ~inner_index v))
+    ?validate ?timeout_s ?retries (p : Stmt.program) ~outer_index ~inner_index
+    : (version * outcome) list =
+  Parallel.map_results ?jobs ?timeout_s ?retries
+    (fun v ->
+      Fault.with_scope (version_name v) (fun () ->
+          run_version ~target ?validate p ~outer_index ~inner_index v))
     versions
+  |> List.map2
+       (fun v -> function
+         | Ok outcome -> (v, outcome)
+         | Error tf ->
+           Instrument.incr "sweep.task-failures";
+           ( v,
+             Skipped
+               (Diag.errorf ~pass:"task" "%s"
+                  (Parallel.Task_failure.to_message tf)) ))
+       versions
 
-(** The successfully built rows of a sweep, in sweep order. *)
+(** The successfully built rows of a sweep (degraded cells included —
+    their reports describe the last-known-good program), in sweep
+    order. *)
 let successes (rows : (version * outcome) list) :
     (version * built * Estimate.report) list =
   List.filter_map
-    (function v, Built (b, r) -> Some (v, b, r) | _, Skipped _ -> None)
+    (function
+      | v, (Built (b, r) | Degraded (b, r, _)) -> Some (v, b, r)
+      | _, Skipped _ -> None)
     rows
 
 (** The skipped versions of a sweep with their diagnostics. *)
 let skipped (rows : (version * outcome) list) : (version * Diag.t) list =
   List.filter_map
-    (function v, Skipped d -> Some (v, d) | _, Built _ -> None)
+    (function
+      | v, Skipped d -> Some (v, d) | _, (Built _ | Degraded _) -> None)
+    rows
+
+(** The degraded versions of a sweep with their incident logs. *)
+let degraded (rows : (version * outcome) list) : (version * Diag.t list) list
+    =
+  List.filter_map
+    (function
+      | v, Degraded (_, _, ds) -> Some (v, ds)
+      | _, (Built _ | Skipped _) -> None)
     rows
 
 (** Kernel selection: the version maximizing speedup per area (the

@@ -33,8 +33,13 @@ type built = {
 val pipelined : version -> bool
 
 (** The transformation pipeline of a version: [loop-nest] analysis then
-    the squash/jam composition. *)
-val transform_passes : version -> Uas_pass.Pass.t list
+    the squash/jam composition.  [validate] translation-validates every
+    rewrite on the probe workload ({!Uas_transform.Rewrite.validated_apply}):
+    a rewrite that fails validation is not applied — the pipeline
+    degrades to the last-known-good program with incidents logged on
+    the compilation unit. *)
+val transform_passes :
+  ?validate:Uas_ir.Interp.workload -> version -> Uas_pass.Pass.t list
 
 (** The quick-synthesis pipeline: [dfg-build; schedule; estimate]. *)
 val estimate_passes :
@@ -59,19 +64,25 @@ val build_version :
 
 val estimate : ?target:Uas_hw.Datapath.t -> built -> Uas_hw.Estimate.report
 
-(** Per-version sweep result: built with its report, or skipped with
-    the diagnostic of the rejecting pass. *)
+(** Per-version sweep result: built with its report; built but
+    [Degraded] (translation validation rejected one or more rewrites —
+    the report describes the last-known-good program, the diagnostics
+    say why); or skipped with the diagnostic of the rejecting pass. *)
 type outcome =
   | Built of built * Uas_hw.Estimate.report
+  | Degraded of built * Uas_hw.Estimate.report * Uas_pass.Diag.t list
   | Skipped of Uas_pass.Diag.t
 
 (** Run one version's full pipeline (transform + quick synthesis),
     returning the final compilation unit alongside the built version —
     callers that go on to execute the program can reuse the unit's
-    memoized {!Uas_pass.Cu.compiled} artifact. *)
+    memoized {!Uas_pass.Cu.compiled} artifact.  [validate] as in
+    {!transform_passes}; validation failures leave the result [Ok] with
+    incidents on the unit. *)
 val run_version_cu :
   ?target:Uas_hw.Datapath.t ->
   ?after:Uas_pass.Pass.hook ->
+  ?validate:Uas_ir.Interp.workload ->
   Stmt.program ->
   outer_index:string ->
   inner_index:string ->
@@ -82,6 +93,7 @@ val run_version_cu :
 val run_version :
   ?target:Uas_hw.Datapath.t ->
   ?after:Uas_pass.Pass.hook ->
+  ?validate:Uas_ir.Interp.workload ->
   Stmt.program ->
   outer_index:string ->
   inner_index:string ->
@@ -92,23 +104,39 @@ val run_version :
     [Uas_runtime.Parallel] pool of [jobs] domains (default: [UAS_JOBS]
     or the core count).  Results are input-ordered and identical to a
     sequential run; every version is reported — illegal factors as
-    [Skipped] with their diagnostic, never silently dropped. *)
+    [Skipped] with their diagnostic, never silently dropped.
+
+    Fault tolerance: each version runs inside a
+    {!Uas_runtime.Fault.with_scope} frame named after it; [timeout_s]
+    and [retries] are handed to {!Uas_runtime.Parallel.map_results}, and
+    a task the pool gives up on (uncaught exception after retries,
+    wall-budget timeout) comes back [Skipped] with a [task] diagnostic
+    instead of aborting the sweep ([sweep.task-failures] counts them).
+    [validate] as in {!transform_passes}. *)
 val sweep :
   ?target:Uas_hw.Datapath.t ->
   ?versions:version list ->
   ?jobs:int ->
+  ?validate:Uas_ir.Interp.workload ->
+  ?timeout_s:float ->
+  ?retries:int ->
   Stmt.program ->
   outer_index:string ->
   inner_index:string ->
   (version * outcome) list
 
-(** The successfully built rows, in sweep order. *)
+(** The successfully built rows (degraded cells included — their
+    reports describe the last-known-good program), in sweep order. *)
 val successes :
   (version * outcome) list ->
   (version * built * Uas_hw.Estimate.report) list
 
 (** The skipped versions with their diagnostics, in sweep order. *)
 val skipped : (version * outcome) list -> (version * Uas_pass.Diag.t) list
+
+(** The degraded versions with their incident logs, in sweep order. *)
+val degraded :
+  (version * outcome) list -> (version * Uas_pass.Diag.t list) list
 
 (** The version maximizing speedup per area over the [Original]
     baseline; [None] without a baseline. *)

@@ -16,6 +16,8 @@
 module Estimate = Uas_hw.Estimate
 module Datapath = Uas_hw.Datapath
 module Parallel = Uas_runtime.Parallel
+module Instrument = Uas_runtime.Instrument
+module Fault = Uas_runtime.Fault
 module Cu = Uas_pass.Cu
 module Diag = Uas_pass.Diag
 module Pass = Uas_pass.Pass
@@ -71,10 +73,14 @@ let candidates ?(factors = default_factors) () : candidate list =
        enabling_prefixes
 
 (** One scored candidate: the estimate report, or the diagnostic of the
-    pass that rejected it. *)
+    pass that rejected it.  [r_incidents] carries the non-fatal trouble
+    the candidate's pipeline degraded around (rewrites rejected by
+    translation validation) — its report then describes the
+    last-known-good program of the sequence. *)
 type row = {
   r_candidate : candidate;
   r_outcome : (Estimate.report, Diag.t) result;
+  r_incidents : Diag.t list;
 }
 
 type plan = {
@@ -84,18 +90,19 @@ type plan = {
   p_rows : row list;  (** ranked, best first; skipped candidates last *)
 }
 
-let rewrite_passes (c : candidate) : Pass.t list =
+let rewrite_passes ?validate (c : candidate) : Pass.t list =
   List.map
     (fun name ->
-      if String.equal name "squash" then Rewrite.pass ~factor:c.c_ds "squash"
-      else Rewrite.pass name)
+      if String.equal name "squash" then
+        Rewrite.pass ~factor:c.c_ds ?validate "squash"
+      else Rewrite.pass ?validate name)
     c.c_sequence
 
-let run_candidate ~target (p : Uas_ir.Stmt.program) ~outer_index ~inner_index
-    (c : candidate) : row =
+let run_candidate ?validate ~target (p : Uas_ir.Stmt.program) ~outer_index
+    ~inner_index (c : candidate) : row =
   let cu = Cu.make p ~outer_index ~inner_index in
   let passes =
-    (Stages.analyze :: rewrite_passes c)
+    (Stages.analyze :: rewrite_passes ?validate c)
     @ [ Stages.dfg_build ~target ();
         Stages.schedule ~target ~pipelined:c.c_pipelined ();
         Stages.estimate ~target ~pipelined:c.c_pipelined ~name:c.c_label () ]
@@ -103,9 +110,10 @@ let run_candidate ~target (p : Uas_ir.Stmt.program) ~outer_index ~inner_index
   match Pass.run cu passes with
   | Ok cu -> (
     match Cu.report cu with
-    | Some r -> { r_candidate = c; r_outcome = Ok r }
+    | Some r ->
+      { r_candidate = c; r_outcome = Ok r; r_incidents = Cu.incidents cu }
     | None -> assert false (* the estimate pass always sets the report *))
-  | Error d -> { r_candidate = c; r_outcome = Error d }
+  | Error d -> { r_candidate = c; r_outcome = Error d; r_incidents = [] }
 
 (* ---- metrics and ranking ---- *)
 
@@ -142,14 +150,32 @@ let rank_key objective ~base (row : row) =
 (** Score every candidate of the search space on the benchmark nest and
     rank by [objective] (default: [Ratio], the Figure 6.3 efficiency
     metric).  Candidates fan out over the domain pool like sweep
-    versions. *)
+    versions; each runs inside a fault scope named
+    ["<benchmark>/<label>"], and a task the pool gives up on ranks last
+    with a [task] diagnostic instead of aborting the plan. *)
 let plan ?(target = Datapath.default) ?jobs ?(objective = Ratio)
-    ?(factors = default_factors) (p : Uas_ir.Stmt.program) ~outer_index
-    ~inner_index ~benchmark : plan =
+    ?(factors = default_factors) ?validate ?timeout_s ?retries
+    (p : Uas_ir.Stmt.program) ~outer_index ~inner_index ~benchmark : plan =
+  let cands = candidates ~factors () in
   let rows =
-    Parallel.map ?jobs
-      (run_candidate ~target p ~outer_index ~inner_index)
-      (candidates ~factors ())
+    Parallel.map_results ?jobs ?timeout_s ?retries
+      (fun c ->
+        Fault.with_scope
+          (benchmark ^ "/" ^ c.c_label)
+          (fun () -> run_candidate ?validate ~target p ~outer_index ~inner_index c))
+      cands
+    |> List.map2
+         (fun c -> function
+           | Ok row -> row
+           | Error tf ->
+             Instrument.incr "plan.task-failures";
+             { r_candidate = c;
+               r_outcome =
+                 Error
+                   (Diag.errorf ~pass:"task" "%s"
+                      (Parallel.Task_failure.to_message tf));
+               r_incidents = [] })
+         cands
   in
   let baseline =
     List.find_map
@@ -176,7 +202,7 @@ let plan ?(target = Datapath.default) ?jobs ?(objective = Ratio)
 let rank_of (plan : plan) f : int option =
   let rec go k = function
     | [] -> None
-    | { r_candidate; r_outcome = Ok _ } :: _ when f r_candidate -> Some k
+    | { r_candidate; r_outcome = Ok _; _ } :: _ when f r_candidate -> Some k
     | _ :: rest -> go (k + 1) rest
   in
   go 1 plan.p_rows
@@ -204,6 +230,13 @@ let pp ppf (plan : plan) =
           r.Estimate.r_sched_len r.Estimate.r_area_rows
           r.Estimate.r_total_cycles sp rt
       | Error _ -> ())
+    plan.p_rows;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "degraded: %s — %a@." row.r_candidate.c_label Diag.pp d)
+        row.r_incidents)
     plan.p_rows;
   let skipped =
     List.filter_map

@@ -41,6 +41,10 @@ val candidates : ?factors:int list -> unit -> candidate list
 type row = {
   r_candidate : candidate;
   r_outcome : (Estimate.report, Diag.t) result;
+  r_incidents : Diag.t list;
+      (** rewrites translation validation rejected along this
+          candidate's sequence — the report then describes the
+          last-known-good program; rendered as [degraded:] footers *)
 }
 
 type plan = {
@@ -52,12 +56,23 @@ type plan = {
 
 (** Score every candidate on the benchmark nest and rank.  Candidates
     fan out over the domain pool ([jobs]) like sweep versions; ranking
-    is deterministic (ties break on II, cycles, area, label). *)
+    is deterministic (ties break on II, cycles, area, label).
+
+    Fault tolerance: each candidate runs inside a
+    [Uas_runtime.Fault.with_scope] frame named ["<benchmark>/<label>"];
+    [validate] translation-validates every rewrite on the probe
+    workload (a rejected rewrite degrades the candidate to its
+    last-known-good program, logged in [r_incidents]);
+    [timeout_s]/[retries] supervise the pool, and a task the pool gives
+    up on ranks last with a [task] diagnostic. *)
 val plan :
   ?target:Datapath.t ->
   ?jobs:int ->
   ?objective:objective ->
   ?factors:int list ->
+  ?validate:Uas_ir.Interp.workload ->
+  ?timeout_s:float ->
+  ?retries:int ->
   Uas_ir.Stmt.program ->
   outer_index:string ->
   inner_index:string ->

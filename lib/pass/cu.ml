@@ -45,6 +45,10 @@ type t = {
   mutable c_compiled : Fast_interp.compiled option;
   mutable c_hits : int;
   mutable c_misses : int;
+  (* non-fatal trouble logged while building this unit (validation
+     mismatches, recovered faults); survives [with_program] because it
+     is the unit's history, not an analysis of its program *)
+  mutable c_incidents : Diag.t list;
 }
 
 let make p ~outer_index ~inner_index =
@@ -61,7 +65,8 @@ let make p ~outer_index ~inner_index =
     c_report = None;
     c_compiled = None;
     c_hits = 0;
-    c_misses = 0 }
+    c_misses = 0;
+    c_incidents = [] }
 
 let program cu = cu.cu_program
 let outer_index cu = cu.cu_outer
@@ -169,3 +174,9 @@ let cached cu = function
 
 let hits cu = cu.c_hits
 let misses cu = cu.c_misses
+
+let add_incident cu d =
+  Instrument.incr "cu.incident";
+  cu.c_incidents <- d :: cu.c_incidents
+
+let incidents cu = List.rev cu.c_incidents

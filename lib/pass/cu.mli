@@ -109,3 +109,15 @@ val hits : t -> int
 
 (** Analyses actually computed since [make]. *)
 val misses : t -> int
+
+(** {2 Incidents}
+
+    Non-fatal trouble — a validation mismatch the pipeline degraded
+    around, a fault it recovered from — logged on the unit so the
+    sweep/planner can footnote the cell and the trajectory can record
+    it.  The log survives {!with_program} (it is the unit's history,
+    not an analysis), is returned in chronological order, and counts as
+    [cu.incident]. *)
+
+val add_incident : t -> Diag.t -> unit
+val incidents : t -> Diag.t list

@@ -23,7 +23,10 @@ type hook = pass:string -> Cu.t -> unit
 let run_one ?after cu (p : t) =
   let result =
     Instrument.span ("pass." ^ p.name) (fun () ->
-        match p.run cu with
+        match
+          Uas_runtime.Fault.raise_if_armed ~label:p.name "pass.run";
+          p.run cu
+        with
         | result -> result
         | exception exn -> (
           match Diag.of_exn ~pass:p.name ~loop:(Cu.outer_index cu) exn with

@@ -1,0 +1,99 @@
+(** Deterministic fault injection for the compilation pipeline.
+
+    A fault {e plan} is a comma-separated list of specs:
+
+    {v site[=label]:kind:nth v}
+
+    The [nth] (1-based) matching hit of the named injection site fires
+    the fault, exactly once; counting is per spec and purely
+    counter-based — no seeds, no randomness — so a plan replays exactly
+    on a sequential run.  A spec may pin a [label]: it then matches
+    only hits whose own label equals it, or hits made inside a
+    {!with_scope} frame carrying it (the sweep engine opens one scope
+    per (benchmark, version) cell, e.g. ["Skipjack-mem/squash(4)"]),
+    which makes a fault land on one specific cell at any pool size.
+
+    Sites wired through the stack: [parallel.task] (label: input
+    index), [pass.run] (label: pass name), [rewrite.apply] (label:
+    rewrite name), [interp.run] (label: interpreter tier).
+
+    Kinds: [raise] throws {!Injected} at the site; [stall] spins
+    cooperatively until a pool watchdog cancels the task (or a cap
+    expires) — at the interpreter site it instead exhausts the fuel
+    budget, surfacing as [Out_of_fuel]; [corrupt] makes the site
+    return a deterministically-perturbed result (sites that have
+    nothing to corrupt treat it as [raise]).
+
+    The plan comes from the [UAS_FAULT] environment variable (armed at
+    program start) or a CLI [--fault] flag ({!arm}). *)
+
+(** The environment variable consulted at startup: ["UAS_FAULT"]. *)
+val env_var : string
+
+type kind = Raise | Stall | Corrupt
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+(** The exception a fired [raise]/[stall] spec throws.  The pass
+    runner's diagnostics layer renders it, so an injected fault
+    surfaces as a structured [Diag] — never a backtrace. *)
+exception Injected of { site : string; kind : kind }
+
+val is_injected : exn -> bool
+
+(** Parse and install a plan, replacing any armed one (hit counters
+    restart).  [Error] describes the first malformed spec. *)
+val arm : string -> (unit, string) result
+
+(** Drop the armed plan (tests). *)
+val clear : unit -> unit
+
+(** The armed plan string, when one is installed. *)
+val plan : unit -> string option
+
+(** Is any spec armed?  (Cheap; sites bail out immediately when not.) *)
+val active : unit -> bool
+
+(** The parse error of a malformed [UAS_FAULT] environment value, if
+    there was one at startup.  Module initialization never crashes; the
+    CLIs check this and exit 1 with the message. *)
+val env_error : unit -> string option
+
+(** {2 Scopes and cancellation (domain-local)} *)
+
+(** [with_scope label f] runs [f] with [label] pushed on the calling
+    domain's scope stack; spec labels match active scopes. *)
+val with_scope : string -> (unit -> 'a) -> 'a
+
+(** The calling domain's scope stack, innermost first. *)
+val scopes : unit -> string list
+
+(** Install (or clear) the calling domain's cancellation flag — set by
+    the {!Parallel} pool around each task so its watchdog can cancel a
+    cooperative {!stall}. *)
+val set_cancel : bool Atomic.t option -> unit
+
+(** Has the pool watchdog cancelled the calling domain's current
+    task? *)
+val cancel_requested : unit -> bool
+
+(** {2 Sites} *)
+
+(** [hit ?label site] advances every matching spec's counter and
+    returns the kind to inject when one fired.  [None] means proceed
+    normally (the overwhelmingly common case: one list check). *)
+val hit : ?label:string -> string -> kind option
+
+(** [raise_if_armed ?label site] is {!hit} for sites that cannot act on
+    [Corrupt]: [raise]/[corrupt] throw {!Injected}, [stall] spins via
+    {!stall} first. *)
+val raise_if_armed : ?label:string -> string -> unit
+
+(** Spin until {!cancel_requested} or the stall cap (default 1s)
+    expires, then raise {!Injected} with kind [Stall].  Sleeps in 2ms
+    slices, so a watchdog-cancelled stall ends promptly. *)
+val stall : site:string -> unit -> 'a
+
+(** Override the unsupervised-stall give-up cap, in seconds (tests). *)
+val set_stall_cap : float -> unit

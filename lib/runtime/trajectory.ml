@@ -10,11 +10,19 @@
 
 let schema = "uas-bench-trajectory"
 
-(* v2: the "plans" array (ranked planner tables per benchmark). *)
-let version = 2
+(* v2: the "plans" array (ranked planner tables per benchmark).
+   v3: the "incidents" array (faults recovered, cells degraded or
+   skipped during the run) and the "fault_plan" key. *)
+let version = 3
 
 type target = { t_name : string; t_wall_s : float }
 type metric = { m_name : string; m_value : float; m_unit : string }
+
+type incident = {
+  i_site : string;  (** where: "sweep", "plan", "validate", ... *)
+  i_cell : string;  (** which cell: "<benchmark>/<version or candidate>" *)
+  i_message : string;  (** the rendered diagnostic *)
+}
 
 type plan_row = {
   pr_rank : int;  (** 1-based plan order; 0 on skipped candidates *)
@@ -40,10 +48,16 @@ type t = {
   mutable rev_targets : target list;
   mutable rev_metrics : metric list;
   mutable rev_plans : plan list;
+  mutable rev_incidents : incident list;
 }
 
 let make ~interp_tier ~jobs () =
-  { interp_tier; jobs; rev_targets = []; rev_metrics = []; rev_plans = [] }
+  { interp_tier;
+    jobs;
+    rev_targets = [];
+    rev_metrics = [];
+    rev_plans = [];
+    rev_incidents = [] }
 
 let add_target t ~name ~wall_s =
   t.rev_targets <- { t_name = name; t_wall_s = wall_s } :: t.rev_targets
@@ -57,6 +71,10 @@ let add_plan t ~benchmark ~objective rows =
     { pl_benchmark = benchmark; pl_objective = objective; pl_rows = rows }
     :: t.rev_plans
 
+let add_incident t ~site ~cell ~message =
+  t.rev_incidents <-
+    { i_site = site; i_cell = cell; i_message = message } :: t.rev_incidents
+
 (** [time f] runs [f ()] and returns its result with the elapsed
     wall-clock seconds. *)
 let time f =
@@ -67,6 +85,7 @@ let time f =
 let targets t = List.rev t.rev_targets
 let metrics t = List.rev t.rev_metrics
 let plans t = List.rev t.rev_plans
+let incidents t = List.rev t.rev_incidents
 
 let esc = Instrument.json_escape
 
@@ -93,15 +112,25 @@ let to_json t =
       (esc p.pl_benchmark) (esc p.pl_objective)
       (String.concat "," (List.map plan_row_json p.pl_rows))
   in
+  let incident_json (i : incident) =
+    Printf.sprintf "{\"site\":\"%s\",\"cell\":\"%s\",\"message\":\"%s\"}"
+      (esc i.i_site) (esc i.i_cell) (esc i.i_message)
+  in
   let jobs_json =
     match t.jobs with None -> "null" | Some n -> string_of_int n
   in
+  let fault_plan_json =
+    match Fault.plan () with
+    | None -> "null"
+    | Some p -> Printf.sprintf "\"%s\"" (esc p)
+  in
   Printf.sprintf
-    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"targets\":[%s],\"metrics\":[%s],\"plans\":[%s],\"instrumentation\":%s}"
-    (esc schema) version (esc t.interp_tier) jobs_json
+    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"fault_plan\":%s,\"targets\":[%s],\"metrics\":[%s],\"plans\":[%s],\"incidents\":[%s],\"instrumentation\":%s}"
+    (esc schema) version (esc t.interp_tier) jobs_json fault_plan_json
     (String.concat "," (List.map target_json (targets t)))
     (String.concat "," (List.map metric_json (metrics t)))
     (String.concat "," (List.map plan_json (plans t)))
+    (String.concat "," (List.map incident_json (incidents t)))
     (Instrument.to_json ())
 
 let write_file t path =

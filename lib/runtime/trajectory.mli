@@ -4,12 +4,13 @@
     planner tables, the interpreter tier and pool size, and the
     {!Instrument} span/counter breakdown.
 
-    Schema (version 2; no timestamps, so snapshots diff cleanly):
+    Schema (version 3; no timestamps, so snapshots diff cleanly):
     {v
     { "schema": "uas-bench-trajectory",
-      "version": 2,
+      "version": 3,
       "interp_tier": "fast",
       "jobs": null | N,
+      "fault_plan": null | "site:kind:nth,...",
       "targets": [ {"name": "...", "wall_s": s}, ... ],
       "metrics": [ {"name": "...", "value": x, "unit": "..."}, ... ],
       "plans": [ { "benchmark": "...", "objective": "...",
@@ -18,8 +19,16 @@
                               "speedup": x, "ratio": x,
                               "skipped": null | "diagnostic"}, ... ] },
                  ... ],
+      "incidents": [ {"site": "sweep" | "plan" | "validate" | ...,
+                      "cell": "<benchmark>/<version>",
+                      "message": "diagnostic"}, ... ],
       "instrumentation": { "spans": {...}, "counters": {...} } }
-    v} *)
+    v}
+
+    [fault_plan] echoes the armed {!Fault} plan (null on a clean run,
+    so clean snapshots are unchanged by-key from v2 apart from the
+    version bump and the empty [incidents] array).  Incidents record
+    every cell the run degraded or skipped non-fatally. *)
 
 val schema : string
 val version : int
@@ -57,6 +66,15 @@ type plan = {
 (** Record one benchmark's ranked plan table. *)
 val add_plan : t -> benchmark:string -> objective:string -> plan_row list -> unit
 
+(** One non-fatal incident: a cell degraded or skipped during the
+    run. *)
+type incident = { i_site : string; i_cell : string; i_message : string }
+
+(** Record an incident ([site]: which stage — "sweep", "plan",
+    "validate"; [cell]: ["<benchmark>/<version>"]; [message]: the
+    rendered diagnostic). *)
+val add_incident : t -> site:string -> cell:string -> message:string -> unit
+
 (** [time f] runs [f ()], returning its result and the elapsed
     wall-clock seconds. *)
 val time : (unit -> 'a) -> 'a * float
@@ -67,6 +85,7 @@ type metric = { m_name : string; m_value : float; m_unit : string }
 val targets : t -> target list
 val metrics : t -> metric list
 val plans : t -> plan list
+val incidents : t -> incident list
 
 (** The full document, keys in schema order. *)
 val to_json : t -> string

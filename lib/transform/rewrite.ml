@@ -20,6 +20,8 @@ open Uas_ir
 module Cu = Uas_pass.Cu
 module Diag = Uas_pass.Diag
 module Pass = Uas_pass.Pass
+module Fault = Uas_runtime.Fault
+module Instrument = Uas_runtime.Instrument
 module Loop_nest = Uas_analysis.Loop_nest
 module Legality = Uas_analysis.Legality
 module Sset = Stmt.Sset
@@ -492,12 +494,140 @@ let check ?(params = default_params) t cu : Diag.t option =
   | Ok () -> None
   | Error d -> Some d
 
+(* Deterministic semantic perturbation behind the [corrupt] fault kind:
+   shift the first store's index by one (store indices are always
+   integer, so the program stays well-typed); a program without stores
+   gets its first integer assignment bumped instead.  Either way the
+   translation validator sees the probe outputs diverge — or the probe
+   run go stuck on an out-of-bounds store — and degrades the cell. *)
+let corrupt_program (p : Stmt.program) : Stmt.program =
+  let bump e = Expr.Binop (Types.Add, e, Expr.Int 1) in
+  let int_scalar v =
+    List.exists
+      (fun (w, ty) -> String.equal v w && Types.equal_ty ty Types.Tint)
+      (p.Stmt.params @ p.Stmt.locals)
+  in
+  let hit = ref false in
+  let pick_store = List.exists (function Stmt.Store _ -> true | _ -> false) in
+  let rec exists_store ss =
+    pick_store ss
+    || List.exists
+         (function
+           | Stmt.For l -> exists_store l.Stmt.body
+           | Stmt.If (_, th, el) -> exists_store th || exists_store el
+           | Stmt.Assign _ | Stmt.Store _ -> false)
+         ss
+  in
+  let corrupt_stores = exists_store p.Stmt.body in
+  let rec go ss =
+    List.map
+      (fun s ->
+        if !hit then s
+        else
+          match s with
+          | Stmt.Store (a, idx, e) when corrupt_stores ->
+            hit := true;
+            Stmt.Store (a, bump idx, e)
+          | Stmt.Assign (v, e) when (not corrupt_stores) && int_scalar v ->
+            hit := true;
+            Stmt.Assign (v, bump e)
+          | Stmt.For l -> Stmt.For { l with Stmt.body = go l.Stmt.body }
+          | Stmt.If (c, th, el) ->
+            let th = go th in
+            Stmt.If (c, th, go el)
+          | Stmt.Assign _ | Stmt.Store _ -> s)
+      ss
+  in
+  { p with Stmt.body = go p.Stmt.body }
+
 let apply ?(params = default_params) t cu : (Cu.t, Diag.t) result =
   match check ~params t cu with
   | Some d -> Error d
-  | None -> guard t.rw_name cu (fun () -> t.rw_apply params cu)
+  | None ->
+    guard t.rw_name cu (fun () ->
+        match Fault.hit ~label:t.rw_name "rewrite.apply" with
+        | None -> t.rw_apply params cu
+        | Some Fault.Stall -> Fault.stall ~site:"rewrite.apply" ()
+        | Some Fault.Raise ->
+          raise
+            (Fault.Injected { site = "rewrite.apply"; kind = Fault.Raise })
+        | Some Fault.Corrupt ->
+          (* a miscompiling rewrite: succeeds, but the transformed
+             program computes something else — exactly what translation
+             validation exists to catch *)
+          Result.map
+            (fun cu' ->
+              Cu.with_program cu'
+                ~outer_index:(Cu.outer_index cu')
+                ~inner_index:(Cu.inner_index cu')
+                (corrupt_program (Cu.program cu')))
+            (t.rw_apply params cu))
 
-let to_pass ?(params = default_params) t =
-  Pass.v t.rw_name (fun cu -> apply ~params t cu)
+(* ---- translation validation ---- *)
 
-let pass ?target ?factor ?cut n = to_pass ~params:{ target; factor; cut } (get n)
+let validation_fuel = Interp.default_fuel
+
+(* Run both interpreter tiers on the probe; any runtime error is a
+   validation verdict, not an escaping exception. *)
+let probe_runs (p : Stmt.program) probe =
+  match
+    let ref_r = Interp.run ~fuel:validation_fuel p probe in
+    let fast_r =
+      Fast_interp.run ~fuel:validation_fuel (Fast_interp.compile p) probe
+    in
+    (ref_r, fast_r)
+  with
+  | pair -> Ok pair
+  | exception Interp.Stuck m -> Error (Printf.sprintf "probe run stuck: %s" m)
+  | exception Interp.Out_of_fuel -> Error "probe run out of fuel"
+
+let validated_apply ?(params = default_params) ~probe t cu :
+    (Cu.t, Diag.t) result =
+  match apply ~params t cu with
+  | Error _ as e -> e
+  | Ok cu' ->
+    Instrument.span "rewrite.validate" (fun () ->
+        let verdict =
+          match probe_runs (Cu.program cu') probe with
+          | Error m -> Some m
+          | Ok (post_ref, post_fast) -> (
+            (* tier differential: the two interpreters must agree
+               bit-for-bit on the transformed program *)
+            match Interp.diff_results post_ref post_fast with
+            | Some m -> Some (Printf.sprintf "interpreter tiers disagree: %s" m)
+            | None -> (
+              (* semantic preservation: the rewrite must not change
+                 what the program computes (profiles legitimately
+                 change, outputs never) *)
+              match
+                Interp.run ~fuel:validation_fuel (Cu.program cu) probe
+              with
+              | exception Interp.Stuck m ->
+                Some (Printf.sprintf "pre-rewrite probe run stuck: %s" m)
+              | exception Interp.Out_of_fuel ->
+                Some "pre-rewrite probe run out of fuel"
+              | pre_ref -> (
+                match Interp.diff_outputs pre_ref post_ref with
+                | Some m ->
+                  Some (Printf.sprintf "outputs changed by rewrite: %s" m)
+                | None -> None)))
+        in
+        match verdict with
+        | None -> Ok cu'
+        | Some reason ->
+          (* degrade: keep the last-known-good unit and log why *)
+          Instrument.incr "rewrite.validation-failed";
+          let d =
+            Diag.errorf ~pass:t.rw_name ~loop:(Cu.outer_index cu)
+              "validation failed, rewrite not applied: %s" reason
+          in
+          Cu.add_incident cu d;
+          Ok cu)
+
+let to_pass ?(params = default_params) ?validate t =
+  match validate with
+  | None -> Pass.v t.rw_name (fun cu -> apply ~params t cu)
+  | Some probe -> Pass.v t.rw_name (fun cu -> validated_apply ~params ~probe t cu)
+
+let pass ?target ?factor ?cut ?validate n =
+  to_pass ~params:{ target; factor; cut } ?validate (get n)

@@ -62,8 +62,34 @@ val check : ?params:params -> t -> Cu.t -> Diag.t option
 
 (** Apply the rewrite: {!check} first, then transform.  On success the
     unit's kernel indices follow the kernel (squash's fresh steady
-    index, interchange's swap, flattening's collapse). *)
+    index, interchange's swap, flattening's collapse).
+
+    The application runs at the fault-injection site [rewrite.apply]
+    (label: the rewrite name); the [corrupt] kind makes a successful
+    application return a deterministically-miscompiled program — the
+    scenario {!validated_apply} exists to catch. *)
 val apply : ?params:params -> t -> Cu.t -> (Cu.t, Diag.t) result
+
+(** {!apply} followed by translation validation on the [probe]
+    workload: both interpreter tiers run the transformed program and
+    must agree bit-for-bit ([Interp.diff_results]), and the rewrite
+    must preserve the program's outputs ([Interp.diff_outputs] against
+    a pre-rewrite reference run — profiles legitimately change under a
+    rewrite, outputs never).
+
+    On a validation failure — including a probe run going [Stuck] or
+    out of fuel — the rewrite is {e not} applied: the pre-rewrite unit
+    is returned ([Ok], so the pipeline continues on the last-known-good
+    program), the failure is logged on it as a {!Cu.add_incident}
+    diagnostic (which the sweep and planner render as a
+    [degraded:] footer), and [rewrite.validation-failed] is counted.
+    Validation runs under a [rewrite.validate] instrumentation span. *)
+val validated_apply :
+  ?params:params ->
+  probe:Uas_ir.Interp.workload ->
+  t ->
+  Cu.t ->
+  (Cu.t, Diag.t) result
 
 (** {2 Registry} *)
 
@@ -84,10 +110,17 @@ val get : string -> t
 
 (** {2 Pipeline integration} *)
 
-(** The rewrite as a pipeline pass named [rw_name]. *)
-val to_pass : ?params:params -> t -> Pass.t
+(** The rewrite as a pipeline pass named [rw_name].  [validate] makes
+    the pass use {!validated_apply} with the given probe workload. *)
+val to_pass : ?params:params -> ?validate:Uas_ir.Interp.workload -> t -> Pass.t
 
-(** [pass ?target ?factor ?cut name] looks the rewrite up and converts
-    it: [pass ~factor:4 "squash"] is the historical squash pipeline
-    pass.  @raise Invalid_argument on unknown names. *)
-val pass : ?target:string -> ?factor:int -> ?cut:int -> string -> Pass.t
+(** [pass ?target ?factor ?cut ?validate name] looks the rewrite up and
+    converts it: [pass ~factor:4 "squash"] is the historical squash
+    pipeline pass.  @raise Invalid_argument on unknown names. *)
+val pass :
+  ?target:string ->
+  ?factor:int ->
+  ?cut:int ->
+  ?validate:Uas_ir.Interp.workload ->
+  string ->
+  Pass.t

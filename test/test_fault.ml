@@ -1,0 +1,222 @@
+(* Fault-injection integration: an injected fault at any pipeline site
+   surfaces as a structured diagnostic — never an escaping backtrace —
+   translation validation catches a miscompiling (corrupted) rewrite
+   and degrades to the last-known-good program, a verification run
+   gone stuck degrades its cell without aborting the sweep, and a
+   clean run is byte-identical with validation on or off. *)
+
+module Fault = Uas_runtime.Fault
+module Rw = Uas_transform.Rewrite
+module Cu = Uas_pass.Cu
+module Diag = Uas_pass.Diag
+module Pass = Uas_pass.Pass
+module Stages = Uas_pass.Stages
+module E = Uas_core.Experiments
+module N = Uas_core.Nimble
+module R = Uas_bench_suite.Registry
+
+let cu_of p = Cu.make p ~outer_index:"i" ~inner_index:"j"
+
+let arm_or_fail plan =
+  match Fault.arm plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "bad fault plan %S: %s" plan m
+
+let reset () =
+  Fault.clear ();
+  Fault.set_stall_cap 1.0
+
+(* --- satellite (d): nothing escapes Pass.run as a backtrace ---------- *)
+
+(* Every registered rewrite × every fault kind × both pipeline sites:
+   Pass.run returns Ok or a diagnostic that renders — the exception
+   translator in Diag covers every injected fault.  The seed is pinned
+   by QCHECK_SEED in dune, but the property is total over the
+   enumerated space anyway. *)
+let test_injection_never_escapes =
+  let arb =
+    QCheck.make
+      ~print:(fun (n, k, s) -> Printf.sprintf "%s:%s at %s" n k s)
+      QCheck.Gen.(
+        triple
+          (oneofl (Rw.names ()))
+          (oneofl [ "raise"; "stall"; "corrupt" ])
+          (oneofl [ "pass.run"; "rewrite.apply" ]))
+  in
+  QCheck.Test.make ~name:"injected faults never escape Pass.run" ~count:150
+    arb (fun (name, kind, site) ->
+      Fault.set_stall_cap 0.01;
+      arm_or_fail (Printf.sprintf "%s=%s:%s:1" site name kind);
+      let p = Helpers.fg_loop ~m:4 ~n:4 in
+      let passes = [ Stages.analyze; Rw.pass ~factor:2 ~cut:1 name ] in
+      let outcome =
+        try Ok (Pass.run (cu_of p) passes) with e -> Error e
+      in
+      reset ();
+      match outcome with
+      | Error e ->
+        QCheck.Test.fail_reportf "%s:%s at %s escaped Pass.run: %s" name kind
+          site (Printexc.to_string e)
+      | Ok (Ok _) -> true
+      | Ok (Error d) ->
+        (* the diagnostic renders, attributed to a pass *)
+        String.length (Diag.to_string d) > 0
+        && String.length d.Diag.d_pass > 0)
+
+(* The exception translator renders the injected fault by site and
+   kind, for every kind that raises at each site. *)
+let test_injected_fault_renders () =
+  reset ();
+  Fun.protect ~finally:reset (fun () ->
+      Fault.set_stall_cap 0.01;
+      let p = Helpers.fg_loop ~m:4 ~n:4 in
+      List.iter
+        (fun (site, kind) ->
+          arm_or_fail (Printf.sprintf "%s=squash:%s:1" site kind);
+          match
+            Pass.run (cu_of p) [ Stages.analyze; Rw.pass ~factor:2 "squash" ]
+          with
+          | Error d ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s:%s renders as an injected-fault diag" site
+                 kind)
+              true
+              (Helpers.contains
+                 ~sub:(Printf.sprintf "injected fault at site %s" site)
+                 (Diag.to_string d))
+          | Ok _ ->
+            Alcotest.failf "%s:%s did not fire" site kind)
+        [ ("pass.run", "raise"); ("pass.run", "stall");
+          ("pass.run", "corrupt"); ("rewrite.apply", "raise");
+          ("rewrite.apply", "stall") ])
+
+(* --- translation validation ----------------------------------------- *)
+
+(* With no faults armed, validation is invisible: same program as the
+   plain application, no incidents. *)
+let test_validated_apply_clean () =
+  reset ();
+  let p = Helpers.memory_loop ~m:8 ~n:4 in
+  let probe = Helpers.random_workload p in
+  let rw = Rw.get "squash" in
+  let params = { Rw.default_params with Rw.factor = Some 2 } in
+  match
+    ( Rw.apply ~params rw (cu_of p),
+      Rw.validated_apply ~params ~probe rw (cu_of p) )
+  with
+  | Ok plain, Ok validated ->
+    Alcotest.(check string)
+      "same program"
+      (Uas_ir.Pp.program_to_string (Cu.program plain))
+      (Uas_ir.Pp.program_to_string (Cu.program validated));
+    Alcotest.(check int) "no incidents" 0
+      (List.length (Cu.incidents validated))
+  | _ -> Alcotest.fail "squash(2) must apply cleanly on the memory loop"
+
+(* A corrupted application is caught by the probe runs: the rewrite is
+   not applied, the unit degrades to the pre-rewrite program with an
+   incident instead of propagating a miscompiled kernel. *)
+let test_validated_apply_catches_corruption () =
+  reset ();
+  Fun.protect ~finally:reset (fun () ->
+      arm_or_fail "rewrite.apply=squash:corrupt:1";
+      let p = Helpers.memory_loop ~m:8 ~n:4 in
+      let probe = Helpers.random_workload p in
+      let rw = Rw.get "squash" in
+      let params = { Rw.default_params with Rw.factor = Some 2 } in
+      match Rw.validated_apply ~params ~probe rw (cu_of p) with
+      | Error d -> Alcotest.failf "degradation must be Ok: %s" (Diag.to_string d)
+      | Ok cu ->
+        Alcotest.(check string)
+          "degraded to the pre-rewrite program"
+          (Uas_ir.Pp.program_to_string p)
+          (Uas_ir.Pp.program_to_string (Cu.program cu));
+        (match Cu.incidents cu with
+        | [ d ] ->
+          Alcotest.(check bool)
+            "incident names the validation failure" true
+            (Helpers.contains ~sub:"validation failed" (Diag.to_string d))
+        | ds -> Alcotest.failf "expected 1 incident, got %d" (List.length ds)))
+
+(* Without validation the same corruption sails through — the scenario
+   validated_apply exists for. *)
+let test_unvalidated_corruption_propagates () =
+  reset ();
+  Fun.protect ~finally:reset (fun () ->
+      arm_or_fail "rewrite.apply=squash:corrupt:1";
+      let p = Helpers.memory_loop ~m:8 ~n:4 in
+      let rw = Rw.get "squash" in
+      let params = { Rw.default_params with Rw.factor = Some 2 } in
+      match Rw.apply ~params rw (cu_of p) with
+      | Ok cu ->
+        Alcotest.(check bool)
+          "program differs from the honest application" true
+          (not
+             (String.equal
+                (Uas_ir.Pp.program_to_string (Cu.program cu))
+                (let clean =
+                   Result.get_ok
+                     (reset ();
+                      Rw.apply ~params rw (cu_of p))
+                 in
+                 Uas_ir.Pp.program_to_string (Cu.program clean))))
+      | Error d -> Alcotest.failf "corrupt must not reject: %s" (Diag.to_string d))
+
+(* --- satellite (b): a stuck verification run degrades, never aborts -- *)
+
+let iir () =
+  match R.find "iir" with
+  | Some b -> b
+  | None -> Alcotest.fail "IIR benchmark missing"
+
+let test_stuck_verification_degrades_cell () =
+  reset ();
+  Fun.protect ~finally:reset (fun () ->
+      (* the stall kind at the interpreter site exhausts the fuel
+         budget: the verification run raises Out_of_fuel *)
+      arm_or_fail "interp.run:stall:1";
+      let row =
+        E.run_benchmark ~verify:true ~versions:[ N.Original ] ~jobs:1 (iir ())
+      in
+      match row.E.br_cells with
+      | [ c ] ->
+        Alcotest.(check bool) "cell unverified" false c.E.c_verified;
+        Alcotest.(check bool)
+          "incident says out of fuel" true
+          (List.exists
+             (fun d -> Helpers.contains ~sub:"out of fuel" (Diag.to_string d))
+             c.E.c_incidents);
+        let rendered = Fmt.str "%a" E.pp_table_6_2 [ row ] in
+        Alcotest.(check bool)
+          "degraded footer rendered" true
+          (Helpers.contains ~sub:"degraded:" rendered)
+      | cells -> Alcotest.failf "expected 1 cell, got %d" (List.length cells))
+
+(* --- clean runs are byte-identical, validation on or off ------------- *)
+
+let test_validate_off_on_byte_identical () =
+  reset ();
+  let versions = [ N.Original; N.Squashed 2 ] in
+  let render validate =
+    let row =
+      E.run_benchmark ~verify:true ~validate ~versions ~jobs:1 (iir ())
+    in
+    Fmt.str "%a%a" E.pp_table_6_2 [ row ] E.pp_table_6_3 [ row ]
+  in
+  Alcotest.(check string)
+    "identical tables" (render false) (render true)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest test_injection_never_escapes;
+    Alcotest.test_case "injected faults render by site" `Quick
+      test_injected_fault_renders;
+    Alcotest.test_case "validated_apply: clean pass unchanged" `Quick
+      test_validated_apply_clean;
+    Alcotest.test_case "validated_apply: corruption degrades" `Quick
+      test_validated_apply_catches_corruption;
+    Alcotest.test_case "unvalidated corruption propagates" `Quick
+      test_unvalidated_corruption_propagates;
+    Alcotest.test_case "stuck verification degrades the cell" `Quick
+      test_stuck_verification_degrades_cell;
+    Alcotest.test_case "validate on/off byte-identical when clean" `Quick
+      test_validate_off_on_byte_identical ]

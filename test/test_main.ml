@@ -15,6 +15,7 @@ let () =
       ("rewrite", Test_rewrite.suite);
       ("core", Test_core.suite);
       ("runtime", Test_runtime.suite);
+      ("fault", Test_fault.suite);
       ("differential", Test_differential.suite);
       ("fast-interp", Test_fast_interp.suite);
       ("bitwidth", Test_bitwidth.suite);

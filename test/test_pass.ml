@@ -160,7 +160,7 @@ let test_dump_after_dfg_is_dot () =
      N.run_version ~after (simple ()) ~outer_index:"i" ~inner_index:"j"
        N.Pipelined
    with
-  | N.Built _ -> ()
+  | N.Built _ | N.Degraded _ -> ()
   | N.Skipped d -> Alcotest.failf "pipelined on simple skipped: %a" Diag.pp d);
   match !seen_dot with
   | None -> Alcotest.fail "hook never saw a DFG artifact"
@@ -175,7 +175,7 @@ let test_hook_sees_every_pass () =
      N.run_version ~after (simple ()) ~outer_index:"i" ~inner_index:"j"
        (N.Combined (2, 2))
    with
-  | N.Built _ -> ()
+  | N.Built _ | N.Degraded _ -> ()
   | N.Skipped d -> Alcotest.failf "combined skipped: %a" Diag.pp d);
   Alcotest.(check (list string))
     "pass order of the combined pipeline"
@@ -196,7 +196,7 @@ let test_runner_spans () =
          N.run_version (simple ()) ~outer_index:"i" ~inner_index:"j"
            (N.Squashed 2)
        with
-      | N.Built _ -> ()
+      | N.Built _ | N.Degraded _ -> ()
       | N.Skipped d -> Alcotest.failf "squash(2) skipped: %a" Diag.pp d);
       let spans = List.map fst (Instrument.spans ()) in
       List.iter

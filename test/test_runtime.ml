@@ -4,6 +4,7 @@
 
 module Parallel = Uas_runtime.Parallel
 module Instrument = Uas_runtime.Instrument
+module Fault = Uas_runtime.Fault
 module Cli = Uas_core.Cli
 
 let contains ~affix s =
@@ -58,6 +59,21 @@ let test_map_reraises_first_input_failure () =
           3 n)
     [ 1; 4 ]
 
+let test_map_failure_still_completes_rest () =
+  (* a failing task never cancels its siblings: the pool drains *)
+  let completed = Atomic.make 0 in
+  let f x =
+    if x = 0 then failwith "first"
+    else begin
+      Atomic.incr completed;
+      x
+    end
+  in
+  (match Parallel.map ~jobs:4 f (List.init 8 Fun.id) with
+  | _ -> Alcotest.fail "expected the failure to re-raise"
+  | exception Failure m -> Alcotest.(check string) "earliest failure" "first" m);
+  Alcotest.(check int) "remaining tasks completed" 7 (Atomic.get completed)
+
 let test_map_reduce () =
   let total =
     Parallel.map_reduce ~jobs:4 ~map:Fun.id ~reduce:( + ) ~init:0
@@ -84,6 +100,185 @@ let test_default_jobs_env () =
   | exception Invalid_argument _ -> ());
   (* leave a sane value behind for any later default-jobs caller *)
   Unix.putenv Parallel.jobs_env_var "2"
+
+let test_default_jobs_result () =
+  Unix.putenv Parallel.jobs_env_var "3";
+  (match Parallel.default_jobs_result () with
+  | Ok n -> Alcotest.(check int) "UAS_JOBS=3" 3 n
+  | Error m -> Alcotest.failf "unexpected error %s" m);
+  Unix.putenv Parallel.jobs_env_var "zero";
+  (match Parallel.default_jobs_result () with
+  | Ok _ -> Alcotest.fail "malformed UAS_JOBS accepted"
+  | Error m ->
+    Alcotest.(check bool) "message names the value" true
+      (contains ~affix:"zero" m));
+  Unix.putenv Parallel.jobs_env_var "2"
+
+(* --- the supervised pool --- *)
+
+let arm_or_fail plan =
+  match Fault.arm plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "bad fault plan %S: %s" plan m
+
+let test_map_results_per_cell () =
+  let f x = if x = 3 then raise (Boom x) else x * 2 in
+  List.iter
+    (fun jobs ->
+      let rs = Parallel.map_results ~jobs f (List.init 6 Fun.id) in
+      Alcotest.(check int) "one result per input" 6 (List.length rs);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok y ->
+            (* the failure stayed in its own cell: every other task
+               still completed *)
+            Alcotest.(check bool)
+              (Printf.sprintf "input %d succeeded (jobs=%d)" i jobs)
+              true (i <> 3);
+            Alcotest.(check int) "value" (i * 2) y
+          | Error (Parallel.Task_failure.Raised { exn = Boom n; attempts; _ })
+            ->
+            Alcotest.(check int) "the failing input" 3 i;
+            Alcotest.(check int) "its payload" 3 n;
+            Alcotest.(check int) "single attempt without retries" 1 attempts
+          | Error tf ->
+            Alcotest.failf "unexpected failure: %s"
+              (Parallel.Task_failure.to_message tf))
+        rs)
+    [ 1; 4 ]
+
+(* A stalled task is marked Timed_out by the watchdog and its slot
+   resolved, so the pool drains — at any size, including a single
+   worker. *)
+let test_map_results_timeout_drains () =
+  Fault.clear ();
+  Fault.set_stall_cap 10.0 (* far past the budget: the watchdog must act *);
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Fault.set_stall_cap 1.0)
+    (fun () ->
+      List.iter
+        (fun jobs ->
+          arm_or_fail "parallel.task=2:stall:1";
+          let rs =
+            Parallel.map_results ~jobs ~timeout_s:0.1 succ (List.init 5 Fun.id)
+          in
+          Fault.clear ();
+          List.iteri
+            (fun i r ->
+              match r with
+              | Ok y ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "only input 2 times out (jobs=%d)" jobs)
+                  true (i <> 2);
+                Alcotest.(check int) "value" (i + 1) y
+              | Error (Parallel.Task_failure.Timed_out { budget_s; _ }) ->
+                Alcotest.(check int) "the stalled input" 2 i;
+                Alcotest.(check (float 1e-9)) "budget recorded" 0.1 budget_s
+              | Error tf ->
+                Alcotest.failf "unexpected failure: %s"
+                  (Parallel.Task_failure.to_message tf))
+            rs)
+        [ 1; 4 ])
+
+(* An injected fault is retryable: with a retry budget the task
+   succeeds on its second attempt (the spec fires exactly once) and the
+   retry is counted. *)
+let test_map_results_retries_injected () =
+  Fault.clear ();
+  Instrument.set_enabled true;
+  Instrument.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Instrument.reset ();
+      Instrument.set_enabled false)
+    (fun () ->
+      arm_or_fail "parallel.task=1:raise:1";
+      let rs =
+        Parallel.map_results ~jobs:2 ~retries:1 ~retry_backoff_s:0.001 succ
+          (List.init 4 Fun.id)
+      in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok y -> Alcotest.(check int) "value" (i + 1) y
+          | Error tf ->
+            Alcotest.failf "input %d not retried: %s" i
+              (Parallel.Task_failure.to_message tf))
+        rs;
+      match List.assoc_opt "pool.retries" (Instrument.counters ()) with
+      | Some n -> Alcotest.(check int) "one retry recorded" 1 n
+      | None -> Alcotest.fail "pool.retries not counted")
+
+(* Without a retry budget the injected fault surfaces as that cell's
+   Raised failure, attempts = 1. *)
+let test_map_results_injected_not_retried () =
+  Fault.clear ();
+  Fun.protect ~finally:Fault.clear (fun () ->
+      arm_or_fail "parallel.task=1:raise:1";
+      let rs = Parallel.map_results ~jobs:2 succ (List.init 4 Fun.id) in
+      match List.nth rs 1 with
+      | Error (Parallel.Task_failure.Raised { exn; attempts; _ }) ->
+        Alcotest.(check bool) "injected" true (Fault.is_injected exn);
+        Alcotest.(check int) "no retries" 1 attempts
+      | Ok _ -> Alcotest.fail "expected the injected failure"
+      | Error tf ->
+        Alcotest.failf "unexpected failure: %s"
+          (Parallel.Task_failure.to_message tf))
+
+(* --- the fault registry --- *)
+
+let test_fault_grammar () =
+  Fault.clear ();
+  List.iter
+    (fun bad ->
+      match Fault.arm bad with
+      | Ok () -> Alcotest.failf "accepted malformed plan %S" bad
+      | Error _ -> ())
+    [ ""; "nonsense"; "pass.run:raise"; "pass.run:explode:1";
+      "pass.run:raise:0"; "pass.run:raise:x"; ":raise:1" ];
+  Alcotest.(check bool) "nothing armed after failures" false (Fault.active ());
+  arm_or_fail "pass.run:raise:2,rewrite.apply:corrupt:1";
+  Alcotest.(check bool) "armed" true (Fault.active ());
+  Alcotest.(check (option string))
+    "plan echoed" (Some "pass.run:raise:2,rewrite.apply:corrupt:1")
+    (Fault.plan ());
+  Fault.clear ();
+  Alcotest.(check bool) "cleared" false (Fault.active ());
+  Alcotest.(check (option string)) "no plan" None (Fault.plan ())
+
+let test_fault_nth_counting () =
+  Fault.clear ();
+  Fun.protect ~finally:Fault.clear (fun () ->
+      arm_or_fail "pass.run:raise:2";
+      Alcotest.(check bool) "1st hit clean" true (Fault.hit "pass.run" = None);
+      (match Fault.hit "pass.run" with
+      | Some Fault.Raise -> ()
+      | _ -> Alcotest.fail "2nd hit must fire");
+      Alcotest.(check bool) "3rd hit clean (fires exactly once)" true
+        (Fault.hit "pass.run" = None);
+      Alcotest.(check bool) "other site never matches" true
+        (Fault.hit "rewrite.apply" = None))
+
+let test_fault_label_and_scope () =
+  Fault.clear ();
+  Fun.protect ~finally:Fault.clear (fun () ->
+      arm_or_fail "rewrite.apply=squash:raise:1";
+      Alcotest.(check bool) "other label no match" true
+        (Fault.hit ~label:"jam" "rewrite.apply" = None);
+      Alcotest.(check bool) "unlabelled hit no match" true
+        (Fault.hit "rewrite.apply" = None);
+      (* a scope frame carries the label to unlabelled hits inside it,
+         which is how a spec lands on one (benchmark, version) cell *)
+      (match
+         Fault.with_scope "squash" (fun () -> Fault.hit "rewrite.apply")
+       with
+      | Some Fault.Raise -> ()
+      | _ -> Alcotest.fail "scope label must match");
+      Alcotest.(check (list string)) "scope popped" [] (Fault.scopes ()))
 
 (* --- Instrument --- *)
 
@@ -176,6 +371,10 @@ let defaults =
     o_timings = false;
     o_interp = None;
     o_json = None;
+    o_validate = false;
+    o_task_timeout = None;
+    o_retries = None;
+    o_fault = None;
     o_targets = [] }
 
 let test_cli_parse () =
@@ -218,6 +417,24 @@ let test_cli_rejects_bad_jobs () =
   ignore (check_error "-j 0" [ "-j"; "0" ]);
   ignore (check_error "-j noise" [ "-j"; "lots" ])
 
+let test_cli_parse_fault_flags () =
+  check_ok "--validate off" [ "--validate"; "off" ] defaults;
+  check_ok "--validate probe" [ "--validate"; "probe" ]
+    { defaults with Cli.o_validate = true };
+  check_ok "--task-timeout" [ "--task-timeout"; "2.5" ]
+    { defaults with Cli.o_task_timeout = Some 2.5 };
+  check_ok "--retries" [ "--retries"; "3" ]
+    { defaults with Cli.o_retries = Some 3 };
+  check_ok "--fault"
+    [ "--fault"; "pass.run:raise:1" ]
+    { defaults with Cli.o_fault = Some "pass.run:raise:1" };
+  ignore (check_error "--validate junk" [ "--validate"; "maybe" ]);
+  ignore (check_error "--validate without value" [ "--validate" ]);
+  ignore (check_error "--task-timeout 0" [ "--task-timeout"; "0" ]);
+  ignore (check_error "--task-timeout noise" [ "--task-timeout"; "soon" ]);
+  ignore (check_error "--retries -1" [ "--retries"; "-1" ]);
+  ignore (check_error "--fault without value" [ "--fault" ])
+
 let suite =
   [ Alcotest.test_case "Parallel.map = List.map" `Quick
       test_map_matches_sequential;
@@ -227,8 +444,23 @@ let suite =
       test_map_preserves_order_under_skew;
     Alcotest.test_case "Parallel.map re-raises first failure" `Quick
       test_map_reraises_first_input_failure;
+    Alcotest.test_case "Parallel.map failure drains siblings" `Quick
+      test_map_failure_still_completes_rest;
     Alcotest.test_case "Parallel.map_reduce" `Quick test_map_reduce;
     Alcotest.test_case "UAS_JOBS parsing" `Quick test_default_jobs_env;
+    Alcotest.test_case "UAS_JOBS result API" `Quick test_default_jobs_result;
+    Alcotest.test_case "map_results per-cell outcomes" `Quick
+      test_map_results_per_cell;
+    Alcotest.test_case "map_results timeout drains the pool" `Quick
+      test_map_results_timeout_drains;
+    Alcotest.test_case "map_results retries injected faults" `Quick
+      test_map_results_retries_injected;
+    Alcotest.test_case "map_results injected fault is per-cell" `Quick
+      test_map_results_injected_not_retried;
+    Alcotest.test_case "Fault plan grammar" `Quick test_fault_grammar;
+    Alcotest.test_case "Fault nth counting" `Quick test_fault_nth_counting;
+    Alcotest.test_case "Fault labels and scopes" `Quick
+      test_fault_label_and_scope;
     Alcotest.test_case "Instrument disabled = no-op" `Quick
       test_instrument_disabled_is_noop;
     Alcotest.test_case "Instrument records spans/counters" `Quick
@@ -240,4 +472,6 @@ let suite =
       test_cli_parse_interp_json;
     Alcotest.test_case "bench CLI: unknown target" `Quick
       test_cli_rejects_unknown_target;
-    Alcotest.test_case "bench CLI: bad -j" `Quick test_cli_rejects_bad_jobs ]
+    Alcotest.test_case "bench CLI: bad -j" `Quick test_cli_rejects_bad_jobs;
+    Alcotest.test_case "bench CLI: fault-tolerance flags" `Quick
+      test_cli_parse_fault_flags ]
