@@ -15,6 +15,8 @@
           --interp ref|fast (interpreter tier for verification/profiling),
           --json FILE (write the perf-trajectory document there),
           --validate off|probe (translation-validate every rewrite),
+          --exact-ii off|check|report (second II oracle: validate the
+          heuristic schedules, or also certify the optimal II per cell),
           --task-timeout SECS / --retries N (pool supervision),
           --fault PLAN (arm the fault-injection registry; testing) *)
 
@@ -36,6 +38,9 @@ let jobs : int option ref = ref None
 let validate : bool ref = ref false
 let task_timeout : float option ref = ref None
 let retries : int option ref = ref None
+
+(* --exact-ii off|check|report: the second II oracle per sweep cell *)
+let exact : Uas_dfg.Sched.exact_mode ref = ref Uas_dfg.Sched.Exact_off
 
 (* the perf-trajectory document of this run (--json); microbenchmarks
    record their estimates here as named metrics *)
@@ -62,7 +67,7 @@ let rows () =
   | Some r -> r
   | None ->
     let r =
-      E.table_6_2 ~verify:true ~validate:!validate ?jobs:!jobs
+      E.table_6_2 ~verify:true ~validate:!validate ~exact:!exact ?jobs:!jobs
         ?timeout_s:!task_timeout ?retries:!retries ()
     in
     rows_cache := Some r;
@@ -71,6 +76,24 @@ let rows () =
         let bench = row.E.br_benchmark.S.Registry.b_name in
         List.iter
           (fun (c : E.cell) ->
+            (match (!trajectory, c.E.c_gap) with
+            | Some t, Some (hii, e) ->
+              let module Sched = Uas_dfg.Sched in
+              let optimal =
+                match (e.Sched.e_status, e.Sched.e_schedule) with
+                | Sched.Exact_optimal, Some w -> Some w.Sched.s_ii
+                | _ -> None
+              in
+              Trajectory.add_gap t
+                { Trajectory.g_benchmark = bench;
+                  g_version = N.version_name c.E.c_version;
+                  g_heuristic_ii = hii;
+                  g_optimal_ii = optimal;
+                  g_proved_ii = e.Sched.e_proved;
+                  g_gap = Option.map (fun o -> hii - o) optimal;
+                  g_status = Sched.exact_status_name e.Sched.e_status;
+                  g_expansions = e.Sched.e_expansions }
+            | _ -> ());
             List.iter
               (fun d ->
                 incident ~site:"sweep"
@@ -398,8 +421,8 @@ let plan_target () =
         if !validate then Some b.S.Registry.b_workload else None
       in
       let plan =
-        P.plan ?jobs:!jobs ?validate:probe ?timeout_s:!task_timeout
-          ?retries:!retries b.S.Registry.b_program
+        P.plan ?jobs:!jobs ?validate:probe ~exact:!exact
+          ?timeout_s:!task_timeout ?retries:!retries b.S.Registry.b_program
           ~outer_index:b.S.Registry.b_outer_index
           ~inner_index:b.S.Registry.b_inner_index
           ~benchmark:b.S.Registry.b_name
@@ -555,6 +578,7 @@ let () =
         exit 1));
     jobs := o.Uas_core.Cli.o_jobs;
     validate := o.Uas_core.Cli.o_validate;
+    exact := o.Uas_core.Cli.o_exact;
     task_timeout := o.Uas_core.Cli.o_task_timeout;
     retries := o.Uas_core.Cli.o_retries;
     (match o.Uas_core.Cli.o_interp with

@@ -166,6 +166,24 @@ let validate_arg =
            rewrite degrades its cell to the last-known-good program \
            instead of propagating a wrong one)")
 
+let exact_arg =
+  let mode_conv =
+    Arg.enum
+      [ ("off", Uas_dfg.Sched.Exact_off);
+        ("check", Uas_dfg.Sched.Exact_check);
+        ("report", Uas_dfg.Sched.Exact_report) ]
+  in
+  Arg.(
+    value
+    & opt mode_conv Uas_dfg.Sched.Exact_off
+    & info [ "exact-ii" ] ~docv:"MODE"
+        ~doc:
+          "Second II oracle per cell: $(b,off) (the default), \
+           $(b,check) (validate every heuristic schedule against the \
+           raw constraint system), or $(b,report) (also certify the \
+           optimal II of pipelined cells by exact branch-and-bound and \
+           footnote the heuristic-vs-optimal gap)")
+
 let task_timeout_arg =
   Arg.(
     value
@@ -261,7 +279,7 @@ let show_cmd =
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run name verify jobs timings dump_after interp validate timeout_s
+  let run name verify jobs timings dump_after interp validate exact timeout_s
       retries fault =
     set_interp interp;
     check_supervision timeout_s retries;
@@ -272,7 +290,8 @@ let estimate_cmd =
     (* dumping from pool domains would interleave: force sequential *)
     let jobs = if Option.is_some after then Some 1 else jobs in
     let row =
-      E.run_benchmark ~verify ~validate ?jobs ?timeout_s ?retries ?after b
+      E.run_benchmark ~verify ~validate ~exact ?jobs ?timeout_s ?retries
+        ?after b
     in
     Fmt.pr "%a@." E.pp_table_6_2 [ row ];
     Fmt.pr "%a@." E.pp_table_6_3 [ row ];
@@ -290,8 +309,8 @@ let estimate_cmd =
        ~doc:"Estimate all paper versions of a benchmark (Table 6.2/6.3 rows)")
     Term.(
       const run $ bench_arg $ verify $ jobs_arg $ timings_arg
-      $ dump_after_arg $ interp_arg $ validate_arg $ task_timeout_arg
-      $ retries_arg $ fault_arg)
+      $ dump_after_arg $ interp_arg $ validate_arg $ exact_arg
+      $ task_timeout_arg $ retries_arg $ fault_arg)
 
 (* --- run --- *)
 
@@ -450,22 +469,22 @@ let objective_arg =
            $(b,area) (area rows), or $(b,ratio) (speedup per area, the \
            Figure 6.3 efficiency metric; the default)")
 
-let plan_benchmark ?jobs ?(validate = false) ?timeout_s ?retries ~objective
-    (b : S.Registry.benchmark) =
+let plan_benchmark ?jobs ?(validate = false) ?exact ?timeout_s ?retries
+    ~objective (b : S.Registry.benchmark) =
   let probe = if validate then Some b.S.Registry.b_workload else None in
   let plan =
-    P.plan ?jobs ~objective ?validate:probe ?timeout_s ?retries
+    P.plan ?jobs ~objective ?validate:probe ?exact ?timeout_s ?retries
       b.S.Registry.b_program ~outer_index:b.S.Registry.b_outer_index
       ~inner_index:b.S.Registry.b_inner_index ~benchmark:b.S.Registry.b_name
   in
   Fmt.pr "%a@." P.pp plan
 
 let plan_cmd =
-  let run name objective jobs validate timeout_s retries fault =
+  let run name objective jobs validate exact timeout_s retries fault =
     check_supervision timeout_s retries;
     arm_fault fault;
     let plan_one =
-      plan_benchmark ?jobs ~validate ?timeout_s ?retries ~objective
+      plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective
     in
     match name with
     | Some name -> plan_one (find_benchmark name)
@@ -480,7 +499,7 @@ let plan_cmd =
              (all benchmarks when none is named)")
     Term.(
       const run $ bench_opt $ objective_arg $ jobs_arg $ validate_arg
-      $ task_timeout_arg $ retries_arg $ fault_arg)
+      $ exact_arg $ task_timeout_arg $ retries_arg $ fault_arg)
 
 (* --- profile --- *)
 
@@ -501,12 +520,12 @@ let profile_cmd =
 (* `nimblec --plan` at the top level plans every registry benchmark —
    the one-shot planner entry; without it, the group prints its help. *)
 let default_term =
-  let run plan_flag objective jobs validate timeout_s retries fault =
+  let run plan_flag objective jobs validate exact timeout_s retries fault =
     if plan_flag then begin
       check_supervision timeout_s retries;
       arm_fault fault;
       List.iter
-        (plan_benchmark ?jobs ~validate ?timeout_s ?retries ~objective)
+        (plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective)
         (S.Registry.all ());
       `Ok ()
     end
@@ -522,7 +541,7 @@ let default_term =
   Term.(
     ret
       (const run $ plan_flag $ objective_arg $ jobs_arg $ validate_arg
-      $ task_timeout_arg $ retries_arg $ fault_arg))
+      $ exact_arg $ task_timeout_arg $ retries_arg $ fault_arg))
 
 let () =
   (* a malformed UAS_JOBS or UAS_FAULT is a diagnostic up front, not an

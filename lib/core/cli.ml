@@ -1,4 +1,5 @@
 module Fast_interp = Uas_ir.Fast_interp
+module Sched = Uas_dfg.Sched
 
 type options = {
   o_jobs : int option;
@@ -6,6 +7,7 @@ type options = {
   o_interp : Fast_interp.tier option;
   o_json : string option;
   o_validate : bool;
+  o_exact : Sched.exact_mode;
   o_task_timeout : float option;
   o_retries : int option;
   o_fault : string option;
@@ -42,6 +44,16 @@ let parse ~available args =
       | "probe" :: rest' -> go { acc with o_validate = true } rest'
       | m :: _ -> Error (Printf.sprintf "--validate expects off or probe, got %s" m)
       | [] -> Error "--validate expects off or probe")
+    | "--exact-ii" :: rest -> (
+      match rest with
+      | m :: rest' -> (
+        match Sched.exact_mode_of_string m with
+        | Some mode -> go { acc with o_exact = mode } rest'
+        | None ->
+          Error
+            (Printf.sprintf "--exact-ii expects off, check or report, got %s"
+               m))
+      | [] -> Error "--exact-ii expects off, check or report")
     | "--task-timeout" :: rest -> (
       match rest with
       | s :: rest' -> (
@@ -79,6 +91,7 @@ let parse ~available args =
       o_interp = None;
       o_json = None;
       o_validate = false;
+      o_exact = Sched.Exact_off;
       o_task_timeout = None;
       o_retries = None;
       o_fault = None;

@@ -16,6 +16,10 @@ type options = {
   o_validate : bool;
       (** [--validate off|probe]: translation-validate every rewrite on
           the benchmark workload (default off) *)
+  o_exact : Uas_dfg.Sched.exact_mode;
+      (** [--exact-ii off|check|report]: run the second II oracle per
+          cell — validate heuristic schedules ([check]) or also certify
+          the optimal II and report the gap ([report]); default off *)
   o_task_timeout : float option;
       (** [--task-timeout SECS]: per-task wall budget for the pool *)
   o_retries : int option;
@@ -31,7 +35,8 @@ type options = {
     member of [available]; the first unknown one yields [Error] with a
     message naming it and listing the valid targets.  [-j] requires a
     positive integer, [--interp] one of [ref]/[fast], [--json] a file
-    name, [--validate] one of [off]/[probe], [--task-timeout] positive
-    seconds, [--retries] a non-negative integer, [--fault] a plan
-    string (validated when armed, not here). *)
+    name, [--validate] one of [off]/[probe], [--exact-ii] one of
+    [off]/[check]/[report], [--task-timeout] positive seconds,
+    [--retries] a non-negative integer, [--fault] a plan string
+    (validated when armed, not here). *)
 val parse : available:string list -> string list -> (options, string) result

@@ -14,11 +14,16 @@ module Fault = Uas_runtime.Fault
 module Fast_interp = Uas_ir.Fast_interp
 module Cu = Uas_pass.Cu
 module Diag = Uas_pass.Diag
+module Sched = Uas_dfg.Sched
 
 type cell = {
   c_version : Nimble.version;
   c_report : Estimate.report;
   c_verified : bool;  (** outputs match the host reference *)
+  c_gap : (int * Sched.exact) option;
+      (** with [--exact-ii report] on a pipelined version: the
+          heuristic II next to the exact oracle's verdict — rendered as
+          [gap:] table footers *)
   c_incidents : Diag.t list;
       (** non-fatal trouble the cell degraded around: rewrites rejected
           by translation validation, verification runs that went stuck
@@ -60,18 +65,26 @@ let tier_label = function Fast_interp.Ref -> "ref" | Fast -> "fast"
    out of fuel, an injected interpreter fault, outputs differing from
    the host reference — marks the cell unverified with an incident; it
    never aborts the sweep. *)
-let build_cell ?after ?(validate = false) ~target ~verify ~tier
-    (b : Registry.benchmark) (v : Nimble.version) : (cell, skip) result =
+let build_cell ?after ?(validate = false) ?(exact = Sched.Exact_off) ~target
+    ~verify ~tier (b : Registry.benchmark) (v : Nimble.version) :
+    (cell, skip) result =
   Fault.with_scope (b.Registry.b_name ^ "/" ^ Nimble.version_name v)
   @@ fun () ->
   let probe = if validate then Some b.Registry.b_workload else None in
   match
-    Nimble.run_version_cu ~target ?after ?validate:probe b.Registry.b_program
-      ~outer_index:b.Registry.b_outer_index
+    Nimble.run_version_cu ~target ?after ?validate:probe ~exact
+      b.Registry.b_program ~outer_index:b.Registry.b_outer_index
       ~inner_index:b.Registry.b_inner_index v
   with
   | Error d -> Error { s_version = v; s_diag = d }
   | Ok (cu, built, report) ->
+    let gap =
+      if exact = Sched.Exact_report && Nimble.pipelined v then
+        match (Cu.schedule cu, Cu.exact cu) with
+        | Some s, Some e -> Some (s.Sched.s_ii, e)
+        | _ -> None
+      else None
+    in
     let incidents = ref (Cu.incidents cu) in
     let incident fmt =
       Fmt.kstr
@@ -126,6 +139,7 @@ let build_cell ?after ?(validate = false) ~target ~verify ~tier
       { c_version = v;
         c_report = report;
         c_verified = verified;
+        c_gap = gap;
         c_incidents = !incidents }
 
 let row_of_results b results =
@@ -157,14 +171,14 @@ let skip_of_failure v (tf : Parallel.Task_failure.t) : skip =
     [tier] picks the verification interpreter (default: the
     process-wide {!Fast_interp.default_tier}). *)
 let run_benchmark ?(target = Datapath.default) ?(verify = true) ?tier
-    ?(validate = false) ?(versions = Nimble.paper_versions) ?jobs ?timeout_s
-    ?retries ?after (b : Registry.benchmark) : bench_row =
+    ?(validate = false) ?exact ?(versions = Nimble.paper_versions) ?jobs
+    ?timeout_s ?retries ?after (b : Registry.benchmark) : bench_row =
   let tier =
     match tier with Some t -> t | None -> Fast_interp.default_tier ()
   in
   row_of_results b
     (Parallel.map_results ?jobs ?timeout_s ?retries
-       (build_cell ?after ~validate ~target ~verify ~tier b)
+       (build_cell ?after ~validate ?exact ~target ~verify ~tier b)
        versions
     |> List.map2
          (fun v -> function
@@ -176,7 +190,7 @@ let run_benchmark ?(target = Datapath.default) ?(verify = true) ?tier
     pool fan-out, so the hot path scales with the core count instead of
     running strictly sequentially. *)
 let table_6_2 ?(target = Datapath.default) ?(verify = true) ?tier
-    ?(validate = false) ?jobs ?timeout_s ?retries () : bench_row list =
+    ?(validate = false) ?exact ?jobs ?timeout_s ?retries () : bench_row list =
   let tier =
     match tier with Some t -> t | None -> Fast_interp.default_tier ()
   in
@@ -187,7 +201,7 @@ let table_6_2 ?(target = Datapath.default) ?(verify = true) ?tier
   in
   let cells =
     Parallel.map_results ?jobs ?timeout_s ?retries
-      (fun (b, v) -> build_cell ~validate ~target ~verify ~tier b v)
+      (fun (b, v) -> build_cell ~validate ?exact ~target ~verify ~tier b v)
       tasks
     |> List.map2
          (fun (_, v) -> function
@@ -295,6 +309,20 @@ let pp_version ppf v = Fmt.string ppf (Nimble.version_name v)
    per version a pass rejected.  Both empty (and silent) when every
    version built cleanly — the clean table output is byte-identical to
    the pre-fault-tolerance printers. *)
+(* One "gap: <version> — <verdict>" footnote per cell that ran the
+   exact oracle (silent in off/check modes, so the default table output
+   is byte-identical to the pre-oracle printers). *)
+let pp_gaps ppf (cells : cell list) =
+  List.iter
+    (fun c ->
+      match c.c_gap with
+      | None -> ()
+      | Some gap ->
+        Fmt.pf ppf "  gap: %-12s — %a@\n"
+          (Nimble.version_name c.c_version)
+          Sched.pp_gap gap)
+    cells
+
 let pp_degraded ppf (cells : cell list) =
   List.iter
     (fun c ->
@@ -330,6 +358,7 @@ let pp_table_6_2 ppf (rows : bench_row list) =
             r.Estimate.r_mem_refs
             (if c.c_verified then "yes" else "NO"))
         row.br_cells;
+      pp_gaps ppf row.br_cells;
       pp_degraded ppf row.br_cells;
       pp_skipped ppf row.br_skipped)
     rows

@@ -80,6 +80,9 @@ let candidates ?(factors = default_factors) () : candidate list =
 type row = {
   r_candidate : candidate;
   r_outcome : (Estimate.report, Diag.t) result;
+  r_gap : (int * Uas_dfg.Sched.exact) option;
+      (** with [exact = Exact_report] on a pipelined candidate: the
+          heuristic II next to the exact oracle's verdict *)
   r_incidents : Diag.t list;
 }
 
@@ -98,22 +101,35 @@ let rewrite_passes ?validate (c : candidate) : Pass.t list =
       else Rewrite.pass ?validate name)
     c.c_sequence
 
-let run_candidate ?validate ~target (p : Uas_ir.Stmt.program) ~outer_index
-    ~inner_index (c : candidate) : row =
+let run_candidate ?validate ?(exact = Uas_dfg.Sched.Exact_off) ~target
+    (p : Uas_ir.Stmt.program) ~outer_index ~inner_index (c : candidate) : row
+    =
   let cu = Cu.make p ~outer_index ~inner_index in
   let passes =
     (Stages.analyze :: rewrite_passes ?validate c)
     @ [ Stages.dfg_build ~target ();
         Stages.schedule ~target ~pipelined:c.c_pipelined ();
+        Stages.exact_ii ~target ~pipelined:c.c_pipelined ~mode:exact ();
         Stages.estimate ~target ~pipelined:c.c_pipelined ~name:c.c_label () ]
   in
   match Pass.run cu passes with
   | Ok cu -> (
     match Cu.report cu with
     | Some r ->
-      { r_candidate = c; r_outcome = Ok r; r_incidents = Cu.incidents cu }
+      let gap =
+        if exact = Uas_dfg.Sched.Exact_report && c.c_pipelined then
+          match (Cu.schedule cu, Cu.exact cu) with
+          | Some s, Some e -> Some (s.Uas_dfg.Sched.s_ii, e)
+          | _ -> None
+        else None
+      in
+      { r_candidate = c;
+        r_outcome = Ok r;
+        r_gap = gap;
+        r_incidents = Cu.incidents cu }
     | None -> assert false (* the estimate pass always sets the report *))
-  | Error d -> { r_candidate = c; r_outcome = Error d; r_incidents = [] }
+  | Error d ->
+    { r_candidate = c; r_outcome = Error d; r_gap = None; r_incidents = [] }
 
 (* ---- metrics and ranking ---- *)
 
@@ -154,7 +170,7 @@ let rank_key objective ~base (row : row) =
     ["<benchmark>/<label>"], and a task the pool gives up on ranks last
     with a [task] diagnostic instead of aborting the plan. *)
 let plan ?(target = Datapath.default) ?jobs ?(objective = Ratio)
-    ?(factors = default_factors) ?validate ?timeout_s ?retries
+    ?(factors = default_factors) ?validate ?exact ?timeout_s ?retries
     (p : Uas_ir.Stmt.program) ~outer_index ~inner_index ~benchmark : plan =
   let cands = candidates ~factors () in
   let rows =
@@ -162,7 +178,9 @@ let plan ?(target = Datapath.default) ?jobs ?(objective = Ratio)
       (fun c ->
         Fault.with_scope
           (benchmark ^ "/" ^ c.c_label)
-          (fun () -> run_candidate ?validate ~target p ~outer_index ~inner_index c))
+          (fun () ->
+            run_candidate ?validate ?exact ~target p ~outer_index ~inner_index
+              c))
       cands
     |> List.map2
          (fun c -> function
@@ -174,6 +192,7 @@ let plan ?(target = Datapath.default) ?jobs ?(objective = Ratio)
                  Error
                    (Diag.errorf ~pass:"task" "%s"
                       (Parallel.Task_failure.to_message tf));
+               r_gap = None;
                r_incidents = [] })
          cands
   in
@@ -230,6 +249,14 @@ let pp ppf (plan : plan) =
           r.Estimate.r_sched_len r.Estimate.r_area_rows
           r.Estimate.r_total_cycles sp rt
       | Error _ -> ())
+    plan.p_rows;
+  List.iter
+    (fun row ->
+      match row.r_gap with
+      | None -> ()
+      | Some gap ->
+        Fmt.pf ppf "gap: %s — %a@." row.r_candidate.c_label
+          Uas_dfg.Sched.pp_gap gap)
     plan.p_rows;
   List.iter
     (fun row ->

@@ -46,6 +46,28 @@ val kernel_schedule :
   Uas_dfg.Build.detailed ->
   Uas_dfg.Sched.schedule
 
+(** [kernel_schedule] plus the degradation note: [Some message] when
+    the modulo scheduler's effort budget ran out and the
+    non-overlapped fallback was substituted (also counted as
+    [sched.effort-degraded]). *)
+val kernel_schedule_note :
+  ?target:Datapath.t ->
+  ?pipelined:bool ->
+  Uas_dfg.Build.detailed ->
+  Uas_dfg.Sched.schedule * string option
+
+(** The exact second II oracle ({!Uas_dfg.Sched.optimal_schedule})
+    on a kernel DFG, run under a [schedule.exact] instrumentation span;
+    the verdict lands in the [sched.exact.<status>] counters and the
+    branch-and-bound size in [sched.exact.expansions].  [witness]
+    (typically the heuristic schedule) caps the search. *)
+val kernel_exact :
+  ?target:Datapath.t ->
+  ?effort:int ->
+  ?witness:Uas_dfg.Sched.schedule ->
+  Uas_dfg.Build.detailed ->
+  Uas_dfg.Sched.exact
+
 (** Derive the report from a kernel DFG and its schedule.
     @raise Not_a_kernel when the trip counts are dynamic. *)
 val assemble :

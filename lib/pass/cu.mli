@@ -89,6 +89,12 @@ val dfg : t -> Uas_dfg.Build.detailed option
 val set_dfg : t -> Uas_dfg.Build.detailed -> unit
 val schedule : t -> Uas_dfg.Sched.schedule option
 val set_schedule : t -> Uas_dfg.Sched.schedule -> unit
+
+(** The exact-II oracle's verdict ({!Uas_pass.Stages.exact_ii}):
+    memoized like the schedule, invalidated by {!with_program}. *)
+val exact : t -> Uas_dfg.Sched.exact option
+
+val set_exact : t -> Uas_dfg.Sched.exact -> unit
 val report : t -> Uas_hw.Estimate.report option
 val set_report : t -> Uas_hw.Estimate.report -> unit
 

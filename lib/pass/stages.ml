@@ -54,9 +54,25 @@ let ensure_schedule ~target ~pipelined cu =
   match Cu.schedule cu with
   | Some s -> s
   | None ->
-    let s = Estimate.kernel_schedule ~target ~pipelined (ensure_dfg ~target cu) in
+    let s, note =
+      Estimate.kernel_schedule_note ~target ~pipelined (ensure_dfg ~target cu)
+    in
+    (* an exhausted effort budget degrades the cell, it never hangs the
+       sweep: the note becomes a footnoted incident on the unit *)
+    (match note with
+    | Some m -> Cu.add_incident cu (Diag.errorf ~pass:"schedule" "%s" m)
+    | None -> ());
     Cu.set_schedule cu s;
     s
+
+let ensure_exact ~target ~pipelined cu =
+  match Cu.exact cu with
+  | Some e -> e
+  | None ->
+    let witness = ensure_schedule ~target ~pipelined cu in
+    let e = Estimate.kernel_exact ~target ~witness (ensure_dfg ~target cu) in
+    Cu.set_exact cu e;
+    e
 
 let dfg_build ?(target = Datapath.default) () =
   Pass.v "dfg-build" (fun cu ->
@@ -66,6 +82,45 @@ let dfg_build ?(target = Datapath.default) () =
 let schedule ?(target = Datapath.default) ~pipelined () =
   Pass.v "schedule" (fun cu ->
       ignore (ensure_schedule ~target ~pipelined cu);
+      Ok cu)
+
+(* ["exact-ii"]: the second oracle.  In [Exact_check] the heuristic
+   schedule is validated against the raw constraint system; in
+   [Exact_report] the exact backend additionally certifies (or
+   brackets) the optimal II of a pipelined kernel.  An invalid
+   heuristic schedule or a heuristic II below the certified optimum is
+   a soundness incident on the unit — the pass itself never fails, so
+   a sweep always completes with the evidence footnoted. *)
+let exact_ii ?(target = Datapath.default) ~pipelined
+    ~(mode : Uas_dfg.Sched.exact_mode) () =
+  Pass.v "exact-ii" (fun cu ->
+      (match mode with
+      | Uas_dfg.Sched.Exact_off -> ()
+      | Exact_check | Exact_report ->
+        let detail = ensure_dfg ~target cu in
+        let sched = ensure_schedule ~target ~pipelined cu in
+        let cfg = Datapath.sched_config target in
+        (match
+           Uas_dfg.Sched.check_schedule ~cfg detail.Uas_dfg.Build.d_graph
+             sched
+         with
+        | Ok () -> ()
+        | Error msgs ->
+          List.iter
+            (fun m ->
+              Cu.add_incident cu
+                (Diag.errorf ~pass:"exact-ii"
+                   "heuristic schedule invalid: %s" m))
+            msgs);
+        if mode = Exact_report && pipelined then begin
+          let e = ensure_exact ~target ~pipelined cu in
+          if sched.Uas_dfg.Sched.s_ii < e.Uas_dfg.Sched.e_proved then
+            Cu.add_incident cu
+              (Diag.errorf ~pass:"exact-ii"
+                 "SOUNDNESS VIOLATION: heuristic II %d below the exact \
+                  oracle's proven bound %d"
+                 sched.Uas_dfg.Sched.s_ii e.Uas_dfg.Sched.e_proved)
+        end);
       Ok cu)
 
 let estimate ?(target = Datapath.default) ~pipelined ?name () =
@@ -79,4 +134,5 @@ let estimate ?(target = Datapath.default) ~pipelined ?name () =
       Cu.set_report cu report;
       Ok cu)
 
-let names = [ "loop-nest"; "legality"; "dfg-build"; "schedule"; "estimate" ]
+let names =
+  [ "loop-nest"; "legality"; "dfg-build"; "schedule"; "exact-ii"; "estimate" ]

@@ -92,13 +92,31 @@ let test_all_versions_verified () =
         (List.length rows);
       List.iter
         (fun (version, built, _report) ->
-          match
-            S.Registry.check_against_reference b built.N.bv_program
-          with
+          (match
+             S.Registry.check_against_reference b built.N.bv_program
+           with
           | Ok () -> ()
           | Error m ->
             Alcotest.failf "%s %s: %s" b.S.Registry.b_name
-              (N.version_name version) m)
+              (N.version_name version) m);
+          (* and the kernel schedule behind the reported II passes the
+             shared validity checker *)
+          let detail =
+            Uas_hw.Estimate.kernel_detail built.N.bv_program
+              ~index:built.N.bv_kernel_index
+          in
+          let s =
+            Uas_hw.Estimate.kernel_schedule
+              ~pipelined:(N.pipelined version) detail
+          in
+          match
+            Uas_dfg.Sched.check_schedule detail.Uas_dfg.Build.d_graph s
+          with
+          | Ok () -> ()
+          | Error msgs ->
+            Alcotest.failf "%s %s: invalid schedule: %s"
+              b.S.Registry.b_name (N.version_name version)
+              (String.concat "; " msgs))
         rows)
     benches
 

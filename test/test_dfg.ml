@@ -83,6 +83,13 @@ let test_topo_rejects_cycles () =
 
 (* --- scheduling --- *)
 
+(* every schedule a backend produces must pass the shared validity
+   checker (the exact oracle's post-condition) *)
+let assert_valid name g s =
+  match D.Sched.check_schedule g s with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "%s: %s" name (String.concat "; " msgs)
+
 let mem_heavy_body k =
   List.init k (fun t ->
       B.(Printf.sprintf "x%d" t <-- load "a" (v "j" + int t)))
@@ -100,12 +107,14 @@ let test_res_mii () =
     4
     (D.Sched.resource_mii D.Sched.default_config g);
   let s = D.Sched.modulo_schedule g in
-  Alcotest.(check int) "II = ResMII" 4 s.D.Sched.s_ii
+  Alcotest.(check int) "II = ResMII" 4 s.D.Sched.s_ii;
+  assert_valid "res-mii schedule" g s
 
 let test_modulo_port_capacity () =
   (* in any modulo schedule, no slot may exceed the port count *)
   let g, _ = D.Build.build ~inner_index:"j" (mem_heavy_body 9) in
   let s = D.Sched.modulo_schedule g in
+  assert_valid "port-capacity schedule" g s;
   let slots = Array.make s.D.Sched.s_ii 0 in
   Array.iteri
     (fun i t ->
@@ -122,6 +131,7 @@ let test_modulo_port_capacity () =
 let test_modulo_respects_dependences () =
   let g, _ = D.Build.build fg_body in
   let s = D.Sched.modulo_schedule g in
+  assert_valid "fg modulo schedule" g s;
   List.iter
     (fun e ->
       Alcotest.(check bool) "edge satisfied" true
@@ -142,6 +152,8 @@ let test_pipelined_never_slower () =
       let g, _ = D.Build.build ~inner_index:"j" body in
       let l = D.Sched.list_schedule g in
       let m = D.Sched.modulo_schedule g in
+      assert_valid "list schedule" g l;
+      assert_valid "modulo schedule" g m;
       Alcotest.(check bool) "II <= list length" true
         (m.D.Sched.s_ii <= l.D.Sched.s_length))
     [ fg_body; mem_heavy_body 4; mem_heavy_body 8 ]
@@ -190,7 +202,10 @@ let test_qcheck_modulo_sound =
           if Uas_ir.Opinfo.uses_memory_port (D.Graph.node g i).D.Graph.kind
           then slots.(t mod s.D.Sched.s_ii) <- slots.(t mod s.D.Sched.s_ii) + 1)
         s.D.Sched.s_times;
-      deps_ok && Array.for_all (fun u -> u <= 2) slots)
+      deps_ok
+      && Array.for_all (fun u -> u <= 2) slots
+      (* and the shared validity checker agrees with the manual checks *)
+      && D.Sched.check_schedule g s = Ok ())
 
 (* --- stage partitioning --- *)
 

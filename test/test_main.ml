@@ -4,6 +4,7 @@ let () =
       ("parser", Test_parser.suite);
       ("analysis", Test_analysis.suite);
       ("dfg", Test_dfg.suite);
+      ("sched-exact", Test_sched_exact.suite);
       ("squash", Test_squash.suite);
       ("transforms", Test_transforms.suite);
       ("extra-transforms", Test_extra_transforms.suite);

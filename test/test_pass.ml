@@ -179,7 +179,8 @@ let test_hook_sees_every_pass () =
   | N.Skipped d -> Alcotest.failf "combined skipped: %a" Diag.pp d);
   Alcotest.(check (list string))
     "pass order of the combined pipeline"
-    [ "loop-nest"; "jam"; "squash"; "dfg-build"; "schedule"; "estimate" ]
+    [ "loop-nest"; "jam"; "squash"; "dfg-build"; "schedule"; "exact-ii";
+      "estimate" ]
     (List.rev !order)
 
 (* --- instrumentation --- *)

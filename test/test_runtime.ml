@@ -372,6 +372,7 @@ let defaults =
     o_interp = None;
     o_json = None;
     o_validate = false;
+    o_exact = Uas_dfg.Sched.Exact_off;
     o_task_timeout = None;
     o_retries = None;
     o_fault = None;
@@ -428,8 +429,15 @@ let test_cli_parse_fault_flags () =
   check_ok "--fault"
     [ "--fault"; "pass.run:raise:1" ]
     { defaults with Cli.o_fault = Some "pass.run:raise:1" };
+  check_ok "--exact-ii off" [ "--exact-ii"; "off" ] defaults;
+  check_ok "--exact-ii check" [ "--exact-ii"; "check" ]
+    { defaults with Cli.o_exact = Uas_dfg.Sched.Exact_check };
+  check_ok "--exact-ii report" [ "--exact-ii"; "report" ]
+    { defaults with Cli.o_exact = Uas_dfg.Sched.Exact_report };
   ignore (check_error "--validate junk" [ "--validate"; "maybe" ]);
   ignore (check_error "--validate without value" [ "--validate" ]);
+  ignore (check_error "--exact-ii junk" [ "--exact-ii"; "always" ]);
+  ignore (check_error "--exact-ii without value" [ "--exact-ii" ]);
   ignore (check_error "--task-timeout 0" [ "--task-timeout"; "0" ]);
   ignore (check_error "--task-timeout noise" [ "--task-timeout"; "soon" ]);
   ignore (check_error "--retries -1" [ "--retries"; "-1" ]);

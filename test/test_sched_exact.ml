@@ -1,0 +1,290 @@
+(* The exact second II oracle: branch-and-bound certification of the
+   optimal initiation interval, the shared schedule-validity checker
+   all three scheduling backends must satisfy, and the heuristic's
+   optimality gap — including a hand-built nest where the heuristic is
+   provably loose, and the effort-budget degradation paths. *)
+
+open Uas_ir
+module D = Uas_dfg
+module B = Builder
+module Sd = D.Sched
+
+let build body = fst (D.Build.build ~inner_index:"j" body)
+
+let check_ok name g s =
+  match Sd.check_schedule g s with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "%s: %s" name (String.concat "; " msgs)
+
+let check_rejected name g s =
+  match Sd.check_schedule g s with
+  | Ok () -> Alcotest.failf "%s: invalid schedule accepted" name
+  | Error _ -> ()
+
+(* the classic a -> b -> a recurrence: RecMII 4, every edge of the
+   cycle tight at II 4 *)
+let fg_body =
+  [ B.("b" <-- band (v "a" + int 3) (int 255));
+    B.("a" <-- bxor (v "b" + v "b") (int 21)) ]
+
+(* k loads + 1 store on two ports: ResMII = ceil((k+1)/2) *)
+let mem_heavy_body k =
+  List.init k (fun t ->
+      B.(Printf.sprintf "x%d" t <-- load "a" (v "j" + int t)))
+  @ [ B.store "o" (B.v "j")
+        (List.fold_left
+           (fun acc t -> B.(acc + v (Printf.sprintf "x%d" t)))
+           (B.int 0)
+           (List.init k (fun t -> t))) ]
+
+(* k jammed copies of a distance-1 memory recurrence (w[j] from
+   w[j-1]): RecMII 5 per copy, 2k memory ops.  At k = 5 the ports are
+   exactly saturated at the recurrence bound and the iterative
+   heuristic provably leaves a gap: it settles at II 6 where the exact
+   oracle certifies a witness at the lower bound 5. *)
+let jam_rec k =
+  List.concat
+    (List.init k (fun c ->
+         let x = Printf.sprintf "x%d" c in
+         let w = Printf.sprintf "w%d" c in
+         [ B.(x <-- load w (v "j" - int 1));
+           B.(x <-- band (v x + int 3) (int 255));
+           B.store w (B.v "j") (B.v x) ]))
+
+let bodies =
+  [ ("fg", fg_body);
+    ("mem-heavy 4", mem_heavy_body 4);
+    ("mem-heavy 9", mem_heavy_body 9);
+    ("jam-rec 3", jam_rec 3);
+    ("jam-rec 5", jam_rec 5) ]
+
+(* --- the validity checker accepts what the backends produce --- *)
+
+let test_check_accepts_backends () =
+  List.iter
+    (fun (name, body) ->
+      let g = build body in
+      check_ok (name ^ " list") g (Sd.list_schedule g);
+      check_ok (name ^ " modulo") g (Sd.modulo_schedule g))
+    bodies
+
+(* --- the exact oracle certifies, and brackets the heuristic --- *)
+
+let test_exact_certifies () =
+  List.iter
+    (fun (name, body) ->
+      let g = build body in
+      let h = Sd.modulo_schedule g in
+      let e = Sd.optimal_schedule ~witness:h g in
+      (match e.Sd.e_status with
+      | Sd.Exact_optimal -> ()
+      | s -> Alcotest.failf "%s: not certified (%s)" name (Sd.exact_status_name s));
+      match e.Sd.e_schedule with
+      | None -> Alcotest.failf "%s: certified but no witness" name
+      | Some w ->
+        check_ok (name ^ " exact witness") g w;
+        let lb = Sd.min_ii Sd.default_config g in
+        Alcotest.(check bool)
+          (name ^ " min_ii <= optimal") true
+          (lb <= w.Sd.s_ii);
+        Alcotest.(check bool)
+          (name ^ " optimal <= heuristic") true
+          (w.Sd.s_ii <= h.Sd.s_ii);
+        Alcotest.(check int)
+          (name ^ " proved = optimal") w.Sd.s_ii e.Sd.e_proved)
+    bodies
+
+let test_hand_built_loose () =
+  (* the jam-rec 5 nest: the heuristic settles one slot above the
+     certified optimum, so the reported gap is exactly 1 *)
+  let g = build (jam_rec 5) in
+  Alcotest.(check int) "lower bound" 5 (Sd.min_ii Sd.default_config g);
+  let h = Sd.modulo_schedule g in
+  Alcotest.(check int) "heuristic II" 6 h.Sd.s_ii;
+  let e = Sd.optimal_schedule ~witness:h g in
+  (match (e.Sd.e_status, e.Sd.e_schedule) with
+  | Sd.Exact_optimal, Some w ->
+    Alcotest.(check int) "certified optimum" 5 w.Sd.s_ii;
+    check_ok "loose witness" g w
+  | _ -> Alcotest.failf "expected a certified optimum");
+  let rendered = Fmt.str "%a" Sd.pp_gap (h.Sd.s_ii, e) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "footnote reports gap 1" true
+    (contains rendered "gap 1")
+
+(* --- mutation: perturbing a valid schedule is caught --- *)
+
+let test_mutation_caught () =
+  (* mem-heavy 9: 10 memory ops at II 5 fill every reservation slot,
+     so moving any memory op by one cycle lands in a full slot (or
+     breaks a dependence / goes negative) — the checker must object *)
+  let g = build (mem_heavy_body 9) in
+  let s = Sd.modulo_schedule g in
+  Alcotest.(check int) "port-saturated II" 5 s.Sd.s_ii;
+  check_ok "baseline valid" g s;
+  Array.iteri
+    (fun i _ ->
+      if Uas_ir.Opinfo.uses_memory_port (D.Graph.node g i).D.Graph.kind then
+        List.iter
+          (fun delta ->
+            let times = Array.copy s.Sd.s_times in
+            times.(i) <- times.(i) + delta;
+            let mutated =
+              { s with
+                Sd.s_times = times;
+                s_length = Array.fold_left max 0 times + 1 }
+            in
+            check_rejected
+              (Printf.sprintf "node %d moved by %+d" i delta)
+              g mutated)
+          [ -1; 1 ])
+    s.Sd.s_times
+
+let test_tight_cycle_mutation_caught () =
+  (* fg: the recurrence cycle has zero slack at II 4, so moving any
+     real operator by one cycle violates a dependence *)
+  let g = build fg_body in
+  let s = Sd.modulo_schedule g in
+  Alcotest.(check int) "tight II" 4 s.Sd.s_ii;
+  Array.iteri
+    (fun i n ->
+      ignore n;
+      match (D.Graph.node g i).D.Graph.kind with
+      | Uas_ir.Opinfo.Op_binop _ ->
+        List.iter
+          (fun delta ->
+            let times = Array.copy s.Sd.s_times in
+            times.(i) <- times.(i) + delta;
+            let mutated =
+              { s with
+                Sd.s_times = times;
+                s_length = Array.fold_left max 0 times + 1 }
+            in
+            check_rejected
+              (Printf.sprintf "cycle node %d moved by %+d" i delta)
+              g mutated)
+          [ -1; 1 ]
+      | _ -> ())
+    s.Sd.s_times
+
+let test_negative_time_caught () =
+  let g = build (mem_heavy_body 4) in
+  let s = Sd.modulo_schedule g in
+  let times = Array.copy s.Sd.s_times in
+  times.(0) <- -1;
+  check_rejected "negative issue time" g { s with Sd.s_times = times }
+
+(* --- effort budgets degrade, deterministically and validly --- *)
+
+let test_heuristic_effort_degrades () =
+  (* the BENCH_sweep blowup, reduced: under a tiny relaxation budget
+     the modulo scheduler must not spin — it degrades to the
+     non-overlapped fallback (II = schedule length) with a note *)
+  let g = build (jam_rec 5) in
+  let sched, note = Sd.modulo_schedule_note ~effort:1 g in
+  (match note with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a degradation note under effort 1");
+  let l = Sd.list_schedule g in
+  Alcotest.(check int) "fallback II = acyclic length" l.Sd.s_length
+    sched.Sd.s_ii;
+  check_ok "fallback still valid" g sched;
+  (* with the default budget the same graph pipelines fine *)
+  let _, note' = Sd.modulo_schedule_note g in
+  Alcotest.(check bool) "no note at default effort" true (note' = None)
+
+let test_exact_effort_degrades () =
+  let g = build (jam_rec 5) in
+  let h = Sd.modulo_schedule g in
+  (* with a witness: budget exhaustion brackets the optimum *)
+  let e = Sd.optimal_schedule ~effort:1 ~witness:h g in
+  (match e.Sd.e_status with
+  | Sd.Exact_feasible -> ()
+  | s ->
+    Alcotest.failf "expected feasible-with-witness, got %s"
+      (Sd.exact_status_name s));
+  Alcotest.(check bool) "budget flagged" true e.Sd.e_effort_exhausted;
+  (match e.Sd.e_schedule with
+  | Some w ->
+    check_ok "bracketing witness" g w;
+    Alcotest.(check bool) "bracket ordered" true (e.Sd.e_proved <= w.Sd.s_ii)
+  | None -> Alcotest.fail "witness lost");
+  Alcotest.(check bool) "proved >= min_ii" true
+    (e.Sd.e_proved >= e.Sd.e_min_ii);
+  (* without a witness: unknown *)
+  let e' = Sd.optimal_schedule ~effort:1 g in
+  (match e'.Sd.e_status with
+  | Sd.Exact_unknown -> ()
+  | s ->
+    Alcotest.failf "expected unknown without witness, got %s"
+      (Sd.exact_status_name s));
+  Alcotest.(check bool) "no schedule claimed" true (e'.Sd.e_schedule = None)
+
+(* --- the QCheck property: oracle invariants on random bodies --- *)
+
+let gen_body st =
+  let n_stmt = QCheck.Gen.int_range 2 10 st in
+  List.init n_stmt (fun t ->
+      let dst = Printf.sprintf "v%d" (QCheck.Gen.int_range 0 4 st) in
+      match QCheck.Gen.int_range 0 3 st with
+      | 0 -> B.(dst <-- load "mem" (v "j" + int t))
+      | 1 ->
+        B.(dst
+           <-- v (Printf.sprintf "v%d" (QCheck.Gen.int_range 0 4 st)) + int t)
+      | 2 ->
+        B.(dst
+           <-- band
+                 (v (Printf.sprintf "v%d" (QCheck.Gen.int_range 0 4 st)))
+                 (int 255))
+      | _ -> B.store "mem" B.(v "j" + int (Stdlib.( + ) 100 t)) (B.v dst))
+
+let test_qcheck_exact_brackets =
+  let arb =
+    QCheck.make gen_body ~print:(fun b ->
+        String.concat "\n" (List.map Pp.stmt_to_string b))
+  in
+  QCheck.Test.make
+    ~name:"exact oracle brackets the heuristic (random bodies)" ~count:80 arb
+    (fun body ->
+      let g = build body in
+      let h = Sd.modulo_schedule g in
+      let valid s = Sd.check_schedule g s = Ok () in
+      let lb = Sd.min_ii Sd.default_config g in
+      let e = Sd.optimal_schedule ~witness:h g in
+      valid h
+      && valid (Sd.list_schedule g)
+      && e.Sd.e_min_ii = lb
+      && e.Sd.e_min_ii <= e.Sd.e_proved
+      (* soundness: the heuristic can never beat the proven bound *)
+      && h.Sd.s_ii >= e.Sd.e_proved
+      && e.Sd.e_status <> Sd.Exact_unknown
+      &&
+      match (e.Sd.e_status, e.Sd.e_schedule) with
+      | Sd.Exact_optimal, Some w ->
+        valid w && lb <= w.Sd.s_ii && w.Sd.s_ii <= h.Sd.s_ii
+        && e.Sd.e_proved = w.Sd.s_ii
+      | Sd.Exact_feasible, Some w -> valid w && e.Sd.e_proved <= w.Sd.s_ii
+      | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "checker accepts all backends" `Quick
+      test_check_accepts_backends;
+    Alcotest.test_case "exact certifies known bodies" `Quick
+      test_exact_certifies;
+    Alcotest.test_case "hand-built loose nest" `Quick test_hand_built_loose;
+    Alcotest.test_case "mutation caught (ports)" `Quick test_mutation_caught;
+    Alcotest.test_case "mutation caught (tight cycle)" `Quick
+      test_tight_cycle_mutation_caught;
+    Alcotest.test_case "negative time caught" `Quick test_negative_time_caught;
+    Alcotest.test_case "heuristic effort degrades" `Quick
+      test_heuristic_effort_degrades;
+    Alcotest.test_case "exact effort degrades" `Quick
+      test_exact_effort_degrades;
+    QCheck_alcotest.to_alcotest test_qcheck_exact_brackets ]

@@ -97,6 +97,33 @@ let test_stage_count () =
   Alcotest.(check (list string)) "rotated scalars" [ "a"; "b" ]
     (List.sort String.compare out.Squash.rotated)
 
+let test_squashed_schedules_valid () =
+  (* the squashed inner body must still yield schedules that pass the
+     shared validity checker, at every factor *)
+  let module D = Uas_dfg in
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun (name, p) ->
+          let nest = Helpers.nest_of p "i" in
+          let out = Squash.apply p nest ~ds in
+          let g, _ =
+            D.Build.build ~inner_index:out.Squash.new_inner_index
+              out.Squash.new_inner_body
+          in
+          List.iter
+            (fun (backend, s) ->
+              match D.Sched.check_schedule g s with
+              | Ok () -> ()
+              | Error msgs ->
+                Alcotest.failf "%s ds=%d %s: %s" name ds backend
+                  (String.concat "; " msgs))
+            [ ("list", D.Sched.list_schedule g);
+              ("modulo", D.Sched.modulo_schedule g) ])
+        [ ("fg", Helpers.fg_loop ~m:16 ~n:4);
+          ("memory", Helpers.memory_loop ~m:16 ~n:4) ])
+    [ 1; 2; 4; 8 ]
+
 let test_rejects_outer_carried () =
   (* an accumulating outer loop is not parallel: must be rejected *)
   let open Builder in
@@ -188,6 +215,8 @@ let suite =
       test_operator_count_preserved;
     Alcotest.test_case "steady trip count" `Quick test_steady_trip_count;
     Alcotest.test_case "stage count" `Quick test_stage_count;
+    Alcotest.test_case "squashed schedules valid" `Quick
+      test_squashed_schedules_valid;
     Alcotest.test_case "rejects outer-carried scalar" `Quick
       test_rejects_outer_carried;
     Alcotest.test_case "rejects overlapping arrays" `Quick
