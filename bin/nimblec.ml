@@ -37,6 +37,25 @@ let arm_fault = function
     | Ok () -> ()
     | Error m -> runtime_error "--fault: %s" m)
 
+(* --cache DIR (or UAS_CACHE) opens and installs the persistent
+   artifact store before the command body runs; an unopenable
+   directory is a structured diagnostic, not a backtrace. *)
+let init_cache cache verify =
+  (match cache with
+  | None -> ()
+  | Some dir -> (
+    match Uas_runtime.Store.open_dir dir with
+    | Ok s -> Uas_runtime.Store.install s
+    | Error m -> runtime_error "--cache: %s" m));
+  if verify then Uas_runtime.Store.set_verify true
+
+(* After a store-consulting command: the hit-rate line, on stderr so
+   the table output stays byte-identical with and without a cache. *)
+let report_store_stats () =
+  match Uas_runtime.Store.installed () with
+  | Some s -> Fmt.epr "%a@." Uas_runtime.Store.pp_stats s
+  | None -> ()
+
 let find_benchmark name =
   match S.Registry.find name with
   | Some b -> b
@@ -210,6 +229,26 @@ let fault_arg =
           "Arm the deterministic fault-injection registry (testing; \
            same grammar as $(b,UAS_FAULT): site[=label]:kind:nth,...)")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info Uas_runtime.Store.env_var)
+        ~doc:
+          "Persistent content-addressed artifact store: schedules, \
+           exact-II certificates, hardware estimates and planner rows \
+           are looked up here before being recomputed (see \
+           docs/CACHING.md)")
+
+let cache_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "cache-verify" ]
+        ~doc:
+          "Recompute every artifact and compare it against the cached \
+           copy; a mismatch is an incident and the entry is replaced")
+
 (* --task-timeout / --retries bounds checked once, up front *)
 let check_supervision timeout_s retries =
   (match timeout_s with
@@ -280,10 +319,11 @@ let show_cmd =
 
 let estimate_cmd =
   let run name verify jobs timings dump_after interp validate exact timeout_s
-      retries fault =
+      retries fault cache cache_verify =
     set_interp interp;
     check_supervision timeout_s retries;
     arm_fault fault;
+    init_cache cache cache_verify;
     if timings then Uas_runtime.Instrument.set_enabled true;
     let b = find_benchmark name in
     let after = dump_hook_of dump_after in
@@ -295,7 +335,8 @@ let estimate_cmd =
     in
     Fmt.pr "%a@." E.pp_table_6_2 [ row ];
     Fmt.pr "%a@." E.pp_table_6_3 [ row ];
-    if timings then Fmt.pr "%a" Uas_runtime.Instrument.pp_summary ()
+    if timings then Fmt.pr "%a" Uas_runtime.Instrument.pp_summary ();
+    report_store_stats ()
   in
   let verify =
     Arg.(
@@ -310,7 +351,8 @@ let estimate_cmd =
     Term.(
       const run $ bench_arg $ verify $ jobs_arg $ timings_arg
       $ dump_after_arg $ interp_arg $ validate_arg $ exact_arg
-      $ task_timeout_arg $ retries_arg $ fault_arg)
+      $ task_timeout_arg $ retries_arg $ fault_arg $ cache_arg
+      $ cache_verify_arg)
 
 (* --- run --- *)
 
@@ -480,15 +522,20 @@ let plan_benchmark ?jobs ?(validate = false) ?exact ?timeout_s ?retries
   Fmt.pr "%a@." P.pp plan
 
 let plan_cmd =
-  let run name objective jobs validate exact timeout_s retries fault =
+  let run name objective jobs validate exact timeout_s retries fault cache
+      cache_verify =
     check_supervision timeout_s retries;
     arm_fault fault;
-    let plan_one =
+    init_cache cache cache_verify;
+    (match name with
+    | Some name ->
       plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective
-    in
-    match name with
-    | Some name -> plan_one (find_benchmark name)
-    | None -> List.iter plan_one (S.Registry.all ())
+        (find_benchmark name)
+    | None ->
+      List.iter
+        (plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective)
+        (S.Registry.all ()));
+    report_store_stats ()
   in
   let bench_opt =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
@@ -499,7 +546,8 @@ let plan_cmd =
              (all benchmarks when none is named)")
     Term.(
       const run $ bench_opt $ objective_arg $ jobs_arg $ validate_arg
-      $ exact_arg $ task_timeout_arg $ retries_arg $ fault_arg)
+      $ exact_arg $ task_timeout_arg $ retries_arg $ fault_arg $ cache_arg
+      $ cache_verify_arg)
 
 (* --- profile --- *)
 
@@ -520,13 +568,16 @@ let profile_cmd =
 (* `nimblec --plan` at the top level plans every registry benchmark —
    the one-shot planner entry; without it, the group prints its help. *)
 let default_term =
-  let run plan_flag objective jobs validate exact timeout_s retries fault =
+  let run plan_flag objective jobs validate exact timeout_s retries fault
+      cache cache_verify =
     if plan_flag then begin
       check_supervision timeout_s retries;
       arm_fault fault;
+      init_cache cache cache_verify;
       List.iter
         (plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective)
         (S.Registry.all ());
+      report_store_stats ();
       `Ok ()
     end
     else `Help (`Pager, None)
@@ -541,7 +592,8 @@ let default_term =
   Term.(
     ret
       (const run $ plan_flag $ objective_arg $ jobs_arg $ validate_arg
-      $ exact_arg $ task_timeout_arg $ retries_arg $ fault_arg))
+      $ exact_arg $ task_timeout_arg $ retries_arg $ fault_arg $ cache_arg
+      $ cache_verify_arg))
 
 let () =
   (* a malformed UAS_JOBS or UAS_FAULT is a diagnostic up front, not an
@@ -553,7 +605,7 @@ let () =
   | None -> ()
   | Some m -> runtime_error "%s: %s" Fault.env_var m);
   let info =
-    Cmd.info "nimblec"
+    Cmd.info "nimblec" ~version:Uas_runtime.Build_info.version_string
       ~doc:"Unroll-and-squash loop pipelining flow"
   in
   exit

@@ -11,6 +11,10 @@ type options = {
   o_task_timeout : float option;
   o_retries : int option;
   o_fault : string option;
+  o_cache : string option;
+  o_cache_verify : bool;
+  o_cache_warm : bool;
+  o_version : bool;
   o_targets : string list;
 }
 
@@ -77,6 +81,13 @@ let parse ~available args =
       match rest with
       | p :: rest' -> go { acc with o_fault = Some p } rest'
       | [] -> Error "--fault expects a fault plan (site[=label]:kind:nth,...)")
+    | "--cache" :: rest -> (
+      match rest with
+      | d :: rest' -> go { acc with o_cache = Some d } rest'
+      | [] -> Error "--cache expects a directory")
+    | "--cache-verify" :: rest -> go { acc with o_cache_verify = true } rest
+    | "--cache-warm" :: rest -> go { acc with o_cache_warm = true } rest
+    | "--version" :: rest -> go { acc with o_version = true } rest
     | arg :: rest ->
       if List.mem arg available then
         go { acc with o_targets = arg :: acc.o_targets } rest
@@ -95,5 +106,9 @@ let parse ~available args =
       o_task_timeout = None;
       o_retries = None;
       o_fault = None;
+      o_cache = None;
+      o_cache_verify = false;
+      o_cache_warm = false;
+      o_version = false;
       o_targets = [] }
     args

@@ -27,6 +27,18 @@ type options = {
   o_fault : string option;
       (** [--fault PLAN]: arm the fault-injection registry (testing;
           same grammar as [UAS_FAULT]) *)
+  o_cache : string option;
+      (** [--cache DIR]: persistent artifact store directory (default:
+          the [UAS_CACHE] environment variable; none = no store) *)
+  o_cache_verify : bool;
+      (** [--cache-verify]: recompute everything and compare against
+          cached artifacts (mismatches become incidents) *)
+  o_cache_warm : bool;
+      (** [--cache-warm]: after the cold pass, run every requested
+          target a second time, recording "<target> (warm)" wall-clock
+          — the cold-vs-warm numbers of the committed snapshot *)
+  o_version : bool;
+      (** [--version]: print the build version line and exit 0 *)
   o_targets : string list;
       (** requested targets, in command-line order; empty = run all *)
 }
@@ -38,5 +50,6 @@ type options = {
     name, [--validate] one of [off]/[probe], [--exact-ii] one of
     [off]/[check]/[report], [--task-timeout] positive seconds,
     [--retries] a non-negative integer, [--fault] a plan string
-    (validated when armed, not here). *)
+    (validated when armed, not here), [--cache] a directory
+    (opened/validated when installed, not here). *)
 val parse : available:string list -> string list -> (options, string) result

@@ -101,35 +101,194 @@ let rewrite_passes ?validate (c : candidate) : Pass.t list =
       else Rewrite.pass ?validate name)
     c.c_sequence
 
+(* ---- plan-row serialization (artifact store) ----
+
+   A whole scored row — outcome (report or diagnostic), optional gap
+   verdict, incident list — round-trips through a versioned line-based
+   form, so a warm [plan] run replays every footnote byte-identically
+   without running a single pass pipeline. *)
+
+let severity_name = function
+  | Diag.Error -> "error"
+  | Diag.Warning -> "warning"
+  | Diag.Note -> "note"
+
+let severity_of_name = function
+  | "error" -> Some Diag.Error
+  | "warning" -> Some Diag.Warning
+  | "note" -> Some Diag.Note
+  | _ -> None
+
+(* one diagnostic as a single tab-separated line: String.escaped
+   removes embedded tabs/newlines, and optional fields carry a -/+
+   marker so [None] and [Some ""] stay distinct *)
+let diag_atom (d : Diag.t) =
+  let opt = function None -> "-" | Some s -> "+" ^ String.escaped s in
+  String.concat "\t"
+    [ severity_name d.Diag.d_severity;
+      String.escaped d.Diag.d_pass;
+      opt d.Diag.d_loc.Diag.loc_loop;
+      opt d.Diag.d_loc.Diag.loc_stmt;
+      String.escaped d.Diag.d_message ]
+
+let diag_of_atom s : Diag.t option =
+  let ( let* ) = Option.bind in
+  let unesc x =
+    match Scanf.unescaped x with v -> Some v | exception _ -> None
+  in
+  let opt = function
+    | "-" -> Some None
+    | x when String.length x >= 1 && Char.equal x.[0] '+' ->
+      Option.map Option.some (unesc (String.sub x 1 (String.length x - 1)))
+    | _ -> None
+  in
+  match String.split_on_char '\t' s with
+  | [ sev_s; pass_s; loop_s; stmt_s; msg_s ] ->
+    let* sev = severity_of_name sev_s in
+    let* pass = unesc pass_s in
+    let* loop = opt loop_s in
+    let* stmt = opt stmt_s in
+    let* msg = unesc msg_s in
+    Some
+      { Diag.d_severity = sev;
+        d_pass = pass;
+        d_loc = { Diag.loc_loop = loop; loc_stmt = stmt };
+        d_message = msg }
+  | _ -> None
+
+let row_payload (row : row) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "plan-row 1\n";
+  (match row.r_outcome with
+  | Ok r ->
+    Buffer.add_string b ("outcome ok " ^ Estimate.report_to_string r ^ "\n")
+  | Error d -> Buffer.add_string b ("outcome err " ^ diag_atom d ^ "\n"));
+  (match row.r_gap with
+  | None -> Buffer.add_string b "gap -\n"
+  | Some (hii, e) ->
+    Buffer.add_string b
+      (Printf.sprintf "gap %d %s\n" hii (Uas_dfg.Sched.exact_to_string e)));
+  List.iter
+    (fun d -> Buffer.add_string b ("incident " ^ diag_atom d ^ "\n"))
+    row.r_incidents;
+  Buffer.contents b
+
+let row_of_payload (c : candidate) payload : row option =
+  let ( let* ) = Option.bind in
+  let strip ~prefix s =
+    let np = String.length prefix in
+    if String.length s >= np && String.equal (String.sub s 0 np) prefix then
+      Some (String.sub s np (String.length s - np))
+    else None
+  in
+  match String.split_on_char '\n' payload with
+  | "plan-row 1" :: outcome_l :: gap_l :: rest ->
+    let* outcome =
+      match strip ~prefix:"outcome ok " outcome_l with
+      | Some r_s -> Option.map Result.ok (Estimate.report_of_string r_s)
+      | None -> (
+        match strip ~prefix:"outcome err " outcome_l with
+        | Some d_s -> Option.map Result.error (diag_of_atom d_s)
+        | None -> None)
+    in
+    let* gap =
+      if String.equal gap_l "gap -" then Some None
+      else
+        let* g_s = strip ~prefix:"gap " gap_l in
+        let* i = String.index_opt g_s ' ' in
+        let* hii = int_of_string_opt (String.sub g_s 0 i) in
+        let* e =
+          Uas_dfg.Sched.exact_of_string
+            (String.sub g_s (i + 1) (String.length g_s - i - 1))
+        in
+        Some (Some (hii, e))
+    in
+    let rec incs acc = function
+      | [] | [ "" ] -> Some (List.rev acc)
+      | l :: rest ->
+        let* d_s = strip ~prefix:"incident " l in
+        let* d = diag_of_atom d_s in
+        incs (d :: acc) rest
+    in
+    let* incidents = incs [] rest in
+    Some
+      { r_candidate = c;
+        r_outcome = outcome;
+        r_gap = gap;
+        r_incidents = incidents }
+  | _ -> None
+
+(* everything a scored row depends on besides the benchmark program
+   text (which Cu.store_key hashes): the candidate, the kernel
+   location, the datapath, oracle modes and effort budgets, whether
+   rewrites are translation-validated, and the cost-model version *)
+let row_context ?validate ~exact ~target ~outer_index ~inner_index
+    (c : candidate) =
+  [ "target=" ^ Datapath.fingerprint target;
+    "outer=" ^ outer_index;
+    "inner=" ^ inner_index;
+    "label=" ^ c.c_label;
+    "seq=" ^ String.concat "+" c.c_sequence;
+    "ds=" ^ string_of_int c.c_ds;
+    "pipelined=" ^ string_of_bool c.c_pipelined;
+    "exact=" ^ Uas_dfg.Sched.exact_mode_name exact;
+    "validate=" ^ string_of_bool (Option.is_some validate);
+    "cost-model=" ^ string_of_int Estimate.cost_model_version;
+    "effort=" ^ string_of_int Uas_dfg.Sched.default_effort;
+    "exact-effort=" ^ string_of_int Uas_dfg.Sched.default_exact_effort ]
+
 let run_candidate ?validate ?(exact = Uas_dfg.Sched.Exact_off) ~target
     (p : Uas_ir.Stmt.program) ~outer_index ~inner_index (c : candidate) : row
     =
   let cu = Cu.make p ~outer_index ~inner_index in
-  let passes =
-    (Stages.analyze :: rewrite_passes ?validate c)
-    @ [ Stages.dfg_build ~target ();
-        Stages.schedule ~target ~pipelined:c.c_pipelined ();
-        Stages.exact_ii ~target ~pipelined:c.c_pipelined ~mode:exact ();
-        Stages.estimate ~target ~pipelined:c.c_pipelined ~name:c.c_label () ]
+  let kind = "plan-row" in
+  let context =
+    row_context ?validate ~exact ~target ~outer_index ~inner_index c
   in
-  match Pass.run cu passes with
-  | Ok cu -> (
-    match Cu.report cu with
-    | Some r ->
-      let gap =
-        if exact = Uas_dfg.Sched.Exact_report && c.c_pipelined then
-          match (Cu.schedule cu, Cu.exact cu) with
-          | Some s, Some e -> Some (s.Uas_dfg.Sched.s_ii, e)
-          | _ -> None
-        else None
-      in
-      { r_candidate = c;
-        r_outcome = Ok r;
-        r_gap = gap;
-        r_incidents = Cu.incidents cu }
-    | None -> assert false (* the estimate pass always sets the report *))
-  | Error d ->
-    { r_candidate = c; r_outcome = Error d; r_gap = None; r_incidents = [] }
+  let cached =
+    match Cu.store_get cu ~kind ~context with
+    | None -> None
+    | Some payload -> (
+      match row_of_payload c payload with
+      | Some _ as ok -> ok
+      | None ->
+        Cu.store_undecodable cu ~kind;
+        None)
+  in
+  match cached with
+  | Some row -> row
+  | None ->
+    let passes =
+      (Stages.analyze :: rewrite_passes ?validate c)
+      @ [ Stages.dfg_build ~target ();
+          Stages.schedule ~target ~pipelined:c.c_pipelined ();
+          Stages.exact_ii ~target ~pipelined:c.c_pipelined ~mode:exact ();
+          Stages.estimate ~target ~pipelined:c.c_pipelined ~name:c.c_label ()
+        ]
+    in
+    let row =
+      match Pass.run cu passes with
+      | Ok cu -> (
+        match Cu.report cu with
+        | Some r ->
+          let gap =
+            if exact = Uas_dfg.Sched.Exact_report && c.c_pipelined then
+              match (Cu.schedule cu, Cu.exact cu) with
+              | Some s, Some e -> Some (s.Uas_dfg.Sched.s_ii, e)
+              | _ -> None
+            else None
+          in
+          { r_candidate = c;
+            r_outcome = Ok r;
+            r_gap = gap;
+            r_incidents = Cu.incidents cu }
+        | None -> assert false (* the estimate pass always sets the report *)
+        )
+      | Error d ->
+        { r_candidate = c; r_outcome = Error d; r_gap = None; r_incidents = [] }
+    in
+    Cu.store_put cu ~kind ~context (row_payload row);
+    row
 
 (* ---- metrics and ranking ---- *)
 

@@ -894,3 +894,100 @@ let register_estimate (g : Graph.t) (s : schedule) : int =
 
 let pp_schedule ppf s =
   Fmt.pf ppf "II=%d length=%d" s.s_ii s.s_length
+
+(* ---- serialization (the artifact store's stable forms) ----
+
+   Hand-rolled, versioned, all-integer formats: the leading tag pins
+   the schema (bump it on any field change — the store then treats old
+   entries as undecodable, which is a miss, never a wrong answer), and
+   parsing returns [None] on any malformed input. *)
+
+let ( let* ) = Option.bind
+
+let exact_status_of_name = function
+  | "optimal" -> Some Exact_optimal
+  | "feasible" -> Some Exact_feasible
+  | "unknown" -> Some Exact_unknown
+  | _ -> None
+
+let strip_field ~name s =
+  let prefix = name ^ "=" in
+  let np = String.length prefix in
+  if String.length s >= np && String.equal (String.sub s 0 np) prefix then
+    Some (String.sub s np (String.length s - np))
+  else None
+
+let int_field ~name s =
+  let* v = strip_field ~name s in
+  int_of_string_opt v
+
+(* a schedule as one space-free token, so it embeds in the exact form *)
+let sched_atom s =
+  Printf.sprintf "ii:%d;len:%d;times:%s" s.s_ii s.s_length
+    (String.concat "," (List.map string_of_int (Array.to_list s.s_times)))
+
+let sched_of_atom str =
+  let sub ~name s =
+    let prefix = name ^ ":" in
+    let np = String.length prefix in
+    if String.length s >= np && String.equal (String.sub s 0 np) prefix then
+      Some (String.sub s np (String.length s - np))
+    else None
+  in
+  match String.split_on_char ';' str with
+  | [ ii_f; len_f; times_f ] ->
+    let* ii = Option.bind (sub ~name:"ii" ii_f) int_of_string_opt in
+    let* len = Option.bind (sub ~name:"len" len_f) int_of_string_opt in
+    let* times_s = sub ~name:"times" times_f in
+    let parts =
+      if String.equal times_s "" then []
+      else String.split_on_char ',' times_s
+    in
+    let times = List.map int_of_string_opt parts in
+    if List.exists Option.is_none times then None
+    else
+      Some
+        { s_ii = ii;
+          s_length = len;
+          s_times = Array.of_list (List.map Option.get times) }
+  | _ -> None
+
+let schedule_to_string s = "sched 1 " ^ sched_atom s
+
+let schedule_of_string str =
+  match String.split_on_char ' ' str with
+  | [ "sched"; "1"; atom ] -> sched_of_atom atom
+  | _ -> None
+
+let exact_to_string e =
+  Printf.sprintf "exact 1 status=%s min=%d proved=%d exp=%d exh=%b sched=%s"
+    (exact_status_name e.e_status)
+    e.e_min_ii e.e_proved e.e_expansions e.e_effort_exhausted
+    (match e.e_schedule with None -> "-" | Some s -> sched_atom s)
+
+let exact_of_string str =
+  match String.split_on_char ' ' str with
+  | [ "exact"; "1"; st_f; min_f; proved_f; exp_f; exh_f; sched_f ] ->
+    let* status = Option.bind (strip_field ~name:"status" st_f) exact_status_of_name in
+    let* min_ii = int_field ~name:"min" min_f in
+    let* proved = int_field ~name:"proved" proved_f in
+    let* expansions = int_field ~name:"exp" exp_f in
+    let* exhausted =
+      Option.bind (strip_field ~name:"exh" exh_f) bool_of_string_opt
+    in
+    let* sched_s = strip_field ~name:"sched" sched_f in
+    let* sched =
+      if String.equal sched_s "-" then Some None
+      else
+        match sched_of_atom sched_s with
+        | Some s -> Some (Some s)
+        | None -> None
+    in
+    Some
+      { e_status = status;
+        e_schedule = sched;
+        e_min_ii = min_ii;
+        e_proved = proved;
+        e_expansions = expansions;
+        e_effort_exhausted = exhausted }
+  | _ -> None

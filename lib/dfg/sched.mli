@@ -112,3 +112,14 @@ val pp_gap : (int * exact) Fmt.t
 val register_estimate : Graph.t -> schedule -> int
 
 val pp_schedule : schedule Fmt.t
+
+(** {2 Serialization (artifact store)}
+
+    Versioned, all-integer, single-line textual forms.  [*_of_string]
+    returns [None] on any malformed or version-mismatched input — the
+    store treats an undecodable payload as a miss. *)
+
+val schedule_to_string : schedule -> string
+val schedule_of_string : string -> schedule option
+val exact_to_string : exact -> string
+val exact_of_string : string -> exact option

@@ -53,3 +53,11 @@ let register_area (t : t) n =
 
 let sched_config (t : t) : Uas_dfg.Sched.config =
   { Uas_dfg.Sched.mem_ports = t.mem_ports }
+
+(* The functional fields (delay_of/area_of) are determined by the
+   target name for every built-in target, so name + scalar fields
+   identify the model; Estimate.cost_model_version covers changes to
+   the tables behind a name. *)
+let fingerprint t =
+  Printf.sprintf "%s/ports=%d/regrow=%d/width=%b" t.name t.mem_ports
+    t.registers_per_row t.width_aware

@@ -35,3 +35,8 @@ val width_sized : t
 val register_area : t -> int -> int
 
 val sched_config : t -> Uas_dfg.Sched.config
+
+(** A stable identity string for cache keys: the target name plus its
+    scalar fields.  The delay/area tables are covered by the name (all
+    built-in targets) together with {!Estimate.cost_model_version}. *)
+val fingerprint : t -> string

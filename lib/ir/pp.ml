@@ -17,7 +17,10 @@ let prec_of_binop = function
 let rec pp_expr_prec prec ppf (e : Expr.t) =
   match e with
   | Int n -> Fmt.int ppf n
-  | Float f -> Fmt.pf ppf "%g" f
+  (* +. 0. normalizes IEEE negative zero: "%g" would print it "-0",
+     which reparses as the integer 0 and reprints as "0" — breaking
+     the canonical-text fixpoint the artifact-store keys rely on *)
+  | Float f -> Fmt.pf ppf "%g" (f +. 0.)
   | Var v -> Fmt.string ppf v
   | Load (a, i) -> Fmt.pf ppf "%s[%a]" a (pp_expr_prec 0) i
   | Rom (r, i) -> Fmt.pf ppf "%s(%a)" r (pp_expr_prec 0) i

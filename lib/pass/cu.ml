@@ -8,6 +8,7 @@ module Def_use_a = Uas_analysis.Def_use
 module Dependence = Uas_analysis.Dependence
 module Induction = Uas_analysis.Induction
 module Instrument = Uas_runtime.Instrument
+module Store = Uas_runtime.Store
 
 type analysis = Nest | Def_use | Liveness | Induction | Dependence
 
@@ -46,6 +47,14 @@ type t = {
   mutable c_compiled : Fast_interp.compiled option;
   mutable c_hits : int;
   mutable c_misses : int;
+  (* canonical program text (the Pp round-trip form), memoized because
+     every store key hashes it; reset by [with_program] *)
+  mutable c_text : string option;
+  (* the rewrite trail: labels of every rewrite applied so far, newest
+     first — the provenance half of the store key.  Survives
+     [with_program] (it is how this unit's program came to be); pushed
+     by Rewrite.apply after each successful application *)
+  mutable c_trail : string list;
   (* non-fatal trouble logged while building this unit (validation
      mismatches, recovered faults); survives [with_program] because it
      is the unit's history, not an analysis of its program *)
@@ -68,6 +77,8 @@ let make p ~outer_index ~inner_index =
     c_compiled = None;
     c_hits = 0;
     c_misses = 0;
+    c_text = None;
+    c_trail = [];
     c_incidents = [] }
 
 let program cu = cu.cu_program
@@ -90,7 +101,8 @@ let with_program ?(preserves = []) ?outer_index ?inner_index cu p =
     c_schedule = None;
     c_exact = None;
     c_report = None;
-    c_compiled = None }
+    c_compiled = None;
+    c_text = None }
 
 (* One memoized lookup: serve the cache or compute-and-fill, keeping
    the per-unit and global counters honest. *)
@@ -185,3 +197,105 @@ let add_incident cu d =
   cu.c_incidents <- d :: cu.c_incidents
 
 let incidents cu = List.rev cu.c_incidents
+
+(* ---- the persistent artifact store (load/save hooks) ---- *)
+
+let canonical_text cu =
+  match cu.c_text with
+  | Some t -> t
+  | None ->
+    let t = Pp.program_to_string cu.cu_program in
+    cu.c_text <- Some t;
+    t
+
+let trail cu = List.rev cu.c_trail
+let push_trail cu label = cu.c_trail <- label :: cu.c_trail
+
+(* The one key-construction point: every part of an artifact's
+   provenance — store format version, artifact kind, the rewrite trail
+   that produced this program, caller context (datapath fingerprint,
+   effort budgets, cost-model version, ...) and the canonical program
+   text itself — goes through the same hash. *)
+(* Fault specs at non-store sites change what a cell computes (an
+   injected raise skips it, an injected corruption rewrites it), so
+   they are part of an artifact's provenance — keying them keeps a
+   chaos run from ever poisoning a clean run's entries.  The store's
+   own sites model cache corruption and must leave keys alone, or an
+   injected read fault could never find the entry it is meant to
+   corrupt. *)
+let content_fault_plan () =
+  match Uas_runtime.Fault.plan () with
+  | None -> ""
+  | Some p ->
+    String.split_on_char ',' p
+    |> List.filter (fun spec ->
+           let s = String.trim spec in
+           not
+             (String.length s >= 6
+             && String.equal (String.sub s 0 6) "store."))
+    |> String.concat ","
+
+let store_key cu ~kind ~context =
+  Store.key
+    (("store-format=" ^ string_of_int Store.format_version)
+     :: ("kind=" ^ kind)
+     :: ("trail=" ^ String.concat ";" (trail cu))
+     :: ("fault=" ^ content_fault_plan ())
+     :: context
+    @ [ canonical_text cu ])
+
+let store_incident cu ~kind msg =
+  add_incident cu
+    (Diag.errorf ~pass:"store" "cached %s artifact: %s" kind msg)
+
+(* A payload that decodes to garbage (checksum OK but the serialized
+   form's own version tag is off — next to impossible, since serializer
+   versions are hashed into the key) degrades like a bad entry: the
+   caller recomputes, with the incident on record.  The lookup was
+   already counted by [store_get]. *)
+let store_undecodable cu ~kind =
+  store_incident cu ~kind "undecodable payload; recomputing"
+
+let store_get cu ~kind ~context : string option =
+  match Store.installed () with
+  | None -> None
+  | Some s ->
+    if Store.verify_mode () then
+      (* verify mode: always recompute; [store_put] then compares *)
+      None
+    else (
+      match Store.read s ~kind ~key:(store_key cu ~kind ~context) with
+      | Store.Hit payload ->
+        Instrument.incr "cu.store-hit";
+        Some payload
+      | Store.Miss ->
+        Instrument.incr "cu.store-miss";
+        None
+      | Store.Bad msg ->
+        Instrument.incr "cu.store-miss";
+        store_incident cu ~kind (msg ^ "; recomputing");
+        None)
+
+let store_put cu ~kind ~context payload =
+  match Store.installed () with
+  | None -> ()
+  | Some s ->
+    let key = store_key cu ~kind ~context in
+    if Store.verify_mode () then (
+      (match Store.read s ~kind ~key with
+      | Store.Hit cached when String.equal cached payload ->
+        Instrument.incr "cu.store-verify-ok"
+      | Store.Hit _ ->
+        Instrument.incr "cu.store-verify-mismatch";
+        store_incident cu ~kind
+          "verify: cached artifact differs from recomputation; entry \
+           replaced"
+      | Store.Miss -> ()
+      | Store.Bad msg -> store_incident cu ~kind (msg ^ "; entry replaced"));
+      match Store.write s ~kind ~key payload with
+      | Ok () -> ()
+      | Error msg -> store_incident cu ~kind ("write failed: " ^ msg))
+    else
+      match Store.write s ~kind ~key payload with
+      | Ok () -> ()
+      | Error msg -> store_incident cu ~kind ("write failed: " ^ msg)

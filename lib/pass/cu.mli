@@ -127,3 +127,44 @@ val misses : t -> int
 
 val add_incident : t -> Diag.t -> unit
 val incidents : t -> Diag.t list
+
+(** {2 The persistent artifact store}
+
+    Load/save hooks over {!Uas_runtime.Store}: every expensive artifact
+    (kernel schedule, exact-II certificate, hardware estimate, planner
+    row) is keyed by a content hash of its full provenance — the
+    canonical program text (the {!Uas_ir.Pp} round-trip form), the
+    rewrite trail that produced it, the caller's [context] parts
+    (datapath fingerprint, effort budgets, cost-model version) and the
+    store format version.  All hooks are no-ops when no store is
+    installed; lookups count as [cu.store-hit]/[cu.store-miss], and a
+    bad or undecodable entry is a miss plus an incident (pass
+    ["store"]) — never a wrong answer. *)
+
+(** The program's canonical text ({!Uas_ir.Pp.program_to_string}),
+    memoized; reset by {!with_program}. *)
+val canonical_text : t -> string
+
+(** The rewrite trail, oldest first: one label per successfully applied
+    rewrite (pushed by [Rewrite.apply]).  Survives {!with_program}. *)
+val trail : t -> string list
+
+val push_trail : t -> string -> unit
+
+(** The full cache key an artifact of [kind] would be stored under
+    (exposed for tests and external poisoning). *)
+val store_key : t -> kind:string -> context:string list -> string
+
+(** Look the artifact up in the installed store.  [None] on a miss, a
+    bad entry (incident logged), verify mode, or no store. *)
+val store_get : t -> kind:string -> context:string list -> string option
+
+(** Publish the artifact.  In verify mode ([--cache-verify]) the fresh
+    payload is first compared against the cached bytes: a mismatch
+    logs an incident and counts [cu.store-verify-mismatch], then the
+    recomputed value replaces the entry. *)
+val store_put : t -> kind:string -> context:string list -> string -> unit
+
+(** Record that a payload under this kind decoded to nothing usable:
+    logs the incident (callers then recompute). *)
+val store_undecodable : t -> kind:string -> unit

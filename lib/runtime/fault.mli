@@ -15,7 +15,15 @@
 
     Sites wired through the stack: [parallel.task] (label: input
     index), [pass.run] (label: pass name), [rewrite.apply] (label:
-    rewrite name), [interp.run] (label: interpreter tier).
+    rewrite name), [interp.run] (label: interpreter tier),
+    [store.read] and [store.write] (label: artifact kind — [schedule],
+    [exact], [report], [plan-row]).  The store sites are absorbed
+    inside {!Uas_runtime.Store}: a read fault classifies the lookup as
+    [Bad] (a miss plus a [Cu] incident, then recomputation), a write
+    [raise]/[stall] fails the save, and a write [corrupt] poisons the
+    entry on disk under a truthful header so the {e next} read detects
+    the checksum mismatch — proving a poisoned cache can never change
+    an answer.
 
     Kinds: [raise] throws {!Injected} at the site; [stall] spins
     cooperatively until a pool watchdog cancels the task (or a cap

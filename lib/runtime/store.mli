@@ -1,0 +1,120 @@
+(** Persistent content-addressed artifact store.
+
+    Expensive compilation artifacts (kernel schedules, exact-II
+    certificates, hardware estimates, planner rows) are serialized and
+    keyed by a content hash of their full provenance: canonical program
+    text, rewrite trail, tool parameters, cost-model version and the
+    store format version.  Same key, same bytes — so a warm cache run
+    is byte-identical to a cold one, and a stale or corrupted entry can
+    only ever be a {e miss} (plus a [Cu] incident), never a wrong
+    answer.
+
+    On-disk layout under the store directory:
+
+    {v
+    <dir>/objects/<kind>/<k0k1>/<key>   one artifact per file
+    <dir>/tmp/                          write staging (rename target)
+    v}
+
+    Each object file carries a small header (format version, kind, key,
+    payload checksum, payload length) followed by the payload; {!read}
+    re-validates all of it and classifies any mismatch as {!Bad}.
+    Writes go to a unique temp file first and are published with
+    [Sys.rename], so concurrent writers and crashed runs never leave a
+    torn entry.  When the store grows past its byte budget an eviction
+    sweep deletes oldest-modified objects first.
+
+    Fault injection: the [store.read] and [store.write] sites (label =
+    artifact kind) are handled {e inside} this module — an injected
+    read fault surfaces as {!Bad}, an injected write fault as [Error],
+    and nothing ever escapes as an exception. *)
+
+(** The environment variable naming the store directory: ["UAS_CACHE"].
+    CLIs consult it when no [--cache] flag is given. *)
+val env_var : string
+
+(** The environment variable overriding the byte budget:
+    ["UAS_CACHE_MAX_BYTES"]. *)
+val max_bytes_env_var : string
+
+(** On-disk entry format version; part of every cache key, so a format
+    bump invalidates the whole store without deleting it. *)
+val format_version : int
+
+type t
+
+(** [open_dir ?max_bytes dir] creates [dir] (and its [objects/] and
+    [tmp/] subdirectories) if needed and scans the existing objects to
+    seed the size accounting.  [max_bytes] defaults to
+    [UAS_CACHE_MAX_BYTES] or 256 MiB.  [Error] renders any filesystem
+    or malformed-budget problem as one line. *)
+val open_dir : ?max_bytes:int -> string -> (t, string) result
+
+(** The store directory. *)
+val dir : t -> string
+
+(** [key parts] is the content hash (MD5, hex) of the parts joined with
+    a NUL separator — the one key-construction function, so every
+    caller hashes provenance the same way. *)
+val key : string list -> string
+
+type read_result =
+  | Hit of string  (** the validated payload *)
+  | Miss  (** no entry under this key *)
+  | Bad of string
+      (** an entry exists but failed validation (torn write, flipped
+          bits, header/kind/key mismatch, injected fault); callers must
+          treat it as a miss and record an incident *)
+
+val read : t -> kind:string -> key:string -> read_result
+
+(** [write t ~kind ~key payload] publishes the entry atomically
+    (write-then-rename) and runs the eviction sweep when over budget.
+    [Error] (filesystem trouble or an injected fault) means the entry
+    was not (correctly) published; callers degrade to an incident. *)
+val write : t -> kind:string -> key:string -> string -> (unit, string) result
+
+(** {2 Statistics}
+
+    Always on (plain atomic counters, no instrumentation gate) so the
+    CLIs can report hit rates and per-request latency even on clean
+    runs. *)
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_bad : int;  (** entries that failed validation *)
+  st_writes : int;
+  st_evicted : int;
+  st_read_s : float;  (** cumulative wall-clock spent in {!read} *)
+  st_write_s : float;  (** cumulative wall-clock spent in {!write} *)
+}
+
+val stats : t -> stats
+
+(** Hits over all lookups ([hits + misses + bad]); [0.] when none. *)
+val hit_rate : stats -> float
+
+(** The stats as a JSON object (trajectory schema v5 ["store"] key). *)
+val stats_json : t -> string
+
+(** One human line for stderr: hit rate, lookups, mean latencies. *)
+val pp_stats : Format.formatter -> t -> unit
+
+(** {2 The installed store}
+
+    Process-global, installed once at CLI startup before any worker
+    domain spawns; [Cu] load/save hooks consult it. *)
+
+val install : t -> unit
+val installed : unit -> t option
+
+(** Remove the installed store (tests). *)
+val uninstall : unit -> unit
+
+(** Verify mode ([--cache-verify]): loads always recompute, and saves
+    compare the fresh artifact against the cached bytes — a mismatch is
+    surfaced by the caller as an incident and the entry is replaced. *)
+val set_verify : bool -> unit
+
+val verify_mode : unit -> bool

@@ -14,8 +14,11 @@ let schema = "uas-bench-trajectory"
    v3: the "incidents" array (faults recovered, cells degraded or
    skipped during the run) and the "fault_plan" key.
    v4: the "gaps" array (heuristic vs exact-oracle II per
-   benchmark × version, from --exact-ii report). *)
-let version = 4
+   benchmark × version, from --exact-ii report).
+   v5: the "store" key (artifact-store hit/miss/latency counters when
+   a cache is installed via UAS_CACHE/--cache; null otherwise — no
+   directory path, so snapshots stay machine-independent). *)
+let version = 5
 
 type target = { t_name : string; t_wall_s : float }
 type metric = { m_name : string; m_value : float; m_unit : string }
@@ -150,9 +153,15 @@ let to_json t =
     | None -> "null"
     | Some p -> Printf.sprintf "\"%s\"" (esc p)
   in
+  let store_json =
+    match Store.installed () with
+    | None -> "null"
+    | Some s -> Store.stats_json s
+  in
   Printf.sprintf
-    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"fault_plan\":%s,\"targets\":[%s],\"metrics\":[%s],\"plans\":[%s],\"gaps\":[%s],\"incidents\":[%s],\"instrumentation\":%s}"
+    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"fault_plan\":%s,\"store\":%s,\"targets\":[%s],\"metrics\":[%s],\"plans\":[%s],\"gaps\":[%s],\"incidents\":[%s],\"instrumentation\":%s}"
     (esc schema) version (esc t.interp_tier) jobs_json fault_plan_json
+    store_json
     (String.concat "," (List.map target_json (targets t)))
     (String.concat "," (List.map metric_json (metrics t)))
     (String.concat "," (List.map plan_json (plans t)))

@@ -4,13 +4,16 @@
     planner tables, the interpreter tier and pool size, and the
     {!Instrument} span/counter breakdown.
 
-    Schema (version 4; no timestamps, so snapshots diff cleanly):
+    Schema (version 5; no timestamps, so snapshots diff cleanly):
     {v
     { "schema": "uas-bench-trajectory",
-      "version": 4,
+      "version": 5,
       "interp_tier": "fast",
       "jobs": null | N,
       "fault_plan": null | "site:kind:nth,...",
+      "store": null | {"hits": n, "misses": n, "bad": n, "writes": n,
+                       "evicted": n, "hit_rate": x,
+                       "read_s": s, "write_s": s},
       "targets": [ {"name": "...", "wall_s": s}, ... ],
       "metrics": [ {"name": "...", "value": x, "unit": "..."}, ... ],
       "plans": [ { "benchmark": "...", "objective": "...",
@@ -32,7 +35,9 @@
 
     [fault_plan] echoes the armed {!Fault} plan (null on a clean run,
     so clean snapshots are unchanged by-key from v2 apart from the
-    version bump and the empty [incidents] array).  Incidents record
+    version bump and the empty [incidents] array).  [store] echoes the
+    installed {!Store}'s counters — null when no artifact cache is
+    configured, and never the cache directory path.  Incidents record
     every cell the run degraded or skipped non-fatally.  Gaps record
     the second II oracle's verdict per benchmark × version
     ([--exact-ii report]): [gap] is [heuristic_ii - optimal_ii] when

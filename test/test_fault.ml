@@ -192,6 +192,114 @@ let test_stuck_verification_degrades_cell () =
           (Helpers.contains ~sub:"degraded:" rendered)
       | cells -> Alcotest.failf "expected 1 cell, got %d" (List.length cells))
 
+(* --- the artifact store under injected faults ------------------------ *)
+
+module Store = Uas_runtime.Store
+
+let store_dir_counter = ref 0
+
+let with_fresh_store f =
+  incr store_dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "uas-fault-store-%d-%d" (Unix.getpid ())
+         !store_dir_counter)
+  in
+  let s =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "open_dir %s: %s" dir m
+  in
+  Store.install s;
+  Fun.protect ~finally:Store.uninstall (fun () -> f s)
+
+let store_versions = [ N.Original; N.Squashed 2 ]
+
+(* the table body with the incident footers stripped: what the cells
+   actually say, independent of how the trouble is footnoted *)
+let render_body row =
+  let row =
+    { row with
+      E.br_cells =
+        List.map (fun c -> { c with E.c_incidents = [] }) row.E.br_cells }
+  in
+  Fmt.str "%a%a" E.pp_table_6_2 [ row ] E.pp_table_6_3 [ row ]
+
+let run_store_row () =
+  E.run_benchmark ~versions:store_versions ~jobs:1 (iir ())
+
+let row_has_incident ~sub row =
+  List.exists
+    (fun (c : E.cell) ->
+      List.exists
+        (fun d -> Helpers.contains ~sub (Diag.to_string d))
+        c.E.c_incidents)
+    row.E.br_cells
+
+(* A fault on the cached-artifact read path — injected raise or
+   injected bit rot — is a miss plus an incident: the cell recomputes
+   to the same values it had cold, never serves the poisoned bytes,
+   and never backtraces. *)
+let test_store_read_fault_recomputes () =
+  reset ();
+  let baseline = render_body (run_store_row ()) in
+  List.iter
+    (fun (plan, expect) ->
+      with_fresh_store (fun _s ->
+          Fun.protect ~finally:reset (fun () ->
+              let cold = run_store_row () in
+              Alcotest.(check string)
+                (plan ^ ": cold run matches the storeless baseline") baseline
+                (render_body cold);
+              arm_or_fail plan;
+              let warm = run_store_row () in
+              Alcotest.(check string)
+                (plan ^ ": recomputed cells byte-identical") baseline
+                (render_body warm);
+              Alcotest.(check bool)
+                (plan ^ ": incident says recomputing") true
+                (row_has_incident ~sub:"recomputing" warm);
+              Alcotest.(check bool)
+                (plan ^ ": incident names the cause") true
+                (row_has_incident ~sub:expect warm))))
+    [ ("store.read=report:raise:1", "injected fault at site store.read");
+      ("store.read=report:corrupt:1", "checksum mismatch") ]
+
+(* An injected write failure degrades to compute-without-caching: the
+   cells are untouched, the failure is on record. *)
+let test_store_write_fault_degrades () =
+  reset ();
+  let baseline = render_body (run_store_row ()) in
+  with_fresh_store (fun _s ->
+      Fun.protect ~finally:reset (fun () ->
+          arm_or_fail "store.write=report:raise:1";
+          let row = run_store_row () in
+          Alcotest.(check string) "cells byte-identical" baseline
+            (render_body row);
+          Alcotest.(check bool) "write failure is an incident" true
+            (row_has_incident ~sub:"write failed" row)))
+
+(* Corrupt-on-write poisons the entry on disk under a truthful header;
+   the next (clean) run detects the checksum mismatch, recomputes, and
+   footnotes the incident — a wrong cached artifact never reaches a
+   table cell. *)
+let test_store_poisoned_entry_recovers () =
+  reset ();
+  let baseline = render_body (run_store_row ()) in
+  with_fresh_store (fun _s ->
+      Fun.protect ~finally:reset (fun () ->
+          arm_or_fail "store.write=report:corrupt:1";
+          let cold = run_store_row () in
+          Alcotest.(check string) "poisoning is invisible at write time"
+            baseline (render_body cold);
+          reset ();
+          let warm = run_store_row () in
+          Alcotest.(check string) "recomputed cells byte-identical" baseline
+            (render_body warm);
+          Alcotest.(check bool) "poison detected as an incident" true
+            (row_has_incident ~sub:"checksum mismatch" warm)))
+
 (* --- clean runs are byte-identical, validation on or off ------------- *)
 
 let test_validate_off_on_byte_identical () =
@@ -218,5 +326,11 @@ let suite =
       test_unvalidated_corruption_propagates;
     Alcotest.test_case "stuck verification degrades the cell" `Quick
       test_stuck_verification_degrades_cell;
+    Alcotest.test_case "store.read fault recomputes with incident" `Quick
+      test_store_read_fault_recomputes;
+    Alcotest.test_case "store.write fault degrades to uncached" `Quick
+      test_store_write_fault_degrades;
+    Alcotest.test_case "poisoned store entry recovers" `Quick
+      test_store_poisoned_entry_recovers;
     Alcotest.test_case "validate on/off byte-identical when clean" `Quick
       test_validate_off_on_byte_identical ]

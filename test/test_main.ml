@@ -16,6 +16,7 @@ let () =
       ("rewrite", Test_rewrite.suite);
       ("core", Test_core.suite);
       ("runtime", Test_runtime.suite);
+      ("store", Test_store.suite);
       ("fault", Test_fault.suite);
       ("differential", Test_differential.suite);
       ("fast-interp", Test_fast_interp.suite);

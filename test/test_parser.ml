@@ -82,6 +82,27 @@ let test_program_roundtrips () =
         Alcotest.failf "%s does not round-trip:@\n%s" p.Stmt.prog_name text)
     programs
 
+(* The canonical-text fixpoint behind the artifact-store keys: for
+   every registry benchmark, printing, re-parsing and printing again
+   yields the same bytes — so `Pp.program_to_string` is a stable
+   identity for cache keying (a program and its parsed round-trip can
+   never hash to different keys). *)
+let test_registry_canonical_text_fixpoint () =
+  List.iter
+    (fun (b : S.Registry.benchmark) ->
+      let text = Pp.program_to_string b.S.Registry.b_program in
+      let reparsed =
+        try Parser.program_of_string text
+        with Parser.Parse_error e ->
+          Alcotest.failf "%s: canonical text does not parse (%d:%d: %s)"
+            b.S.Registry.b_name e.line e.col e.msg
+      in
+      Alcotest.(check string)
+        (b.S.Registry.b_name ^ ": canonical text is a fixpoint")
+        text
+        (Pp.program_to_string reparsed))
+    (S.Registry.all ())
+
 let test_transformed_roundtrips () =
   (* squashed output (with its generated '@' names) also round-trips *)
   let p = S.Simple.fg_loop ~m:8 ~n:4 in
@@ -161,6 +182,8 @@ let suite =
   [ Alcotest.test_case "expression precedence" `Quick test_expr_precedence;
     QCheck_alcotest.to_alcotest test_expr_roundtrip_qcheck;
     Alcotest.test_case "program roundtrips" `Quick test_program_roundtrips;
+    Alcotest.test_case "registry canonical-text fixpoint" `Quick
+      test_registry_canonical_text_fixpoint;
     Alcotest.test_case "transformed roundtrips" `Quick
       test_transformed_roundtrips;
     Alcotest.test_case "hand-written source" `Quick test_hand_written_source;

@@ -376,6 +376,10 @@ let defaults =
     o_task_timeout = None;
     o_retries = None;
     o_fault = None;
+    o_cache = None;
+    o_cache_verify = false;
+    o_cache_warm = false;
+    o_version = false;
     o_targets = [] }
 
 let test_cli_parse () =
@@ -443,6 +447,18 @@ let test_cli_parse_fault_flags () =
   ignore (check_error "--retries -1" [ "--retries"; "-1" ]);
   ignore (check_error "--fault without value" [ "--fault" ])
 
+let test_cli_parse_cache_flags () =
+  check_ok "--cache dir"
+    [ "--cache"; "/tmp/uas-store" ]
+    { defaults with Cli.o_cache = Some "/tmp/uas-store" };
+  check_ok "--cache-verify" [ "--cache-verify" ]
+    { defaults with Cli.o_cache_verify = true };
+  check_ok "--cache-warm" [ "--cache-warm" ]
+    { defaults with Cli.o_cache_warm = true };
+  check_ok "--version" [ "--version" ]
+    { defaults with Cli.o_version = true };
+  ignore (check_error "--cache without value" [ "--cache" ])
+
 let suite =
   [ Alcotest.test_case "Parallel.map = List.map" `Quick
       test_map_matches_sequential;
@@ -482,4 +498,6 @@ let suite =
       test_cli_rejects_unknown_target;
     Alcotest.test_case "bench CLI: bad -j" `Quick test_cli_rejects_bad_jobs;
     Alcotest.test_case "bench CLI: fault-tolerance flags" `Quick
-      test_cli_parse_fault_flags ]
+      test_cli_parse_fault_flags;
+    Alcotest.test_case "bench CLI: cache flags" `Quick
+      test_cli_parse_cache_flags ]

@@ -1,0 +1,437 @@
+(* The persistent artifact store: entry round-trips, corruption
+   classified as Bad (never a wrong payload), size-bounded eviction,
+   the artifact serializers, and the end-to-end contract — a warm
+   cache run is byte-identical to the cold one with the artifacts
+   served from the store, and verify mode flags a poisoned entry as an
+   incident instead of believing it. *)
+
+open Uas_ir
+module B = Builder
+module D = Uas_dfg
+module Sd = D.Sched
+module Store = Uas_runtime.Store
+module Instrument = Uas_runtime.Instrument
+module E = Uas_core.Experiments
+module N = Uas_core.Nimble
+module R = Uas_bench_suite.Registry
+
+(* --- fixtures --- *)
+
+let dir_counter = ref 0
+
+(* a fresh store rooted in the system temp dir; open_dir creates it *)
+let open_fresh ?max_bytes () =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "uas-store-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  match Store.open_dir ?max_bytes dir with
+  | Ok s -> s
+  | Error m -> Alcotest.failf "open_dir %s: %s" dir m
+
+let object_files s =
+  let rec walk dir acc =
+    Array.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then walk path acc else path :: acc)
+      acc (Sys.readdir dir)
+  in
+  walk (Filename.concat (Store.dir s) "objects") []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let counter name =
+  match List.assoc_opt name (Instrument.counters ()) with
+  | Some n -> n
+  | None -> 0
+
+(* --- the store proper --- *)
+
+let test_write_read_roundtrip () =
+  let s = open_fresh () in
+  let key = Store.key [ "kind=demo"; "some provenance"; "program text" ] in
+  (* payloads are raw bytes: newlines and NULs must survive *)
+  let payload = "line one\nline two\x00binary tail\n" in
+  (match Store.write s ~kind:"demo" ~key payload with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "write: %s" m);
+  (match Store.read s ~kind:"demo" ~key with
+  | Store.Hit p -> Alcotest.(check string) "payload survives" payload p
+  | Store.Miss -> Alcotest.fail "expected a hit, got a miss"
+  | Store.Bad m -> Alcotest.failf "expected a hit, got bad: %s" m);
+  let st = Store.stats s in
+  Alcotest.(check int) "one write" 1 st.Store.st_writes;
+  Alcotest.(check int) "one hit" 1 st.Store.st_hits;
+  Alcotest.(check (float 1e-9)) "hit rate 1" 1.0 (Store.hit_rate st)
+
+let test_unknown_key_is_miss () =
+  let s = open_fresh () in
+  (match Store.read s ~kind:"demo" ~key:(Store.key [ "never written" ]) with
+  | Store.Miss -> ()
+  | Store.Hit _ | Store.Bad _ -> Alcotest.fail "expected a miss");
+  Alcotest.(check int) "one miss" 1 (Store.stats s).Store.st_misses
+
+let test_key_separates_parts () =
+  (* the NUL joiner keeps part boundaries out of collision range *)
+  Alcotest.(check bool)
+    "[ab] <> [a;b]" false
+    (String.equal (Store.key [ "ab" ]) (Store.key [ "a"; "b" ]));
+  Alcotest.(check string)
+    "deterministic"
+    (Store.key [ "a"; "b" ])
+    (Store.key [ "a"; "b" ])
+
+let test_flipped_bit_is_bad () =
+  let s = open_fresh () in
+  let key = Store.key [ "corruptible" ] in
+  (match Store.write s ~kind:"demo" ~key "precious artifact bytes" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "write: %s" m);
+  (match object_files s with
+  | [ path ] ->
+    let contents = read_file path in
+    let b = Bytes.of_string contents in
+    let i = Bytes.length b - 3 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    write_file path (Bytes.to_string b)
+  | files -> Alcotest.failf "expected 1 object file, got %d" (List.length files));
+  (match Store.read s ~kind:"demo" ~key with
+  | Store.Bad m ->
+    Alcotest.(check bool) "names the checksum" true
+      (Helpers.contains ~sub:"checksum" m)
+  | Store.Hit _ -> Alcotest.fail "corrupted entry served as a hit"
+  | Store.Miss -> Alcotest.fail "corrupted entry classified as a miss");
+  Alcotest.(check int) "one bad" 1 (Store.stats s).Store.st_bad
+
+let test_truncated_entry_is_bad () =
+  let s = open_fresh () in
+  let key = Store.key [ "torn" ] in
+  (match Store.write s ~kind:"demo" ~key "a payload that will be cut" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "write: %s" m);
+  (match object_files s with
+  | [ path ] ->
+    let contents = read_file path in
+    write_file path (String.sub contents 0 (String.length contents - 5))
+  | files -> Alcotest.failf "expected 1 object file, got %d" (List.length files));
+  match Store.read s ~kind:"demo" ~key with
+  | Store.Bad _ -> ()
+  | Store.Hit _ -> Alcotest.fail "torn entry served as a hit"
+  | Store.Miss -> Alcotest.fail "torn entry classified as a miss"
+
+let test_entry_under_wrong_key_is_bad () =
+  (* a file that lands under the wrong name (hardware bit rot in a
+     directory block, a mangled restore) carries its own key and is
+     rejected *)
+  let s = open_fresh () in
+  let key_a = Store.key [ "entry a" ] in
+  let key_b = Store.key [ "entry b" ] in
+  (match Store.write s ~kind:"demo" ~key:key_a "payload a" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "write: %s" m);
+  (match object_files s with
+  | [ path_a ] ->
+    let prefix = String.sub key_b 0 2 in
+    let dir_b =
+      Filename.concat
+        (Filename.concat (Filename.concat (Store.dir s) "objects") "demo")
+        prefix
+    in
+    (try Unix.mkdir dir_b 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    write_file (Filename.concat dir_b key_b) (read_file path_a)
+  | files -> Alcotest.failf "expected 1 object file, got %d" (List.length files));
+  match Store.read s ~kind:"demo" ~key:key_b with
+  | Store.Bad m ->
+    Alcotest.(check bool) "names the key mismatch" true
+      (Helpers.contains ~sub:"key mismatch" m)
+  | Store.Hit _ -> Alcotest.fail "misplaced entry served as a hit"
+  | Store.Miss -> Alcotest.fail "misplaced entry classified as a miss"
+
+let test_eviction_bounds_size () =
+  let max_bytes = 4096 in
+  let s = open_fresh ~max_bytes () in
+  let payload = String.make 200 'x' in
+  for i = 1 to 40 do
+    match
+      Store.write s ~kind:"demo"
+        ~key:(Store.key [ string_of_int i ])
+        payload
+    with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "write %d: %s" i m
+  done;
+  let st = Store.stats s in
+  Alcotest.(check bool)
+    "sweep ran" true (st.Store.st_evicted > 0);
+  let on_disk =
+    List.fold_left
+      (fun acc path -> acc + (Unix.stat path).Unix.st_size)
+      0 (object_files s)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "on-disk size %d bounded by the budget %d" on_disk
+       max_bytes)
+    true (on_disk <= max_bytes)
+
+(* --- artifact serializers --- *)
+
+let fg_body =
+  [ B.("b" <-- band (v "a" + int 3) (int 255));
+    B.("a" <-- bxor (v "b" + v "b") (int 21)) ]
+
+let mem_body =
+  [ B.("t" <-- load "src" (v "j"));
+    B.("acc" <-- v "acc" + load "tab" (band (v "t") (int 255)));
+    B.store "dst" (B.v "j") (B.v "acc") ]
+
+let graph_of body = fst (D.Build.build ~inner_index:"j" body)
+
+let test_schedule_serialization_roundtrip () =
+  List.iter
+    (fun (name, body) ->
+      let g = graph_of body in
+      let s = Sd.modulo_schedule g in
+      match Sd.schedule_of_string (Sd.schedule_to_string s) with
+      | Some s' ->
+        if s' <> s then Alcotest.failf "%s: schedule round-trip differs" name
+      | None -> Alcotest.failf "%s: schedule failed to parse back" name)
+    [ ("fg", fg_body); ("mem", mem_body) ];
+  Alcotest.(check (option reject)) "junk rejected" None
+    (Option.map ignore (Sd.schedule_of_string "sched 1 nonsense"))
+
+let test_exact_serialization_roundtrip () =
+  List.iter
+    (fun (name, body) ->
+      let g = graph_of body in
+      let witness = Sd.modulo_schedule g in
+      let e = Sd.optimal_schedule ~witness g in
+      match Sd.exact_of_string (Sd.exact_to_string e) with
+      | Some e' ->
+        if e' <> e then Alcotest.failf "%s: exact round-trip differs" name
+      | None -> Alcotest.failf "%s: exact failed to parse back" name)
+    [ ("fg", fg_body); ("mem", mem_body) ];
+  Alcotest.(check (option reject)) "junk rejected" None
+    (Option.map ignore (Sd.exact_of_string "exact 2 what"))
+
+let iir () =
+  match R.find "iir" with
+  | Some b -> b
+  | None -> Alcotest.fail "IIR benchmark missing"
+
+let test_report_serialization_roundtrip () =
+  let b = iir () in
+  List.iter
+    (fun version ->
+      let built =
+        match
+          N.build_version_result b.R.b_program ~outer_index:b.R.b_outer_index
+            ~inner_index:b.R.b_inner_index version
+        with
+        | Ok built -> built
+        | Error d -> Alcotest.failf "build: %s" (Uas_pass.Diag.to_string d)
+      in
+      let r = N.estimate built in
+      match Uas_hw.Estimate.report_of_string (Uas_hw.Estimate.report_to_string r) with
+      | Some r' ->
+        if r' <> r then Alcotest.fail "report round-trip differs"
+      | None -> Alcotest.fail "report failed to parse back")
+    [ N.Original; N.Pipelined; N.Squashed 2 ]
+
+(* names pass through verbatim, even with spaces and '=' in them *)
+let test_report_name_verbatim () =
+  let b = iir () in
+  let built =
+    match
+      N.build_version_result b.R.b_program ~outer_index:b.R.b_outer_index
+        ~inner_index:b.R.b_inner_index N.Original
+    with
+    | Ok built -> built
+    | Error d -> Alcotest.failf "build: %s" (Uas_pass.Diag.to_string d)
+  in
+  let r = N.estimate built in
+  let r = { r with Uas_hw.Estimate.r_name = "odd name= with spaces" } in
+  match Uas_hw.Estimate.report_of_string (Uas_hw.Estimate.report_to_string r) with
+  | Some r' ->
+    Alcotest.(check string) "name survives" r.Uas_hw.Estimate.r_name
+      r'.Uas_hw.Estimate.r_name
+  | None -> Alcotest.fail "report failed to parse back"
+
+(* --- end to end: cold vs warm --- *)
+
+let render row = Fmt.str "%a%a" E.pp_table_6_2 [ row ] E.pp_table_6_3 [ row ]
+
+let versions = [ N.Original; N.Pipelined; N.Squashed 2; N.Jammed 2 ]
+
+let with_store ?max_bytes f =
+  let s = open_fresh ?max_bytes () in
+  Store.install s;
+  Instrument.set_enabled true;
+  Instrument.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Store.uninstall ();
+      Store.set_verify false;
+      Instrument.reset ();
+      Instrument.set_enabled false)
+    (fun () -> f s)
+
+let test_warm_run_identical_and_served () =
+  with_store (fun s ->
+      let cold = render (E.run_benchmark ~versions ~jobs:1 (iir ())) in
+      Alcotest.(check bool) "cold run populated the store" true
+        ((Store.stats s).Store.st_writes > 0);
+      Instrument.reset ();
+      let warm = render (E.run_benchmark ~versions ~jobs:1 (iir ())) in
+      Alcotest.(check string) "warm byte-identical to cold" cold warm;
+      let hits = counter "cu.store-hit" and misses = counter "cu.store-miss" in
+      Alcotest.(check bool)
+        (Printf.sprintf "warm artifacts served from the store (%d/%d)" hits
+           (hits + misses))
+        true
+        (hits > 0 && misses = 0))
+
+(* Exact_report exercises all three artifact kinds the stages cache:
+   schedule, exact certificate, and hardware estimate. *)
+let test_warm_exact_report_identical () =
+  with_store (fun _s ->
+      let run () =
+        render
+          (E.run_benchmark ~versions ~exact:Sd.Exact_report ~jobs:1 (iir ()))
+      in
+      let cold = run () in
+      Instrument.reset ();
+      let warm = run () in
+      Alcotest.(check string) "warm byte-identical to cold" cold warm;
+      Alcotest.(check bool) "no warm misses" true
+        (counter "cu.store-hit" > 0 && counter "cu.store-miss" = 0))
+
+let test_verify_mode_clean () =
+  with_store (fun _s ->
+      let cold = render (E.run_benchmark ~versions ~jobs:1 (iir ())) in
+      Store.set_verify true;
+      let again = render (E.run_benchmark ~versions ~jobs:1 (iir ())) in
+      Alcotest.(check string) "verify run byte-identical" cold again;
+      Alcotest.(check bool) "recomputations matched the cache" true
+        (counter "cu.store-verify-ok" > 0);
+      Alcotest.(check int) "no mismatches" 0 (counter "cu.store-verify-mismatch"))
+
+(* Poison a cached report (valid header, wrong content: the lie a
+   checksum cannot catch) — verify mode recomputes, flags the
+   mismatch as an incident, and replaces the entry. *)
+let test_verify_mode_catches_poisoned_entry () =
+  with_store (fun s ->
+      let cold = render (E.run_benchmark ~versions ~jobs:1 (iir ())) in
+      let reports_dir =
+        Filename.concat (Filename.concat (Store.dir s) "objects") "report"
+      in
+      let poisoned = ref 0 in
+      List.iter
+        (fun path ->
+          if Helpers.contains ~sub:reports_dir path then begin
+            let contents = read_file path in
+            (* rewrite the payload under a truthful header *)
+            match String.index_opt contents '\n' with
+            | None -> ()
+            | Some _ ->
+              let sep = "\n--\n" in
+              let rec find i =
+                if i + 4 > String.length contents then None
+                else if String.equal (String.sub contents i 4) sep then Some i
+                else find (i + 1)
+              in
+              (match find 0 with
+              | None -> ()
+              | Some i ->
+                let header = String.sub contents 0 i in
+                let payload =
+                  String.sub contents (i + 4)
+                    (String.length contents - i - 4)
+                in
+                let payload' = payload ^ "-poisoned" in
+                let header' =
+                  header
+                  |> String.split_on_char '\n'
+                  |> List.map (fun line ->
+                         if String.length line > 4
+                            && String.equal (String.sub line 0 4) "md5 "
+                         then
+                           "md5 " ^ Digest.to_hex (Digest.string payload')
+                         else if
+                           String.length line > 4
+                           && String.equal (String.sub line 0 4) "len "
+                         then "len " ^ string_of_int (String.length payload')
+                         else line)
+                  |> String.concat "\n"
+                in
+                write_file path (header' ^ sep ^ payload');
+                incr poisoned)
+          end)
+        (object_files s);
+      Alcotest.(check bool) "some reports poisoned" true (!poisoned > 0);
+      Store.set_verify true;
+      let row = E.run_benchmark ~versions ~jobs:1 (iir ()) in
+      Store.set_verify false;
+      Alcotest.(check string)
+        "cells still computed fresh (byte-identical body)" cold
+        (render
+           { row with
+             E.br_cells =
+               List.map
+                 (fun c -> { c with E.c_incidents = [] })
+                 row.E.br_cells });
+      Alcotest.(check bool) "mismatch counted" true
+        (counter "cu.store-verify-mismatch" > 0);
+      Alcotest.(check bool) "mismatch is an incident" true
+        (List.exists
+           (fun (c : E.cell) ->
+             List.exists
+               (fun d ->
+                 Helpers.contains ~sub:"differs from recomputation"
+                   (Uas_pass.Diag.to_string d))
+               c.E.c_incidents)
+           row.E.br_cells))
+
+let suite =
+  [ Alcotest.test_case "write/read round-trip" `Quick
+      test_write_read_roundtrip;
+    Alcotest.test_case "unknown key is a miss" `Quick
+      test_unknown_key_is_miss;
+    Alcotest.test_case "key hashes part boundaries" `Quick
+      test_key_separates_parts;
+    Alcotest.test_case "flipped bit classifies as Bad" `Quick
+      test_flipped_bit_is_bad;
+    Alcotest.test_case "truncated entry classifies as Bad" `Quick
+      test_truncated_entry_is_bad;
+    Alcotest.test_case "entry under the wrong key is Bad" `Quick
+      test_entry_under_wrong_key_is_bad;
+    Alcotest.test_case "eviction bounds the store size" `Quick
+      test_eviction_bounds_size;
+    Alcotest.test_case "schedule serialization round-trip" `Quick
+      test_schedule_serialization_roundtrip;
+    Alcotest.test_case "exact certificate round-trip" `Quick
+      test_exact_serialization_roundtrip;
+    Alcotest.test_case "estimate report round-trip" `Quick
+      test_report_serialization_roundtrip;
+    Alcotest.test_case "report names pass verbatim" `Quick
+      test_report_name_verbatim;
+    Alcotest.test_case "warm run byte-identical, served from store" `Quick
+      test_warm_run_identical_and_served;
+    Alcotest.test_case "warm exact-report run byte-identical" `Quick
+      test_warm_exact_report_identical;
+    Alcotest.test_case "verify mode: clean cache, no incidents" `Quick
+      test_verify_mode_clean;
+    Alcotest.test_case "verify mode: poisoned entry flagged" `Quick
+      test_verify_mode_catches_poisoned_entry ]
