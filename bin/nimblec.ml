@@ -165,11 +165,14 @@ let timings_arg =
         ~doc:"Record per-pass wall-clock spans and counters and print the \
               summary table at the end")
 
+(* [-v] only: subcommands inherit the group's [--version] from
+   Cmdliner, and a second long option of the same name is a hard
+   Invalid_argument at eval time *)
 let version_arg =
   Arg.(
     value
     & opt string "original"
-    & info [ "v"; "version" ] ~docv:"VERSION"
+    & info [ "v" ] ~docv:"VERSION"
         ~doc:"original | pipelined | squash:N | jam:N | jam:J+squash:K")
 
 let validate_arg =
@@ -265,7 +268,11 @@ let interp_arg =
     let parse s =
       match Uas_ir.Fast_interp.tier_of_string s with
       | Some t -> Ok t
-      | None -> Error (`Msg (Printf.sprintf "expected ref or fast, got %s" s))
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "expected %s, got %s"
+               Uas_ir.Fast_interp.valid_tiers s))
     in
     let print ppf t = Fmt.string ppf (Uas_ir.Fast_interp.tier_name t) in
     Arg.conv (parse, print)
@@ -275,8 +282,10 @@ let interp_arg =
     & opt (some tier_conv) None
     & info [ "interp" ] ~docv:"TIER"
         ~doc:
-          "Interpreter tier: $(b,ref) (the tree-walking reference) or \
-           $(b,fast) (slot-compiled; the default).  Both produce \
+          "Interpreter tier: $(b,ref) (the tree-walking reference), \
+           $(b,fast) (slot-compiled; the default) or $(b,native) (JIT: \
+           compiled to machine code via ocamlopt + Dynlink, degrading to \
+           $(b,fast) if no toolchain is available).  All produce \
            bit-identical results and profiles.")
 
 (* the flag sets the process-wide default, so every execution path —
@@ -596,17 +605,28 @@ let default_term =
       $ cache_verify_arg))
 
 let () =
-  (* a malformed UAS_JOBS or UAS_FAULT is a diagnostic up front, not an
-     Invalid_argument backtrace out of the first pool dispatch *)
+  (* a malformed UAS_JOBS, UAS_FAULT or UAS_INTERP is a diagnostic up
+     front, not an Invalid_argument backtrace out of the first pool
+     dispatch (or a silent tier fallback) *)
   (match Parallel.default_jobs_result () with
   | Ok _ -> ()
   | Error m -> runtime_error "%s" m);
   (match Fault.env_error () with
   | None -> ()
   | Some m -> runtime_error "%s: %s" Fault.env_var m);
+  (match Uas_ir.Fast_interp.env_tier_error () with
+  | None -> ()
+  | Some m -> runtime_error "%s" m);
+  let version =
+    (* the toolchain fingerprint probe forks a subprocess; only pay for
+       it when the version is actually being printed *)
+    if Array.exists (String.equal "--version") Sys.argv then
+      Uas_runtime.Build_info.version_string ^ "\n"
+      ^ Uas_runtime.Build_info.jit_version_line ()
+    else Uas_runtime.Build_info.version_string
+  in
   let info =
-    Cmd.info "nimblec" ~version:Uas_runtime.Build_info.version_string
-      ~doc:"Unroll-and-squash loop pipelining flow"
+    Cmd.info "nimblec" ~version ~doc:"Unroll-and-squash loop pipelining flow"
   in
   exit
     (Cmd.eval

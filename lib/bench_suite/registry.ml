@@ -104,7 +104,10 @@ let find name : benchmark option =
    an otherwise-normal run. *)
 let stall_fuel = 64
 
-let tier_name = function Fast_interp.Ref -> "ref" | Fast -> "fast"
+let tier_name = function
+  | Fast_interp.Ref -> "ref"
+  | Fast -> "fast"
+  | Native -> "native"
 
 let corrupt_result (r : Interp.result) : Interp.result =
   match r.Interp.outputs with
@@ -123,19 +126,22 @@ let corrupt_result (r : Interp.result) : Interp.result =
 let run_tier ?fuel (tier : Fast_interp.tier) (p : Stmt.program)
     (w : Interp.workload) : Interp.result =
   let span =
-    match tier with Fast_interp.Ref -> "interp.run.ref" | Fast -> "interp.run.fast"
+    match tier with
+    | Fast_interp.Ref -> "interp.run.ref"
+    | Fast -> "interp.run.fast"
+    | Native -> "interp.run.native"
   in
   Uas_runtime.Instrument.span span (fun () ->
       match Uas_runtime.Fault.hit ~label:(tier_name tier) "interp.run" with
-      | None -> Fast_interp.run_tier ?fuel tier p w
+      | None -> Native_interp.run_tier ?fuel tier p w
       | Some Uas_runtime.Fault.Raise ->
         raise
           (Uas_runtime.Fault.Injected
              { site = "interp.run"; kind = Uas_runtime.Fault.Raise })
       | Some Uas_runtime.Fault.Stall ->
-        Fast_interp.run_tier ~fuel:stall_fuel tier p w
+        Native_interp.run_tier ~fuel:stall_fuel tier p w
       | Some Uas_runtime.Fault.Corrupt ->
-        corrupt_result (Fast_interp.run_tier ?fuel tier p w))
+        corrupt_result (Native_interp.run_tier ?fuel tier p w))
 
 (** Does an interpreter result reproduce the benchmark's host
     reference outputs exactly? *)

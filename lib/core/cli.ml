@@ -36,8 +36,10 @@ let parse ~available args =
         match Fast_interp.tier_of_string t with
         | Some tier -> go { acc with o_interp = Some tier } rest'
         | None ->
-          Error (Printf.sprintf "--interp expects ref or fast, got %s" t))
-      | [] -> Error "--interp expects ref or fast")
+          Error
+            (Printf.sprintf "--interp expects %s, got %s"
+               Fast_interp.valid_tiers t))
+      | [] -> Error ("--interp expects " ^ Fast_interp.valid_tiers))
     | "--json" :: rest -> (
       match rest with
       | f :: rest' -> go { acc with o_json = Some f } rest'

@@ -21,15 +21,31 @@ open Types
 
 (* --- interpreter tiers --- *)
 
-type tier = Ref | Fast
+type tier = Ref | Fast | Native
 
-let tier_name = function Ref -> "ref" | Fast -> "fast"
+let tier_name = function Ref -> "ref" | Fast -> "fast" | Native -> "native"
 
 let tier_of_string s =
   match String.lowercase_ascii s with
   | "ref" | "reference" -> Some Ref
   | "fast" -> Some Fast
+  | "native" -> Some Native
   | _ -> None
+
+let env_var = "UAS_INTERP"
+let valid_tiers = "ref, fast or native"
+
+(* An unknown tier name in the environment is a configuration error
+   the CLIs report up front (exit 1, like a malformed UAS_JOBS) — not
+   something to silently fall back from. *)
+let env_tier_error () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+    match tier_of_string s with
+    | Some _ -> None
+    | None ->
+      Some (Printf.sprintf "%s expects %s, got %s" env_var valid_tiers s))
 
 (* The process-wide default tier: what the production paths (benchmark
    verification, the Table 1.1 profiler, nimblec run) use when no tier
@@ -37,7 +53,7 @@ let tier_of_string s =
    UAS_INTERP; an Atomic so pool domains read it safely. *)
 let default =
   Atomic.make
-    (match Option.bind (Sys.getenv_opt "UAS_INTERP") tier_of_string with
+    (match Option.bind (Sys.getenv_opt env_var) tier_of_string with
     | Some t -> t
     | None -> Fast)
 
@@ -501,7 +517,12 @@ let run_program ?fuel (p : Stmt.program) (w : Interp.workload) :
   run ?fuel (compile p) w
 
 (** Run on the given tier: the reference interpreter, or compile+run on
-    the fast tier. *)
+    the fast tier.  [Native] also runs the fast tier here: the JIT
+    lives above this module ([Native_interp] depends on it), so this
+    dispatcher can only degrade; production paths route through
+    [Native_interp.run_tier], which handles all three. *)
 let run_tier ?fuel (t : tier) (p : Stmt.program) (w : Interp.workload) :
     Interp.result =
-  match t with Ref -> Interp.run ?fuel p w | Fast -> run_program ?fuel p w
+  match t with
+  | Ref -> Interp.run ?fuel p w
+  | Fast | Native -> run_program ?fuel p w

@@ -18,11 +18,25 @@
 type tier =
   | Ref  (** the tree-walking reference interpreter ({!Interp.run}) *)
   | Fast  (** this compile-to-closure tier *)
+  | Native
+      (** the JIT tier ([Native_interp]): codegen to OCaml, compile
+          out-of-process, load via Dynlink *)
 
 val tier_name : tier -> string
 
-(** ["ref"]/["reference"] or ["fast"] (case-insensitive). *)
+(** ["ref"]/["reference"], ["fast"] or ["native"] (case-insensitive). *)
 val tier_of_string : string -> tier option
+
+(** The [UAS_INTERP] environment variable name. *)
+val env_var : string
+
+(** The valid tier names, for diagnostics: ["ref, fast or native"]. *)
+val valid_tiers : string
+
+(** [Some message] if {!env_var} is set to an unknown tier name — the
+    CLIs report it up front and exit 1 (never a silent fallback, never
+    a backtrace). *)
+val env_tier_error : unit -> string option
 
 (** The process-wide default tier used by the production execution
     paths (benchmark verification, the Table 1.1 profiler, nimblec
@@ -55,6 +69,9 @@ val run : ?fuel:int -> compiled -> Interp.workload -> Interp.result
 (** Compile and run in one step (no artifact reuse). *)
 val run_program : ?fuel:int -> Stmt.program -> Interp.workload -> Interp.result
 
-(** Run on the given tier: {!Interp.run}, or {!run_program}. *)
+(** Run on the given tier: {!Interp.run}, or {!run_program}.  [Native]
+    degrades to the fast tier here (the JIT lives above this module);
+    production paths use [Native_interp.run_tier], which dispatches
+    all three. *)
 val run_tier :
   ?fuel:int -> tier -> Stmt.program -> Interp.workload -> Interp.result

@@ -1,0 +1,1067 @@
+(* The native JIT interpreter tier (interp v3).
+
+   [generate] lowers a program to OCaml source specialized to it —
+   scalars in unboxed [int array]/[float array] cells, arrays in typed
+   native arrays, ROM contents baked as literals, cycle/mem-ref profile
+   charges folded into per-block constants, and every [Stuck] message
+   baked as the exact string the reference interpreter would render.
+   [prepare] compiles that source out-of-process with
+   [ocamlfind ocamlopt -shared] against this library's own build
+   artifacts, loads the resulting [.cmxs] with [Dynlink], and caches
+   the bytes in the persistent artifact store (kind ["cmxs"]) so repeat
+   traffic skips the compiler entirely.
+
+   The tier contract is the one PR 3 established for [Fast_interp]:
+   observationally bit-identical to [Interp] — outputs, final scalars,
+   the complete cycle/trip/mem-ref profile, the exact [Interp.Stuck]
+   strings and the same [Interp.Out_of_fuel] cutoff, in the same
+   evaluation order.  Two observations make the 10x-class speedup
+   legal:
+
+   - the profile of a run is only observable when the run {e succeeds}
+     (a [Stuck]/[Out_of_fuel] run returns no result), so cycle and
+     mem-ref charges can be summed statically per straight-line block
+     and attributed to one dense counter per static loop path, with
+     the inclusive rollup done once at the end;
+   - fuel, by contrast, {e orders} against [Stuck] raises, so it is
+     decremented per statement — batched only across maximal runs of
+     provably non-raising statements, where the only observable
+     outcome of exhaustion is [Out_of_fuel] itself.
+
+   A program the generator cannot statically type (the IR is
+   dynamically typed; every well-formed benchmark kernel and every
+   transformed version types fine) — or any toolchain, compile, or
+   load failure — surfaces as [Error reason] from [prepare], and the
+   dispatch helpers degrade to the fast tier: never a crash, never a
+   wrong answer.  The [jit.compile] fault site and instrumentation
+   span cover the compile pipeline. *)
+
+open Types
+module Instrument = Uas_runtime.Instrument
+module Fault = Uas_runtime.Fault
+module Store = Uas_runtime.Store
+module Build_info = Uas_runtime.Build_info
+
+let codegen_version = 1
+let store_kind = "cmxs"
+let fault_site = "jit.compile"
+let objs_env_var = "UAS_JIT_OBJS"
+
+(* ---------- static typing ---------- *)
+
+(* The static type of a generated expression.  [SBot] marks code whose
+   evaluation always raises (an undeclared name, a statically
+   guaranteed type error): its generated form ends in a polymorphic
+   raise helper, so it embeds at any type and everything sequenced
+   after it is dead. *)
+type sty = SInt | SFloat | SBot
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+let sty_of_ty = function Tint -> SInt | Tfloat -> SFloat
+
+(* ---------- program layout ---------- *)
+
+(* One storage cell per scalar name, mirroring the reference
+   interpreter's environment: declared scalars (a duplicate
+   declaration shares the cell, which is only faithful when the
+   declared types agree — otherwise we refuse) followed by undeclared
+   loop indices, which become readable only once their loop has run
+   and so carry a definedness flag. *)
+type cell = {
+  cl_ty : ty;
+  cl_idx : int;  (* index into _si (Tint) or _sf (Tfloat) *)
+  cl_declared : bool;
+  cl_def : int;  (* definedness-flag index; -1 for declared cells *)
+}
+
+type layout = {
+  cells : (var, cell) Hashtbl.t;
+  decl_order : var list;  (* declared names, first occurrence only *)
+  n_int : int;
+  n_float : int;
+  n_def : int;
+  arrs : Stmt.array_decl array;
+  arr_of_name : (array_id, int) Hashtbl.t;  (* name -> last decl index *)
+  roms : Stmt.rom_decl array;
+  rom_of_name : (rom_id, int) Hashtbl.t;
+  (* static loop tree: ids are 1-based, 0 is the root charge counter;
+     two loops with the same path share the reference interpreter's
+     stats entry, so they share an id *)
+  loop_ids : (string, int) Hashtbl.t;  (* path -> id *)
+  mutable loop_meta : (int * string) list;  (* (parent id, path), rev by id *)
+  mutable n_loops : int;
+  mutable tmp : int;
+}
+
+let build_layout (p : Stmt.program) : layout =
+  let cells = Hashtbl.create 32 in
+  let decl_order = ref [] in
+  let n_int = ref 0 and n_float = ref 0 and n_def = ref 0 in
+  List.iter
+    (fun (v, t) ->
+      match Hashtbl.find_opt cells v with
+      | Some c ->
+        if not (equal_ty c.cl_ty t) then
+          unsupported "scalar %s declared with two conflicting types" v
+      | None ->
+        let counter = match t with Tint -> n_int | Tfloat -> n_float in
+        Stdlib.incr counter;
+        Hashtbl.replace cells v
+          { cl_ty = t; cl_idx = !counter - 1; cl_declared = true; cl_def = -1 };
+        decl_order := v :: !decl_order)
+    (Stmt.scalar_decls p);
+  (* undeclared loop indices (the reference interpreter materializes
+     them on loop entry, always as integers) *)
+  Stmt.fold_list
+    (fun () s ->
+      match s with
+      | Stmt.For l -> (
+        match Hashtbl.find_opt cells l.index with
+        | Some c ->
+          if not (equal_ty c.cl_ty Tint) then
+            unsupported "loop index %s is declared as a float" l.index
+        | None ->
+          Stdlib.incr n_int;
+          Stdlib.incr n_def;
+          Hashtbl.replace cells l.index
+            { cl_ty = Tint;
+              cl_idx = !n_int - 1;
+              cl_declared = false;
+              cl_def = !n_def - 1 })
+      | _ -> ())
+    () p.body;
+  let arr_of_name = Hashtbl.create 8 in
+  List.iteri
+    (fun i (d : Stmt.array_decl) -> Hashtbl.replace arr_of_name d.a_name i)
+    p.arrays;
+  let rom_of_name = Hashtbl.create 8 in
+  List.iteri
+    (fun i (r : Stmt.rom_decl) -> Hashtbl.replace rom_of_name r.r_name i)
+    p.roms;
+  let lay =
+    { cells;
+      decl_order = List.rev !decl_order;
+      n_int = !n_int;
+      n_float = !n_float;
+      n_def = !n_def;
+      arrs = Array.of_list p.arrays;
+      arr_of_name;
+      roms = Array.of_list p.roms;
+      rom_of_name;
+      loop_ids = Hashtbl.create 8;
+      loop_meta = [];
+      n_loops = 0;
+      tmp = 0 }
+  in
+  let rec walk parent path stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Stmt.For l ->
+          let lpath = path ^ "/" ^ l.index in
+          let id =
+            match Hashtbl.find_opt lay.loop_ids lpath with
+            | Some id -> id
+            | None ->
+              lay.n_loops <- lay.n_loops + 1;
+              Hashtbl.replace lay.loop_ids lpath lay.n_loops;
+              lay.loop_meta <- (parent, lpath) :: lay.loop_meta;
+              lay.n_loops
+          in
+          walk id lpath l.body
+        | Stmt.If (_, t, e) ->
+          walk parent path t;
+          walk parent path e
+        | Stmt.Assign _ | Stmt.Store _ -> ())
+      stmts
+  in
+  walk 0 "" p.body;
+  lay
+
+let fresh lay =
+  lay.tmp <- lay.tmp + 1;
+  Printf.sprintf "_t%d" lay.tmp
+
+(* ---------- static profile accounting ---------- *)
+
+let op_cost (k : Opinfo.op_kind) = max 1 (Opinfo.default_delay k)
+
+let rec expr_cycles (e : Expr.t) =
+  match e with
+  | Expr.Int _ | Expr.Float _ | Expr.Var _ -> 0
+  | Expr.Load (_, i) -> expr_cycles i + op_cost Opinfo.Op_load
+  | Expr.Rom (_, i) -> expr_cycles i + op_cost Opinfo.Op_rom
+  | Expr.Unop (o, x) -> expr_cycles x + op_cost (Opinfo.Op_unop o)
+  | Expr.Binop (o, l, r) ->
+    expr_cycles l + expr_cycles r + op_cost (Opinfo.Op_binop o)
+  | Expr.Select (c, t, f) ->
+    expr_cycles c + expr_cycles t + expr_cycles f + op_cost Opinfo.Op_select
+
+(* charges at this block level only: branch and loop bodies flush
+   into their own counters *)
+let stmt_cycles (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (_, e) -> expr_cycles e + op_cost Opinfo.Op_move
+  | Stmt.Store (_, i, e) ->
+    expr_cycles i + expr_cycles e + op_cost Opinfo.Op_store
+  | Stmt.If (c, _, _) -> expr_cycles c + 1
+  | Stmt.For l -> expr_cycles l.lo + expr_cycles l.hi
+
+let stmt_mems (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (_, e) -> Expr.load_count e
+  | Stmt.Store (_, i, e) -> Expr.load_count i + Expr.load_count e + 1
+  | Stmt.If (c, _, _) -> Expr.load_count c
+  | Stmt.For l -> Expr.load_count l.lo + Expr.load_count l.hi
+
+(* ---------- operator tables ---------- *)
+
+let binop_ctor = function
+  | Add -> "Add" | Sub -> "Sub" | Mul -> "Mul" | Div -> "Div" | Mod -> "Mod"
+  | BAnd -> "BAnd" | BOr -> "BOr" | BXor -> "BXor" | Shl -> "Shl" | Shr -> "Shr"
+  | Lt -> "Lt" | Le -> "Le" | Gt -> "Gt" | Ge -> "Ge" | Eq -> "Eq" | Ne -> "Ne"
+  | Fadd -> "Fadd" | Fsub -> "Fsub" | Fmul -> "Fmul" | Fdiv -> "Fdiv"
+  | Fcmp_lt -> "Fcmp_lt" | Fcmp_le -> "Fcmp_le"
+
+let unop_ctor = function
+  | Neg -> "Neg" | BNot -> "BNot" | Fneg -> "Fneg" | I2f -> "I2f" | F2i -> "F2i"
+
+let binop_sig = function
+  | Add | Sub | Mul | Div | Mod | BAnd | BOr | BXor | Shl | Shr | Lt | Le | Gt
+  | Ge | Eq | Ne ->
+    (Tint, Tint, Tint)
+  | Fadd | Fsub | Fmul | Fdiv -> (Tfloat, Tfloat, Tfloat)
+  | Fcmp_lt | Fcmp_le -> (Tfloat, Tfloat, Tint)
+
+let unop_sig = function
+  | Neg | BNot -> (Tint, Tint)
+  | Fneg -> (Tfloat, Tfloat)
+  | I2f -> (Tint, Tfloat)
+  | F2i -> (Tfloat, Tint)
+
+(* ---------- expression generation ---------- *)
+
+type gexpr = { g_ty : sty; g_code : string; g_raises : bool }
+
+let scal_arr (c : cell) = match c.cl_ty with Tint -> "_si" | Tfloat -> "_sf"
+
+(* a bound operand rendered as a boxed [value] — cold error paths
+   only, handing [Expr.eval_binop] the operands its messages embed *)
+let boxed t v =
+  match t with
+  | SInt -> Printf.sprintf "(VInt %s)" v
+  | SFloat -> Printf.sprintf "(VFloat %s)" v
+  | SBot -> assert false
+
+let rec gen_expr lay (e : Expr.t) : gexpr =
+  match e with
+  | Expr.Int n ->
+    { g_ty = SInt; g_code = Printf.sprintf "(%d)" n; g_raises = false }
+  | Expr.Float f ->
+    (* exact bit pattern, immune to literal round-tripping *)
+    { g_ty = SFloat;
+      g_code =
+        Printf.sprintf "(Int64.float_of_bits 0x%LxL)" (Int64.bits_of_float f);
+      g_raises = false }
+  | Expr.Var x -> (
+    match Hashtbl.find_opt lay.cells x with
+    | None ->
+      { g_ty = SBot;
+        g_code =
+          Printf.sprintf "(_stuck %S)" ("read of undeclared scalar " ^ x);
+        g_raises = true }
+    | Some c when c.cl_declared ->
+      { g_ty = sty_of_ty c.cl_ty;
+        g_code =
+          Printf.sprintf "(Array.unsafe_get %s %d)" (scal_arr c) c.cl_idx;
+        g_raises = false }
+    | Some c ->
+      (* an undeclared loop index: readable only once its loop ran *)
+      { g_ty = SInt;
+        g_code =
+          Printf.sprintf
+            "(if Array.unsafe_get _def %d then Array.unsafe_get _si %d else \
+             _stuck %S)"
+            c.cl_def c.cl_idx
+            ("read of undeclared scalar " ^ x);
+        g_raises = true })
+  | Expr.Load (a, i) -> (
+    let gi = gen_int lay i in
+    match Hashtbl.find_opt lay.arr_of_name a with
+    | None ->
+      { g_ty = SBot;
+        g_code =
+          Printf.sprintf "(let _ = %s in _stuck %S)" gi.g_code
+            ("load from undeclared array " ^ a);
+        g_raises = true }
+    | Some k ->
+      let d = lay.arrs.(k) in
+      let t = fresh lay in
+      { g_ty = sty_of_ty d.a_ty;
+        g_code =
+          Printf.sprintf
+            "(let %s = %s in if %s < 0 || %s >= %d then _stuck (Printf.sprintf \
+             %S %S %s %d) else Array.unsafe_get _a%d %s)"
+            t gi.g_code t t d.a_size "load %s[%d] out of bounds (size %d)"
+            d.a_name t d.a_size k t;
+        g_raises = true })
+  | Expr.Rom (r, i) -> (
+    let gi = gen_int lay i in
+    match Hashtbl.find_opt lay.rom_of_name r with
+    | None ->
+      { g_ty = SBot;
+        g_code =
+          Printf.sprintf "(let _ = %s in _stuck %S)" gi.g_code
+            ("lookup in undeclared rom " ^ r);
+        g_raises = true }
+    | Some k ->
+      let size = Array.length lay.roms.(k).r_data in
+      let t = fresh lay in
+      { g_ty = SInt;
+        g_code =
+          Printf.sprintf
+            "(let %s = %s in if %s < 0 || %s >= %d then _stuck (Printf.sprintf \
+             %S %S %s %d) else Array.unsafe_get _rom%d %s)"
+            t gi.g_code t t size "rom lookup %s(%d) out of bounds (size %d)"
+            lay.roms.(k).r_name t size k t;
+        g_raises = true })
+  | Expr.Unop (o, x) -> (
+    let gx = gen_expr lay x in
+    let targ, tres = unop_sig o in
+    match gx.g_ty with
+    | SBot -> gx
+    | t when t = sty_of_ty targ ->
+      let a = fresh lay in
+      let body =
+        match o with
+        | Neg -> Printf.sprintf "(- %s)" a
+        | BNot -> Printf.sprintf "(lnot %s)" a
+        | Fneg -> Printf.sprintf "(-. %s)" a
+        | I2f -> Printf.sprintf "(float_of_int %s)" a
+        | F2i -> Printf.sprintf "(int_of_float %s)" a
+      in
+      { g_ty = sty_of_ty tres;
+        g_code = Printf.sprintf "(let %s = %s in %s)" a gx.g_code body;
+        g_raises = gx.g_raises }
+    | t ->
+      (* statically guaranteed type error: let the reference
+         evaluator render it *)
+      let a = fresh lay in
+      { g_ty = SBot;
+        g_code =
+          Printf.sprintf "(let %s = %s in _uu %s %s)" a gx.g_code (unop_ctor o)
+            (boxed t a);
+        g_raises = true })
+  | Expr.Binop (o, l, r) -> (
+    let gl = gen_expr lay l in
+    let gr = gen_expr lay r in
+    let tl, tr, tres = binop_sig o in
+    match (gl.g_ty, gr.g_ty) with
+    | SBot, _ | _, SBot ->
+      (* left operand evaluates (and raises) first, as in the
+         reference; the other side is dead but well-typed *)
+      { g_ty = SBot;
+        g_code =
+          Printf.sprintf "(let _ = %s in let _ = %s in _unreachable ())"
+            gl.g_code gr.g_code;
+        g_raises = true }
+    | tl', tr' when tl' = sty_of_ty tl && tr' = sty_of_ty tr ->
+      let a = fresh lay and b = fresh lay in
+      let body, guarded =
+        match o with
+        | Add -> (Printf.sprintf "(%s + %s)" a b, false)
+        | Sub -> (Printf.sprintf "(%s - %s)" a b, false)
+        | Mul -> (Printf.sprintf "(%s * %s)" a b, false)
+        | Div ->
+          ( Printf.sprintf
+              "(if %s = 0 then _ub Div (VInt %s) (VInt %s) else %s / %s)" b a b
+              a b,
+            true )
+        | Mod ->
+          ( Printf.sprintf
+              "(if %s = 0 then _ub Mod (VInt %s) (VInt %s) else %s mod %s)" b a
+              b a b,
+            true )
+        | BAnd -> (Printf.sprintf "(%s land %s)" a b, false)
+        | BOr -> (Printf.sprintf "(%s lor %s)" a b, false)
+        | BXor -> (Printf.sprintf "(%s lxor %s)" a b, false)
+        | Shl ->
+          ( Printf.sprintf
+              "(if %s < 0 || %s > 62 then _ub Shl (VInt %s) (VInt %s) else %s \
+               lsl %s)"
+              b b a b a b,
+            true )
+        | Shr ->
+          ( Printf.sprintf
+              "(if %s < 0 || %s > 62 then _ub Shr (VInt %s) (VInt %s) else %s \
+               asr %s)"
+              b b a b a b,
+            true )
+        | Lt -> (Printf.sprintf "(if %s < %s then 1 else 0)" a b, false)
+        | Le -> (Printf.sprintf "(if %s <= %s then 1 else 0)" a b, false)
+        | Gt -> (Printf.sprintf "(if %s > %s then 1 else 0)" a b, false)
+        | Ge -> (Printf.sprintf "(if %s >= %s then 1 else 0)" a b, false)
+        | Eq -> (Printf.sprintf "(if %s = %s then 1 else 0)" a b, false)
+        | Ne -> (Printf.sprintf "(if %s <> %s then 1 else 0)" a b, false)
+        | Fadd -> (Printf.sprintf "(%s +. %s)" a b, false)
+        | Fsub -> (Printf.sprintf "(%s -. %s)" a b, false)
+        | Fmul -> (Printf.sprintf "(%s *. %s)" a b, false)
+        | Fdiv -> (Printf.sprintf "(%s /. %s)" a b, false)
+        | Fcmp_lt -> (Printf.sprintf "(if %s < %s then 1 else 0)" a b, false)
+        | Fcmp_le -> (Printf.sprintf "(if %s <= %s then 1 else 0)" a b, false)
+      in
+      { g_ty = sty_of_ty tres;
+        g_code =
+          Printf.sprintf "(let %s = %s in let %s = %s in %s)" a gl.g_code b
+            gr.g_code body;
+        g_raises = gl.g_raises || gr.g_raises || guarded }
+    | tl', tr' ->
+      (* statically guaranteed operand type error *)
+      let a = fresh lay and b = fresh lay in
+      { g_ty = SBot;
+        g_code =
+          Printf.sprintf "(let %s = %s in let %s = %s in _ub %s %s %s)" a
+            gl.g_code b gr.g_code (binop_ctor o) (boxed tl' a) (boxed tr' b);
+        g_raises = true })
+  | Expr.Select (c, t, f) -> (
+    let gc = gen_int lay c in
+    match gc.g_ty with
+    | SBot -> gc
+    | _ -> (
+      let gt = gen_expr lay t in
+      let gf = gen_expr lay f in
+      match (gt.g_ty, gf.g_ty) with
+      | SBot, _ ->
+        { g_ty = SBot;
+          g_code = Printf.sprintf "(let _ = %s in %s)" gc.g_code gt.g_code;
+          g_raises = true }
+      | _, SBot ->
+        { g_ty = SBot;
+          g_code =
+            Printf.sprintf "(let _ = %s in let _ = %s in %s)" gc.g_code
+              gt.g_code gf.g_code;
+          g_raises = true }
+      | a, b when a = b ->
+        let vc = fresh lay and va = fresh lay and vb = fresh lay in
+        { g_ty = a;
+          g_code =
+            Printf.sprintf
+              "(let %s = %s in let %s = %s in let %s = %s in if %s <> 0 then \
+               %s else %s)"
+              vc gc.g_code va gt.g_code vb gf.g_code vc va vb;
+          g_raises = gc.g_raises || gt.g_raises || gf.g_raises }
+      | _ -> unsupported "select arms with two different static types"))
+
+(* an expression in the reference interpreter's [eval_int] position:
+   a float result is a baked Stuck over the printed expression *)
+and gen_int lay (e : Expr.t) : gexpr =
+  let g = gen_expr lay e in
+  match g.g_ty with
+  | SInt | SBot -> g
+  | SFloat ->
+    { g_ty = SBot;
+      g_code =
+        Printf.sprintf "(let _ = %s in _stuck %S)" g.g_code
+          ("expected an integer value for " ^ Pp.expr_to_string e);
+      g_raises = true }
+
+(* ---------- statement generation ---------- *)
+
+(* returns the statement's code (a unit expression, fuel burn NOT
+   included — the enclosing block batches burns) and whether it is
+   "quiet": provably unable to raise, hence batchable *)
+let rec gen_stmt lay ~lid ~path (s : Stmt.t) : string * bool =
+  match s with
+  | Stmt.Assign (x, e) -> (
+    let ge = gen_expr lay e in
+    match Hashtbl.find_opt lay.cells x with
+    | None ->
+      ( Printf.sprintf "(let _ = %s in _stuck %S)" ge.g_code
+          ("assignment to undeclared scalar " ^ x),
+        false )
+    | Some c when c.cl_declared -> (
+      match ge.g_ty with
+      | SBot -> (Printf.sprintf "(let _ = %s in ())" ge.g_code, false)
+      | t when t = sty_of_ty c.cl_ty ->
+        ( Printf.sprintf "(Array.unsafe_set %s %d %s)" (scal_arr c) c.cl_idx
+            ge.g_code,
+          not ge.g_raises )
+      | _ -> unsupported "assignment of a statically mismatched type to %s" x)
+    | Some c -> (
+      (* undeclared loop index: assignable only once its loop ran *)
+      match ge.g_ty with
+      | SBot -> (Printf.sprintf "(let _ = %s in ())" ge.g_code, false)
+      | SInt ->
+        let t = fresh lay in
+        ( Printf.sprintf
+            "(let %s = %s in if Array.unsafe_get _def %d then Array.unsafe_set \
+             _si %d %s else _stuck %S)"
+            t ge.g_code c.cl_def c.cl_idx t
+            ("assignment to undeclared scalar " ^ x),
+          false )
+      | SFloat ->
+        unsupported "assignment of a float to the undeclared loop index %s" x))
+  | Stmt.Store (a, i, e) -> (
+    let gi = gen_int lay i in
+    let ge = gen_expr lay e in
+    match Hashtbl.find_opt lay.arr_of_name a with
+    | None ->
+      ( Printf.sprintf "(let _ = %s in let _ = %s in _stuck %S)" gi.g_code
+          ge.g_code
+          ("store to undeclared array " ^ a),
+        false )
+    | Some k ->
+      let d = lay.arrs.(k) in
+      (match ge.g_ty with
+      | SBot -> ()
+      | t when t = sty_of_ty d.a_ty -> ()
+      | _ ->
+        unsupported "store of a statically mismatched element type to %s" a);
+      let ti = fresh lay and tv = fresh lay in
+      ( Printf.sprintf
+          "(let %s = %s in let %s = %s in if %s < 0 || %s >= %d then _stuck \
+           (Printf.sprintf %S %S %s %d) else Array.unsafe_set _a%d %s %s)"
+          ti gi.g_code tv ge.g_code ti ti d.a_size
+          "store %s[%d] out of bounds (size %d)" d.a_name ti d.a_size k ti tv,
+        false ))
+  | Stmt.If (c, bt, bf) -> (
+    let gc = gen_int lay c in
+    match gc.g_ty with
+    | SBot -> (Printf.sprintf "(let _ = %s in ())" gc.g_code, false)
+    | _ ->
+      let t = fresh lay in
+      let ct = gen_block lay ~lid ~path bt in
+      let cf = gen_block lay ~lid ~path bf in
+      ( Printf.sprintf "(let %s = %s in if %s <> 0 then %s else %s)" t gc.g_code
+          t ct cf,
+        false ))
+  | Stmt.For l -> (
+    let glo = gen_int lay l.lo in
+    let ghi = gen_int lay l.hi in
+    match (glo.g_ty, ghi.g_ty) with
+    | SBot, _ -> (Printf.sprintf "(let _ = %s in ())" glo.g_code, false)
+    | _, SBot ->
+      ( Printf.sprintf "(let _ = %s in let _ = %s in ())" glo.g_code ghi.g_code,
+        false )
+    | _ ->
+      let c = Hashtbl.find lay.cells l.index in
+      let lpath = path ^ "/" ^ l.index in
+      let id = Hashtbl.find lay.loop_ids lpath in
+      let lo = fresh lay and hi = fresh lay and n = fresh lay in
+      lay.tmp <- lay.tmp + 1;
+      let fn = Printf.sprintf "_loop%d" lay.tmp in
+      let iv = Printf.sprintf "_i%d" lay.tmp in
+      let body = gen_block lay ~lid:id ~path:lpath l.body in
+      let set_def =
+        if c.cl_declared then ""
+        else Printf.sprintf " Array.unsafe_set _def %d true;" c.cl_def
+      in
+      (* trips are batched post-loop (unobservable unless the run
+         succeeds); the index keeps its exit value, like a C loop *)
+      ( Printf.sprintf
+          "(let %s = %s in\n\
+           let %s = %s in\n\
+           _entered.(%d) <- true;%s\n\
+           let rec %s %s =\n\
+           if %s < %s then (Array.unsafe_set _si %d %s;\n\
+           %s;\n\
+           %s (%s + %d)) in\n\
+           %s %s;\n\
+           let %s = if %s <= %s then 0 else (%s - %s + %d) / %d in\n\
+           _trips.(%d) <- _trips.(%d) + %s;\n\
+           Array.unsafe_set _si %d (if %s = 0 then %s else %s + %s * %d))"
+          lo glo.g_code hi ghi.g_code id set_def fn iv iv hi c.cl_idx iv body fn
+          iv l.step fn lo n hi lo hi lo (l.step - 1) l.step id id n c.cl_idx n
+          lo lo n l.step,
+        false ))
+
+and gen_block lay ~lid ~path (stmts : Stmt.t list) : string =
+  let cycles = List.fold_left (fun a s -> a + stmt_cycles s) 0 stmts in
+  let mems = List.fold_left (fun a s -> a + stmt_mems s) 0 stmts in
+  let parts = ref [] (* reverse order *) in
+  let pending = ref [] (* quiet statements awaiting a burn, reversed *) in
+  let npend = ref 0 in
+  let burn k =
+    parts :=
+      Printf.sprintf
+        "(if !_fuel < %d then raise Interp.Out_of_fuel; _fuel := !_fuel - %d)" k
+        k
+      :: !parts
+  in
+  List.iter
+    (fun s ->
+      let code, quiet = gen_stmt lay ~lid ~path s in
+      if quiet then (
+        pending := code :: !pending;
+        Stdlib.incr npend)
+      else (
+        (* fold this statement's own burn into the pending quiet run:
+           none of the preceding statements can raise, so the only
+           observable outcome of batched exhaustion is the same
+           Out_of_fuel the reference would raise *)
+        burn (!npend + 1);
+        parts := !pending @ !parts;
+        pending := [];
+        npend := 0;
+        parts := code :: !parts))
+    stmts;
+  if !npend > 0 then (
+    burn !npend;
+    parts := !pending @ !parts);
+  if cycles > 0 then
+    parts :=
+      Printf.sprintf "_own.(%d) <- _own.(%d) + %d" lid lid cycles :: !parts;
+  if mems > 0 then parts := Printf.sprintf "_mr := !_mr + %d" mems :: !parts;
+  match !parts with
+  | [] -> "()"
+  | ps -> "(" ^ String.concat ";\n" (List.rev ps) ^ ")"
+
+(* ---------- module assembly ---------- *)
+
+let generate_source (p : Stmt.program) : string =
+  let lay = build_layout p in
+  let body = gen_block lay ~lid:0 ~path:"" p.body in
+  let b = Buffer.create 8192 in
+  let pf fmt = Printf.bprintf b fmt in
+  pf "(* generated by Uas_ir.Native_interp codegen v%d for %S — do not edit *)\n"
+    codegen_version p.prog_name;
+  pf "open Uas_ir\n";
+  pf "open Types\n\n";
+  pf "let _stuck s = raise (Interp.Stuck s)\n";
+  pf "let _unreachable () = assert false\n";
+  pf
+    "let _ub o a b = try ignore (Expr.eval_binop o a b); assert false with \
+     Ir_error m -> raise (Interp.Stuck m)\n";
+  pf
+    "let _uu o a = try ignore (Expr.eval_unop o a); assert false with Ir_error \
+     m -> raise (Interp.Stuck m)\n\n";
+  Array.iteri
+    (fun k (r : Stmt.rom_decl) ->
+      pf "let _rom%d = [|" k;
+      Array.iter (fun v -> pf " %d;" v) r.r_data;
+      pf " |]\n")
+    lay.roms;
+  pf "\nlet run (w : Interp.workload) ~fuel : Interp.result =\n";
+  pf "  let _fuel = ref fuel in\n";
+  pf "  let _mr = ref 0 in\n";
+  pf "  let _own = Array.make %d 0 in\n" (lay.n_loops + 1);
+  pf "  let _entered = Array.make %d false in\n" (lay.n_loops + 1);
+  pf "  let _trips = Array.make %d 0 in\n" (lay.n_loops + 1);
+  pf "  let _si = Array.make %d 0 in\n" (max 1 lay.n_int);
+  pf "  let _sf = Array.make %d 0.0 in\n" (max 1 lay.n_float);
+  pf "  let _def = Array.make %d false in\n" (max 1 lay.n_def);
+  (* workload scalars, mirroring Interp.init_state: each entry is
+     checked against the first declaration of its name (the layout
+     refuses conflicting duplicates, so cell type = first-decl type)
+     and undeclared names are rejected *)
+  pf "  List.iter\n";
+  pf "    (fun ((_k : string), (_v : value)) ->\n";
+  pf "      match _k with\n";
+  List.iter
+    (fun v ->
+      let c = Hashtbl.find lay.cells v in
+      match c.cl_ty with
+      | Tint ->
+        pf
+          "      | %S -> (match _v with VInt _x -> Array.unsafe_set _si %d _x \
+           | VFloat _ -> _stuck %S)\n"
+          v c.cl_idx
+          ("workload sets " ^ v ^ " with wrong-typed value")
+      | Tfloat ->
+        pf
+          "      | %S -> (match _v with VFloat _x -> Array.unsafe_set _sf %d \
+           _x | VInt _ -> _stuck %S)\n"
+          v c.cl_idx
+          ("workload sets " ^ v ^ " with wrong-typed value"))
+    lay.decl_order;
+  pf "      | _ -> _stuck (\"workload sets undeclared scalar \" ^ _k))\n";
+  pf "    w.Interp.w_scalars;\n";
+  (* arrays, in declaration order (a duplicate name runs every
+     declaration's workload checks; the last declaration's storage
+     wins, which is what arr_of_name indexes) *)
+  Array.iteri
+    (fun k (d : Stmt.array_decl) ->
+      let zero = match d.a_ty with Tint -> "0" | Tfloat -> "0.0" in
+      match d.a_kind with
+      | Stmt.Input ->
+        pf "  let _a%d =\n" k;
+        pf "    (match List.assoc_opt %S w.Interp.w_arrays with\n" d.a_name;
+        pf "     | Some _data ->\n";
+        pf "       if Array.length _data <> %d then\n" d.a_size;
+        pf "         _stuck (Printf.sprintf %S %S (Array.length _data) %d);\n"
+          "workload array %s has length %d, declared %d" d.a_name d.a_size;
+        (match d.a_ty with
+        | Tint ->
+          pf
+            "       Array.map (function VInt _x -> _x | VFloat _ -> _stuck %S) \
+             _data\n"
+            ("workload array " ^ d.a_name ^ " has wrong-typed element")
+        | Tfloat ->
+          pf
+            "       Array.map (function VFloat _x -> _x | VInt _ -> _stuck %S) \
+             _data\n"
+            ("workload array " ^ d.a_name ^ " has wrong-typed element"));
+        pf "     | None -> Array.make %d %s)\n" d.a_size zero;
+        pf "  in\n"
+      | Stmt.Output | Stmt.Local ->
+        pf "  let _a%d = Array.make %d %s in\n" k d.a_size zero)
+    lay.arrs;
+  pf "  %s;\n" body;
+  (* profile assembly: own-counter rollup into inclusive cycles.
+     Loop ids are assigned parent-before-child, so a descending sweep
+     adds every subtree into its parent exactly once. *)
+  pf
+    "  let _loops : (string, Interp.loop_stats) Hashtbl.t = Hashtbl.create %d \
+     in\n"
+    (max 1 lay.n_loops);
+  pf "  let _incl = Array.copy _own in\n";
+  let meta = Array.of_list (List.rev lay.loop_meta) (* index id-1 *) in
+  for id = lay.n_loops downto 1 do
+    let parent, _ = meta.(id - 1) in
+    pf "  _incl.(%d) <- _incl.(%d) + _incl.(%d);\n" parent parent id
+  done;
+  Array.iteri
+    (fun i (_, lpath) ->
+      let id = i + 1 in
+      pf
+        "  if _entered.(%d) then Hashtbl.replace _loops %S { Interp.trips = \
+         _trips.(%d); cycles = _incl.(%d) };\n"
+        id lpath id id)
+    meta;
+  pf "  ignore _incl;\n";
+  pf "  { Interp.outputs =\n";
+  pf "      [";
+  Array.iter
+    (fun (d : Stmt.array_decl) ->
+      match d.a_kind with
+      | Stmt.Output ->
+        let k = Hashtbl.find lay.arr_of_name d.a_name in
+        let ctor =
+          match lay.arrs.(k).a_ty with Tint -> "VInt" | Tfloat -> "VFloat"
+        in
+        pf " (%S, Array.map (fun _x -> %s _x) _a%d);\n       " d.a_name ctor k
+      | Stmt.Input | Stmt.Local -> ())
+    lay.arrs;
+  pf "];\n";
+  pf "    final_scalars =\n";
+  pf "      [";
+  List.iter
+    (fun (v, _) ->
+      let c = Hashtbl.find lay.cells v in
+      match c.cl_ty with
+      | Tint -> pf " (%S, VInt (Array.unsafe_get _si %d));\n       " v c.cl_idx
+      | Tfloat ->
+        pf " (%S, VFloat (Array.unsafe_get _sf %d));\n       " v c.cl_idx)
+    (Stmt.scalar_decls p);
+  pf "];\n";
+  pf "    profile =\n";
+  pf "      { Interp.total_cycles = Array.fold_left ( + ) 0 _own;\n";
+  pf "        stmts_executed = fuel - !_fuel;\n";
+  pf "        mem_refs = !_mr;\n";
+  pf "        loops = _loops } }\n\n";
+  pf "let () = Native_interp.register run\n";
+  Buffer.contents b
+
+let generate (p : Stmt.program) : (string, string) result =
+  match generate_source p with
+  | src -> Ok src
+  | exception Unsupported m -> Error m
+
+(* ---------- out-of-process compilation + Dynlink ---------- *)
+
+type run_fn = Interp.workload -> fuel:int -> Interp.result
+
+(* handoff slot a freshly loaded module registers itself through;
+   guarded by [jit_mutex] *)
+let registered : run_fn option ref = ref None
+let register f = registered := Some f
+
+type compiled = {
+  nc_program : Stmt.program;
+  nc_run : run_fn;
+  nc_from_store : bool;
+}
+
+let program nc = nc.nc_program
+let from_store nc = nc.nc_from_store
+let jit_mutex = Mutex.create ()
+
+(* canonical text -> prepared result (successes and refusals both);
+   used under [jit_mutex], cleared by [clear_memo] *)
+let memo : (string, (compiled, string) result) Hashtbl.t = Hashtbl.create 16
+
+(* store key -> loaded kernel.  Never cleared: a native module cannot
+   be unloaded, and Dynlink refuses a second module of the same name —
+   so after a memo reset the linked code must be reused, not reloaded. *)
+let loaded : (string, run_fn) Hashtbl.t = Hashtbl.create 16
+
+let clear_memo () = Mutex.protect jit_mutex (fun () -> Hashtbl.reset memo)
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let objs_probe root =
+  List.fold_left Filename.concat root
+    [ "lib"; "ir"; ".uas_ir.objs"; "byte"; "uas_ir.cmi" ]
+
+(* Locate the dune build root holding uas_ir's compiled interfaces:
+   UAS_JIT_OBJS if set, else walk up from the running executable
+   (dune places binaries under _build/default/...). *)
+let find_build_root () =
+  match Sys.getenv_opt objs_env_var with
+  | Some d ->
+    if Sys.file_exists (objs_probe d) then Ok d
+    else
+      Error
+        (Printf.sprintf "%s=%s does not contain the uas_ir build objects"
+           objs_env_var d)
+  | None ->
+    let start =
+      let exe = Sys.executable_name in
+      let exe =
+        if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+        else exe
+      in
+      Filename.dirname exe
+    in
+    let rec up d n =
+      if Sys.file_exists (objs_probe d) then Ok d
+      else
+        let parent = Filename.dirname d in
+        if n >= 12 || String.equal parent d then
+          Error
+            (Printf.sprintf
+               "cannot locate the uas_ir build objects (set %s to the dune \
+                _build/default root)"
+               objs_env_var)
+        else up parent (n + 1)
+    in
+    up start 0
+
+let summarize_log path =
+  match read_file path with
+  | exception Sys_error _ -> None
+  | s ->
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+    in
+    let pick =
+      match
+        List.find_opt
+          (fun l ->
+            let l = String.trim l in
+            String.length l >= 5 && String.equal (String.sub l 0 5) "Error")
+          lines
+      with
+      | Some _ as l -> l
+      | None -> ( match lines with [] -> None | l :: _ -> Some l)
+    in
+    Option.map
+      (fun l ->
+        let l = String.trim l in
+        if String.length l > 240 then String.sub l 0 240 ^ "..." else l)
+      pick
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+let fresh_temp_dir () =
+  let anchor = Filename.temp_file "uas-jit" "" in
+  let dir = anchor ^ ".d" in
+  Sys.mkdir dir 0o700;
+  (anchor, dir)
+
+let cleanup_temp (anchor, dir) =
+  (try
+     Array.iter (fun f -> remove_quiet (Filename.concat dir f)) (Sys.readdir dir)
+   with Sys_error _ -> ());
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  remove_quiet anchor
+
+(* one ocamlfind-ocamlopt subprocess; returns the .cmxs bytes *)
+let compile_source ~build_root ~modname src : (string, string) result =
+  let tmp = fresh_temp_dir () in
+  Fun.protect ~finally:(fun () -> cleanup_temp tmp) @@ fun () ->
+  let _, dir = tmp in
+  let ml = Filename.concat dir (modname ^ ".ml") in
+  let cmxs = Filename.concat dir (modname ^ ".cmxs") in
+  let log = Filename.concat dir "ocamlopt.log" in
+  write_file ml src;
+  let objs sub =
+    Filename.concat build_root
+      (List.fold_left Filename.concat "lib" [ "ir"; ".uas_ir.objs"; sub ])
+  in
+  let cmd =
+    Printf.sprintf "%s ocamlopt %s -I %s -I %s -o %s %s > %s 2>&1"
+      (Filename.quote (Build_info.jit_ocamlfind ()))
+      Build_info.jit_compile_flags
+      (Filename.quote (objs "byte"))
+      (Filename.quote (objs "native"))
+      (Filename.quote cmxs) (Filename.quote ml) (Filename.quote log)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then
+    Error
+      (Printf.sprintf "ocamlopt failed (exit %d)%s" rc
+         (match summarize_log log with Some l -> ": " ^ l | None -> ""))
+  else
+    match read_file cmxs with
+    | bytes -> Ok bytes
+    | exception Sys_error m -> Error ("cannot read compiled module: " ^ m)
+
+(* load a .cmxs and collect the kernel it registers; caller holds
+   [jit_mutex] *)
+let load_cmxs_bytes ~key bytes : (run_fn, string) result =
+  match Hashtbl.find_opt loaded key with
+  | Some f -> Ok f
+  | None -> (
+    let tmp = Filename.temp_file "uas-jit-load" ".cmxs" in
+    Fun.protect ~finally:(fun () -> remove_quiet tmp) @@ fun () ->
+    write_file tmp bytes;
+    registered := None;
+    match Dynlink.loadfile_private tmp with
+    | () -> (
+      match !registered with
+      | Some f ->
+        registered := None;
+        Hashtbl.replace loaded key f;
+        Ok f
+      | None -> Error "loaded module did not register a kernel")
+    | exception Dynlink.Error e -> Error ("dynlink: " ^ Dynlink.error_message e)
+    | exception e -> Error ("dynlink: " ^ Printexc.to_string e))
+
+(* the jit.compile fault site, same spec grammar as the store/interp
+   sites; Corrupt mangles the generated source so the compiler rejects
+   it — degraded, never dead *)
+let check_fault () : (bool, string) result =
+  match Fault.hit fault_site with
+  | None -> Ok false
+  | Some Fault.Corrupt -> Ok true
+  | Some Fault.Raise ->
+    Error (Printf.sprintf "injected fault at %s (raise)" fault_site)
+  | Some Fault.Stall -> (
+    try Fault.stall ~site:fault_site ()
+    with e when Fault.is_injected e ->
+      Error (Printf.sprintf "injected fault at %s (stall)" fault_site))
+
+let prepare_uncached ?on_store_bad ~text (p : Stmt.program) :
+    (compiled, string) result =
+  let store_bad msg = match on_store_bad with Some f -> f msg | None -> () in
+  if not Dynlink.is_native then
+    Error "host is a bytecode executable (Dynlink.is_native = false)"
+  else
+    match check_fault () with
+    | Error m -> Error m
+    | Ok corrupt -> (
+      match find_build_root () with
+      | Error m -> Error m
+      | Ok build_root ->
+        let fingerprint = Build_info.compiler_fingerprint () in
+        let abi =
+          match Digest.file (objs_probe build_root) with
+          | d -> Digest.to_hex d
+          | exception Sys_error _ -> "unknown"
+        in
+        let key =
+          Store.key
+            [ "uas-native-jit";
+              Printf.sprintf "codegen=%d" codegen_version;
+              "compiler=" ^ fingerprint;
+              "abi=" ^ abi;
+              text ]
+        in
+        let modname = "uas_jit_" ^ String.sub key 0 12 in
+        let store = Store.installed () in
+        let cached =
+          (* under --cache-verify we always recompile: native compiler
+             output is not bit-stable enough to byte-compare, so the
+             cmxs kind opts out of verification rather than flagging
+             false mismatches *)
+          match store with
+          | Some st when not (Store.verify_mode ()) -> (
+            match Store.read st ~kind:store_kind ~key with
+            | Store.Hit bytes ->
+              Instrument.incr "jit.store-hit";
+              Some bytes
+            | Store.Miss ->
+              Instrument.incr "jit.store-miss";
+              None
+            | Store.Bad msg ->
+              Instrument.incr "jit.store-miss";
+              store_bad msg;
+              None)
+          | _ -> None
+        in
+        let fresh_build () =
+          match generate p with
+          | Error m -> Error ("codegen: " ^ m)
+          | Ok src -> (
+            let src =
+              if corrupt then src ^ "\nlet _ = @injected@corruption@\n" else src
+            in
+            match
+              Instrument.span "jit.compile" (fun () ->
+                  compile_source ~build_root ~modname src)
+            with
+            | Error m -> Error m
+            | Ok bytes -> (
+              (match store with
+              | Some st -> (
+                match Store.write st ~kind:store_kind ~key bytes with
+                | Ok () -> ()
+                | Error msg -> store_bad msg)
+              | None -> ());
+              match load_cmxs_bytes ~key bytes with
+              | Ok f -> Ok { nc_program = p; nc_run = f; nc_from_store = false }
+              | Error m -> Error m))
+        in
+        (match cached with
+        | Some bytes -> (
+          match load_cmxs_bytes ~key bytes with
+          | Ok f -> Ok { nc_program = p; nc_run = f; nc_from_store = true }
+          | Error _stale ->
+            (* a cached .cmxs that no longer links (e.g. the host was
+               rebuilt under the same fingerprint): rebuild fresh *)
+            fresh_build ())
+        | None -> fresh_build ()))
+
+let prepare ?on_store_bad (p : Stmt.program) : (compiled, string) result =
+  let text = Pp.program_to_string p in
+  Mutex.protect jit_mutex @@ fun () ->
+  match Hashtbl.find_opt memo text with
+  | Some r ->
+    Instrument.incr "jit.memo-hit";
+    r
+  | None ->
+    let r = prepare_uncached ?on_store_bad ~text p in
+    (match r with
+    | Error _ -> Instrument.incr "jit.degraded"
+    (* store-served loads count under jit.store-hit, not as compiles *)
+    | Ok { nc_from_store = true; _ } -> ()
+    | Ok _ -> Instrument.incr "jit.compile-ok");
+    Hashtbl.replace memo text r;
+    r
+
+(* ---------- execution + tier dispatch ---------- *)
+
+let run ?fuel nc w =
+  let fuel = Option.value fuel ~default:Interp.default_fuel in
+  nc.nc_run w ~fuel
+
+(* prepare-or-degrade: callers that need the degradation *reason*
+   (for incident footnotes) should call [prepare] themselves *)
+let run_program ?fuel p w =
+  match prepare p with
+  | Ok nc -> run ?fuel nc w
+  | Error _ -> Fast_interp.run_program ?fuel p w
+
+(* the three-way dispatcher; [Fast_interp.run_tier] cannot see this
+   tier (it would be a dependency cycle), so production paths route
+   through this one *)
+let run_tier ?fuel (t : Fast_interp.tier) p w =
+  match t with
+  | Fast_interp.Ref -> Interp.run ?fuel p w
+  | Fast_interp.Fast -> Fast_interp.run_program ?fuel p w
+  | Fast_interp.Native -> run_program ?fuel p w

@@ -1,0 +1,102 @@
+(** The native JIT interpreter tier (interp v3).
+
+    Lowers a program to generated OCaml source specialized to it,
+    compiles that source out-of-process with
+    [ocamlfind ocamlopt -shared], loads the resulting [.cmxs] with
+    [Dynlink], and executes it.  The compiled bytes are cached in the
+    persistent artifact store (kind {!store_kind}) keyed by canonical
+    program text + {!codegen_version} + the compiler fingerprint
+    ({!Uas_runtime.Build_info.compiler_fingerprint}) + an ABI digest
+    of this library's compiled interface, so repeat traffic loads a
+    cached module instead of re-invoking the compiler.
+
+    The tier contract is the same one {!Fast_interp} satisfies:
+    observationally bit-identical to {!Interp} — outputs, final
+    scalars, the full cycle/trip/mem-ref profile, the exact
+    [Interp.Stuck] strings and [Interp.Out_of_fuel] cutoffs, in the
+    same evaluation order.
+
+    Every failure mode — no native Dynlink, no toolchain on PATH, a
+    codegen refusal, a compile or load error, an injected
+    [jit.compile] fault — surfaces as [Error reason] from {!prepare},
+    and the dispatch helpers degrade to the fast tier: never a crash,
+    never a wrong answer.  Callers that render incident footnotes
+    (the bench table per the PR 5 policy) call {!prepare} themselves
+    to get the reason. *)
+
+(** Version of the OCaml-source lowering; part of the store key, so a
+    codegen change invalidates every cached module. *)
+val codegen_version : int
+
+(** The artifact-store kind compiled modules are filed under
+    (["cmxs"]).  Entries are binary and exempt from [--cache-verify]
+    byte-comparison (native compiler output is not bit-stable); verify
+    mode simply recompiles and overwrites. *)
+val store_kind : string
+
+(** The fault-injection site ([jit.compile]) covering the compile
+    pipeline.  [raise]/[stall] degrade preparation; [corrupt] mangles
+    the generated source so the compiler rejects it — degraded, never
+    dead. *)
+val fault_site : string
+
+(** Environment variable pointing at the dune [_build/default] root
+    holding [uas_ir]'s compiled interfaces, for processes whose
+    executable does not live under the build tree (tests set it to a
+    nonexistent path to simulate a missing toolchain). *)
+val objs_env_var : string
+
+(** Lower a program to a standalone OCaml module (source text), or
+    [Error reason] for the few statically ill-typed shapes the
+    generator refuses (e.g. conflicting duplicate scalar declarations,
+    select arms of two different types).  Exposed for tests and
+    inspection; {!prepare} is the production entry point. *)
+val generate : Stmt.program -> (string, string) result
+
+(** Called by a loaded module's initializer to hand its kernel to the
+    host.  Not for external use. *)
+val register : (Interp.workload -> fuel:int -> Interp.result) -> unit
+
+(** A prepared (compiled + loaded) program. *)
+type compiled
+
+val program : compiled -> Stmt.program
+
+(** Whether the module bytes came from the artifact store rather than
+    a fresh compile. *)
+val from_store : compiled -> bool
+
+(** Generate, compile, load — or return the reason this program cannot
+    run natively.  Results (including refusals) are memoized per
+    process by canonical program text; the artifact store, when
+    installed, is consulted first.  [on_store_bad] receives
+    store-corruption messages (for incident reporting); counters:
+    [jit.memo-hit], [jit.compile-ok], [jit.degraded],
+    [jit.store-hit]/[jit.store-miss], and the [jit.compile] span
+    around the compiler subprocess. *)
+val prepare :
+  ?on_store_bad:(string -> unit) -> Stmt.program -> (compiled, string) result
+
+(** Drop the per-process preparation memo (loaded native modules
+    cannot be unloaded and are kept; a re-prepare reuses the linked
+    code).  Tests use this to re-arm fault sites. *)
+val clear_memo : unit -> unit
+
+(** Run a prepared program ([fuel] defaults to
+    {!Interp.default_fuel}). *)
+val run : ?fuel:int -> compiled -> Interp.workload -> Interp.result
+
+(** Prepare and run, degrading silently to
+    {!Fast_interp.run_program} if preparation fails. *)
+val run_program : ?fuel:int -> Stmt.program -> Interp.workload -> Interp.result
+
+(** The three-way tier dispatcher: {!Interp.run}, fast, or native
+    (with silent degradation to fast).  This is the dispatcher
+    production paths use; {!Fast_interp.run_tier} cannot see this
+    tier. *)
+val run_tier :
+  ?fuel:int ->
+  Fast_interp.tier ->
+  Stmt.program ->
+  Interp.workload ->
+  Interp.result

@@ -17,8 +17,12 @@ let schema = "uas-bench-trajectory"
    benchmark × version, from --exact-ii report).
    v5: the "store" key (artifact-store hit/miss/latency counters when
    a cache is installed via UAS_CACHE/--cache; null otherwise — no
-   directory path, so snapshots stay machine-independent). *)
-let version = 5
+   directory path, so snapshots stay machine-independent).
+   v6: the native JIT tier — "interp_tier" may now be "native",
+   micro targets gain per-tier interp-native rows, and the counter
+   dump gains the jit.* family (compile/memo/store traffic) with the
+   jit.compile span. *)
+let version = 6
 
 type target = { t_name : string; t_wall_s : float }
 type metric = { m_name : string; m_value : float; m_unit : string }

@@ -1,0 +1,434 @@
+(* The native-tier contract: the JIT (codegen → ocamlopt → Dynlink)
+   must be observationally identical to the reference tree-walker —
+   outputs, final scalars, the complete cycle/trip/mem-ref profile,
+   the same Stuck messages and the same Out_of_fuel cutoff — and any
+   compile/load failure must degrade to the fast tier, never crash,
+   never produce a different answer.  The reference interpreter stays
+   the oracle everywhere in this file; the native tier is always the
+   candidate.  QCheck counts are lower than test_fast_interp's: every
+   distinct program costs one out-of-process ocamlopt invocation. *)
+
+open Uas_ir
+module N = Uas_core.Nimble
+module R = Uas_bench_suite.Registry
+module Cu = Uas_pass.Cu
+module Fault = Uas_runtime.Fault
+module Store = Uas_runtime.Store
+
+let prepare_or_fail ~msg p =
+  match Native_interp.prepare p with
+  | Ok nc -> nc
+  | Error m -> Alcotest.failf "%s: native tier unavailable: %s" msg m
+
+(* run reference and native; fail the test with the first difference.
+   [prepare] must succeed here: a silent degradation to the fast tier
+   would make every parity check below vacuous. *)
+let check_parity ~msg (p : Stmt.program) (w : Interp.workload) =
+  let reference = Interp.run p w in
+  let native = Native_interp.run (prepare_or_fail ~msg p) w in
+  match Interp.diff_results reference native with
+  | None -> ()
+  | Some d -> Alcotest.failf "%s: native tier diverges: %s" msg d
+
+(* --- random nests, all transform versions ------------------------- *)
+
+let native_versions =
+  [ N.Original; N.Squashed 2; N.Squashed 4; N.Jammed 2; N.Combined (2, 2) ]
+
+let test_qcheck_native_tier_bit_identical =
+  QCheck.Test.make
+    ~name:"native tier = reference (results + profiles), all versions"
+    ~count:8 Helpers.arbitrary_diff_nest_program
+    (fun p ->
+      let w = Helpers.random_workload ~seed:23 p in
+      List.iter
+        (fun v ->
+          match
+            N.build_version_result p ~outer_index:"i" ~inner_index:"j" v
+          with
+          | Error _ -> () (* illegal at this factor: dropped, as in sweep *)
+          | Ok b -> (
+            let q = b.N.bv_program in
+            match Native_interp.prepare q with
+            | Error m ->
+              QCheck.Test.fail_reportf "%s: native tier refused: %s@\n%a"
+                (N.version_name v) m Pp.pp_program q
+            | Ok nc -> (
+              let reference = Interp.run q w in
+              let native = Native_interp.run nc w in
+              match Interp.diff_results reference native with
+              | None -> ()
+              | Some d ->
+                QCheck.Test.fail_reportf "%s: native tier diverges: %s@\n%a"
+                  (N.version_name v) d Pp.pp_program q)))
+        native_versions;
+      true)
+
+(* one compiled module replayed on several workloads, each
+   bit-identical to a fresh reference run *)
+let test_compiled_reuse =
+  QCheck.Test.make ~name:"one native compilation, many workloads" ~count:6
+    Helpers.arbitrary_nest_program
+    (fun p ->
+      let nc =
+        match Native_interp.prepare p with
+        | Ok nc -> nc
+        | Error m -> QCheck.Test.fail_reportf "native tier refused: %s" m
+      in
+      List.iter
+        (fun seed ->
+          let w = Helpers.random_workload ~seed p in
+          let reference = Interp.run p w in
+          let native = Native_interp.run nc w in
+          match Interp.diff_results reference native with
+          | None -> ()
+          | Some d ->
+            QCheck.Test.fail_reportf "seed %d: native tier diverges: %s" seed d)
+        [ 1; 2; 3 ];
+      true)
+
+(* --- the whole Table 6.1 suite ------------------------------------ *)
+
+let test_registry_benchmarks_identical () =
+  List.iter
+    (fun (b : R.benchmark) ->
+      check_parity ~msg:b.R.b_name b.R.b_program b.R.b_workload)
+    (R.all ())
+
+let test_registry_check_native_tier () =
+  List.iter
+    (fun (b : R.benchmark) ->
+      match
+        R.check_against_reference ~tier:Fast_interp.Native b b.R.b_program
+      with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "%s: native-tier check failed: %s" b.R.b_name e)
+    (R.all ())
+
+(* --- Stuck parity -------------------------------------------------- *)
+
+module B = Builder
+
+let stuck_of f =
+  match f () with
+  | (_ : Interp.result) -> None
+  | exception Interp.Stuck m -> Some m
+
+let check_stuck_parity ~msg p w =
+  let reference = stuck_of (fun () -> Interp.run p w) in
+  let native =
+    stuck_of (fun () -> Native_interp.run (prepare_or_fail ~msg p) w)
+  in
+  match (reference, native) with
+  | Some a, Some b -> Alcotest.(check string) (msg ^ ": same message") a b
+  | None, None -> Alcotest.failf "%s: expected Stuck from both tiers" msg
+  | Some a, None -> Alcotest.failf "%s: only reference stuck (%s)" msg a
+  | None, Some b -> Alcotest.failf "%s: only native tier stuck (%s)" msg b
+
+let w0 = Interp.workload ()
+
+let nest body =
+  B.program "stuck" ~locals:[ ("i", Types.Tint); ("a", Types.Tint) ]
+    ~arrays:[ B.output "dst" 4 ]
+    ~roms:[ B.rom_decl "tab" [| 1; 2; 3 |] ]
+    [ B.for_ "i" ~hi:(B.int 4) body ]
+
+let test_stuck_parity () =
+  check_stuck_parity ~msg:"store out of bounds"
+    (nest [ B.store "dst" (B.int 9) (B.v "i") ])
+    w0;
+  check_stuck_parity ~msg:"load from undeclared array"
+    (nest [ B.("a" <-- load "nope" (v "i")) ])
+    w0;
+  check_stuck_parity ~msg:"store to undeclared array"
+    (nest [ B.store "nope" (B.v "i") (B.v "i") ])
+    w0;
+  check_stuck_parity ~msg:"read of undeclared scalar"
+    (nest [ B.store "dst" (B.v "i") (B.v "ghost") ])
+    w0;
+  check_stuck_parity ~msg:"assignment to undeclared scalar"
+    (nest [ B.("ghost" <-- v "i") ])
+    w0;
+  check_stuck_parity ~msg:"division by zero"
+    (nest [ B.("a" <-- v "i" / (v "i" - v "i")) ])
+    w0;
+  check_stuck_parity ~msg:"rom lookup out of bounds"
+    (nest [ B.("a" <-- rom "tab" (v "i" + int 2)) ])
+    w0;
+  check_stuck_parity ~msg:"lookup in undeclared rom"
+    (nest [ B.("a" <-- rom "missing" (v "i")) ])
+    w0;
+  check_stuck_parity ~msg:"non-integer loop bound"
+    (B.program "fbound" ~locals:[ ("i", Types.Tint) ]
+       [ B.for_ "i" ~hi:(B.flt 2.0) [] ])
+    w0;
+  check_stuck_parity ~msg:"workload sets undeclared scalar"
+    (nest [ B.store "dst" (B.v "i") (B.v "i") ])
+    (Interp.workload ~scalars:[ ("ghost", Types.VInt 1) ] ());
+  check_stuck_parity ~msg:"workload array length mismatch"
+    (B.program "wl" ~locals:[ ("i", Types.Tint) ]
+       ~arrays:[ B.input "src" 4; B.output "dst" 4 ]
+       [ B.for_ "i" ~hi:(B.int 4)
+           [ B.store "dst" (B.v "i") (B.load "src" (B.v "i")) ] ])
+    (Interp.workload ~arrays:[ ("src", [| Types.VInt 1 |]) ] ())
+
+(* an undeclared loop index is admitted dynamically by the reference
+   interpreter: legal to read after its loop ran, stuck before *)
+let test_undeclared_index_parity () =
+  let p after =
+    B.program "undecl" ~locals:[ ("a", Types.Tint) ]
+      ~arrays:[ B.output "dst" 4 ]
+      ([ B.for_ "u" ~hi:(B.int 3) [ B.("a" <-- v "u") ] ] @ after)
+  in
+  check_parity ~msg:"read undeclared index after its loop"
+    (p [ B.store "dst" (B.int 0) (B.v "u") ])
+    w0;
+  check_stuck_parity ~msg:"read undeclared index before its loop"
+    (B.program "undecl2" ~locals:[ ("a", Types.Tint) ]
+       ~arrays:[ B.output "dst" 4 ]
+       [ B.store "dst" (B.int 0) (B.v "u");
+         B.for_ "u" ~hi:(B.int 3) [ B.("a" <-- v "u") ] ])
+    w0;
+  (* a zero-trip loop still defines its index (the C-style exit value) *)
+  check_parity ~msg:"zero-trip loop defines its index"
+    (p [ B.for_ "u" ~lo:(B.int 5) ~hi:(B.int 2) [];
+         B.store "dst" (B.int 1) (B.v "u") ])
+    w0
+
+(* --- Out_of_fuel parity -------------------------------------------- *)
+
+let test_fuel_parity () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  let w = Helpers.random_workload p in
+  let nc = prepare_or_fail ~msg:"fuel parity" p in
+  let full = (Interp.run p w).Interp.profile.Interp.stmts_executed in
+  let runs_with fuel f =
+    match f fuel with
+    | (_ : Interp.result) -> true
+    | exception Interp.Out_of_fuel -> false
+  in
+  List.iter
+    (fun fuel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fuel %d: same cutoff" fuel)
+        (runs_with fuel (fun fuel -> Interp.run ~fuel p w))
+        (runs_with fuel (fun fuel -> Native_interp.run ~fuel nc w)))
+    [ 1; 2; full - 1; full; full + 1 ]
+
+(* --- Cu artifact reuse --------------------------------------------- *)
+
+(* the unit memoizes its native artifact like the fast one: repeated
+   access is the same preparation (same memo entry), and a program
+   change through with_program re-prepares *)
+let test_cu_native_reuse () =
+  let p = Helpers.fg_loop ~m:4 ~n:4 in
+  let cu = Cu.make p ~outer_index:"i" ~inner_index:"j" in
+  let a =
+    match Cu.native cu with
+    | Ok nc -> nc
+    | Error m -> Alcotest.failf "native tier unavailable: %s" m
+  in
+  let b =
+    match Cu.native cu with
+    | Ok nc -> nc
+    | Error m -> Alcotest.failf "native tier unavailable on reuse: %s" m
+  in
+  Alcotest.(check bool) "same prepared artifact" true (a == b);
+  (* a new program invalidates the cached artifact but still prepares *)
+  let q = Helpers.fg_loop ~m:3 ~n:5 in
+  let cu2 = Cu.with_program cu q in
+  (match Cu.native cu2 with
+  | Ok nc ->
+    Alcotest.(check bool) "new program, new artifact" true (not (nc == a));
+    let w = Helpers.random_workload q in
+    (match Interp.diff_results (Interp.run q w) (Native_interp.run nc w) with
+    | None -> ()
+    | Some d -> Alcotest.failf "rebuilt artifact diverges: %s" d)
+  | Error m -> Alcotest.failf "native tier unavailable after invalidation: %s" m);
+  (* the original unit still serves its own artifact *)
+  match Cu.native cu with
+  | Ok nc -> Alcotest.(check bool) "original still cached" true (nc == a)
+  | Error m -> Alcotest.failf "original artifact lost: %s" m
+
+(* --- the artifact store: warm loads ------------------------------- *)
+
+let with_temp_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "uas-jit-store-%d" (Unix.getpid ()))
+  in
+  match Store.open_dir dir with
+  | Error m -> Alcotest.failf "open_dir %s: %s" dir m
+  | Ok s ->
+    Store.install s;
+    Fun.protect
+      ~finally:(fun () ->
+        Store.uninstall ();
+        ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+      (fun () -> f ())
+
+let test_store_warm_load () =
+  with_temp_store @@ fun () ->
+  let p = Helpers.fg_loop ~m:5 ~n:3 in
+  let w = Helpers.random_workload p in
+  Native_interp.clear_memo ();
+  let cold = prepare_or_fail ~msg:"cold prepare" p in
+  Alcotest.(check bool) "cold run compiles" false (Native_interp.from_store cold);
+  (* drop the in-process memo: the second prepare must be served by the
+     store (the already-linked module is reused — native code cannot be
+     unloaded — but the bytes round-trip through the cache) *)
+  Native_interp.clear_memo ();
+  let warm = prepare_or_fail ~msg:"warm prepare" p in
+  Alcotest.(check bool) "warm run hits the store" true
+    (Native_interp.from_store warm);
+  match Interp.diff_results (Interp.run p w) (Native_interp.run warm w) with
+  | None -> ()
+  | Some d -> Alcotest.failf "store-served module diverges: %s" d
+
+(* --- degradation: faults and missing toolchain --------------------- *)
+
+let arm_or_fail plan =
+  match Fault.arm plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "bad fault plan %S: %s" plan m
+
+(* every jit.compile fault kind degrades preparation to an Error (and
+   run_program to a bit-identical fast-tier run) — never an escape *)
+let test_jit_fault_degrades () =
+  let p = Helpers.fg_loop ~m:6 ~n:2 in
+  let w = Helpers.random_workload p in
+  List.iter
+    (fun kind ->
+      Native_interp.clear_memo ();
+      Fault.set_stall_cap 0.01;
+      arm_or_fail (Printf.sprintf "jit.compile:%s:1" kind);
+      Fun.protect ~finally:Fault.clear @@ fun () ->
+      (match Native_interp.prepare p with
+      | Ok _ -> Alcotest.failf "%s: expected degraded preparation" kind
+      | Error m ->
+        Alcotest.(check bool)
+          (kind ^ ": reason mentions the site/compiler")
+          true
+          (Helpers.contains ~sub:"jit.compile" m
+          || Helpers.contains ~sub:"ocamlopt" m));
+      (* the dispatcher still answers, on the fast tier, bit-identical *)
+      Native_interp.clear_memo ();
+      arm_or_fail (Printf.sprintf "jit.compile:%s:1" kind);
+      match Interp.diff_results (Interp.run p w) (Native_interp.run_program p w)
+      with
+      | None -> ()
+      | Some d -> Alcotest.failf "%s: degraded run diverges: %s" kind d)
+    [ "raise"; "stall"; "corrupt" ]
+
+(* a missing toolchain (bogus ocamlfind) and missing build objects both
+   degrade with a reason — and the cell still verifies on the fast
+   tier via the experiments path, with the incident on record *)
+let test_missing_toolchain_degrades () =
+  let p = Helpers.fg_loop ~m:2 ~n:7 in
+  let w = Helpers.random_workload p in
+  let with_env var value f =
+    Unix.putenv var value;
+    Fun.protect ~finally:(fun () -> Unix.putenv var "") f
+  in
+  Native_interp.clear_memo ();
+  with_env Uas_runtime.Build_info.jit_ocamlfind_env_var
+    "/nonexistent/uas-ocamlfind" (fun () ->
+      (match Native_interp.prepare p with
+      | Ok _ -> Alcotest.fail "expected a missing-toolchain degradation"
+      | Error m ->
+        Alcotest.(check bool) "reason mentions the failing compiler" true
+          (Helpers.contains ~sub:"ocamlopt failed" m));
+      match Interp.diff_results (Interp.run p w) (Native_interp.run_program p w)
+      with
+      | None -> ()
+      | Some d -> Alcotest.failf "degraded run diverges: %s" d);
+  Native_interp.clear_memo ();
+  with_env Native_interp.objs_env_var "/nonexistent/uas-objs" (fun () ->
+      match Native_interp.prepare p with
+      | Ok _ -> Alcotest.fail "expected a missing-objects degradation"
+      | Error m ->
+        Alcotest.(check bool) "reason mentions the objects dir" true
+          (Helpers.contains ~sub:Native_interp.objs_env_var m));
+  Native_interp.clear_memo ()
+
+(* the experiments path: a native cell under a jit.compile fault
+   degrades to fast with an incident footnote, and still verifies *)
+let test_experiments_cell_degrades () =
+  let module E = Uas_core.Experiments in
+  Native_interp.clear_memo ();
+  arm_or_fail "jit.compile:raise:1";
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Native_interp.clear_memo ())
+  @@ fun () ->
+  let b = R.skipjack_mem ~m:4 () in
+  let row =
+    E.run_benchmark ~verify:true ~tier:Fast_interp.Native
+      ~versions:[ N.Original ] ~jobs:1 b
+  in
+  match row.E.br_cells with
+  | [ c ] ->
+    Alcotest.(check bool) "cell still verified (fast tier)" true
+      c.E.c_verified;
+    Alcotest.(check bool) "incident footnote recorded" true
+      (List.exists
+         (fun d ->
+           Helpers.contains ~sub:"native jit unavailable"
+             (Uas_pass.Diag.to_string d))
+         c.E.c_incidents)
+  | cells -> Alcotest.failf "expected one cell, got %d" (List.length cells)
+
+(* --- tier plumbing ------------------------------------------------- *)
+
+let test_tier_of_string_native () =
+  let check s expected =
+    Alcotest.(check bool) s true (Fast_interp.tier_of_string s = expected)
+  in
+  check "native" (Some Fast_interp.Native);
+  check "NATIVE" (Some Fast_interp.Native);
+  check "jit" None;
+  Alcotest.(check string) "tier_name" "native"
+    (Fast_interp.tier_name Fast_interp.Native)
+
+let test_run_tier_dispatch () =
+  let p = Helpers.fg_loop ~m:3 ~n:3 in
+  let w = Helpers.random_workload p in
+  let a = Native_interp.run_tier Fast_interp.Ref p w in
+  let b = Native_interp.run_tier Fast_interp.Fast p w in
+  let c = Native_interp.run_tier Fast_interp.Native p w in
+  (match Interp.diff_results a b with
+  | None -> ()
+  | Some d -> Alcotest.failf "ref vs fast diverge: %s" d);
+  match Interp.diff_results a c with
+  | None -> ()
+  | Some d -> Alcotest.failf "ref vs native diverge: %s" d
+
+let suite =
+  [ QCheck_alcotest.to_alcotest test_qcheck_native_tier_bit_identical;
+    QCheck_alcotest.to_alcotest test_compiled_reuse;
+    Alcotest.test_case "registry benchmarks bit-identical" `Slow
+      test_registry_benchmarks_identical;
+    Alcotest.test_case "registry check passes on native tier" `Slow
+      test_registry_check_native_tier;
+    Alcotest.test_case "Stuck parity (messages bit-identical)" `Quick
+      test_stuck_parity;
+    Alcotest.test_case "undeclared loop index parity" `Quick
+      test_undeclared_index_parity;
+    Alcotest.test_case "Out_of_fuel parity" `Quick test_fuel_parity;
+    Alcotest.test_case "Cu native artifact reuse + invalidation" `Quick
+      test_cu_native_reuse;
+    Alcotest.test_case "warm prepare served from the artifact store" `Quick
+      test_store_warm_load;
+    Alcotest.test_case "jit.compile faults degrade to fast" `Quick
+      test_jit_fault_degrades;
+    Alcotest.test_case "missing toolchain degrades to fast" `Quick
+      test_missing_toolchain_degrades;
+    Alcotest.test_case "experiments cell degrades with incident" `Quick
+      test_experiments_cell_degrades;
+    Alcotest.test_case "tier_of_string native" `Quick
+      test_tier_of_string_native;
+    Alcotest.test_case "run_tier three-way dispatch" `Quick
+      test_run_tier_dispatch ]
