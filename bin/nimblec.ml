@@ -118,7 +118,9 @@ let dump_hook_of = function
 let parse_version s =
   let fail () =
     Fmt.epr
-      "bad version %s (expected original | pipelined | squash:N | jam:N | jam:J+squash:K)@." s;
+      "bad version %s (expected original | pipelined | squash:N | jam:N | \
+       jam:J+squash:K | flatten+squash:N)@."
+      s;
     exit 2
   in
   match String.lowercase_ascii s with
@@ -144,6 +146,10 @@ let parse_version s =
         match (int_of_string_opt j, int_of_string_opt k) with
         | Some j, Some k -> N.Combined (j, k)
         | _ -> fail ())
+      | [ "flatten" ], [ "squash"; k ] -> (
+        match int_of_string_opt k with
+        | Some k -> N.Flat_squashed k
+        | None -> fail ())
       | _ -> fail ())
     | _ -> fail ())
 
@@ -173,7 +179,9 @@ let version_arg =
     value
     & opt string "original"
     & info [ "v" ] ~docv:"VERSION"
-        ~doc:"original | pipelined | squash:N | jam:N | jam:J+squash:K")
+        ~doc:
+          "original | pipelined | squash:N | jam:N | jam:J+squash:K | \
+           flatten+squash:N (the deep-nest route)")
 
 let validate_arg =
   let mode_conv = Arg.enum [ ("off", false); ("probe", true) ] in
@@ -303,9 +311,10 @@ let list_cmd =
         Fmt.pr "%-14s kernel: outer %s / inner %s — %s@." b.S.Registry.b_name
           b.S.Registry.b_outer_index b.S.Registry.b_inner_index
           b.S.Registry.b_description)
-      (S.Registry.all ())
+      (S.Registry.all () @ S.Registry.extras ())
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the Table 6.1 benchmarks")
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the Table 6.1 benchmarks and the extras")
     Term.(const run $ const ())
 
 (* --- show --- *)
@@ -456,7 +465,19 @@ let export_cmd =
 (* --- compile: transform a kernel from a source file --- *)
 
 let compile_cmd =
-  let run path version estimate_flag dump_after =
+  (* the addressable-nest catalog of the file, for the
+     no-such-nest diagnostics: every loop index that can head a nest,
+     with the depth of the nest it heads *)
+  let pp_available ppf p =
+    match Uas_analysis.Loop_nest.summary p with
+    | [] -> Fmt.pf ppf "the file contains no loop nest"
+    | entries ->
+      Fmt.pf ppf "available nests:";
+      List.iter
+        (fun (idx, d) -> Fmt.pf ppf "@.  %s (depth %d)" idx d)
+        entries
+  in
+  let run path target version estimate_flag dump_after =
     let p =
       try Uas_ir.Parser.program_of_file path
       with Uas_ir.Parser.Parse_error e ->
@@ -468,35 +489,63 @@ let compile_cmd =
     | errs ->
       Fmt.epr "%a@." (Fmt.list Uas_ir.Validate.pp_error) errs;
       exit 1);
-    let nests = Uas_analysis.Loop_nest.find p in
-    match nests with
-    | [] ->
-      Fmt.epr "no 2-deep loop nest found in %s@." path;
-      exit 1
-    | nest :: _ ->
-      let outer = nest.Uas_analysis.Loop_nest.outer_index in
-      let inner = nest.Uas_analysis.Loop_nest.inner_index in
-      let built =
-        build_or_exit ?after:(dump_hook_of dump_after) p ~outer_index:outer
-          ~inner_index:inner (parse_version version)
-      in
-      Fmt.pr "%a@." Uas_ir.Pp.pp_program built.N.bv_program;
-      if estimate_flag then begin
-        let r = N.estimate built in
-        Fmt.pr "// %a@." Uas_hw.Estimate.pp_report r
-      end
+    let innermost_index (nest : Uas_analysis.Loop_nest.t) =
+      (List.nth nest.Uas_analysis.Loop_nest.levels
+         (Uas_analysis.Loop_nest.depth nest - 1))
+        .Uas_analysis.Loop_nest.l_index
+    in
+    let outer, inner =
+      match target with
+      | Some idx -> (
+        match Uas_analysis.Loop_nest.find_nest_opt p idx with
+        | Some nest -> (idx, innermost_index nest)
+        | None ->
+          Fmt.epr "no loop nest with outer index %s in %s; %a@." idx path
+            pp_available p;
+          exit 1)
+      | None -> (
+        match Uas_analysis.Loop_nest.find p with
+        | nest :: _ ->
+          ( (List.hd nest.Uas_analysis.Loop_nest.levels)
+              .Uas_analysis.Loop_nest.l_index,
+            innermost_index nest )
+        | [] ->
+          Fmt.epr "no loop nest found in %s@." path;
+          exit 1)
+    in
+    let built =
+      build_or_exit ?after:(dump_hook_of dump_after) p ~outer_index:outer
+        ~inner_index:inner (parse_version version)
+    in
+    Fmt.pr "%a@." Uas_ir.Pp.pp_program built.N.bv_program;
+    if estimate_flag then begin
+      let r = N.estimate built in
+      Fmt.pr "// %a@." Uas_hw.Estimate.pp_report r
+    end
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"INDEX"
+          ~doc:
+            "Outer loop index of the nest to transform (default: the \
+             first nest in the file).  An index heading no nest exits \
+             with the catalog of available nests and their depths.")
   in
   let estimate_flag =
     Arg.(value & flag & info [ "estimate" ] ~doc:"Also print the hardware estimate")
   in
   Cmd.v
     (Cmd.info "compile"
-       ~doc:"Parse a kernel source file, transform its first loop nest, \
-             print the result")
-    Term.(const run $ path $ version_arg $ estimate_flag $ dump_after_arg)
+       ~doc:"Parse a kernel source file, transform a loop nest (the first, \
+             or the one named by $(b,--target)), print the result")
+    Term.(
+      const run $ path $ target_arg $ version_arg $ estimate_flag
+      $ dump_after_arg)
 
 (* --- plan --- *)
 
@@ -543,7 +592,7 @@ let plan_cmd =
     | None ->
       List.iter
         (plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective)
-        (S.Registry.all ()));
+        (S.Registry.all () @ S.Registry.extras ()));
     report_store_stats ()
   in
   let bench_opt =
@@ -585,7 +634,7 @@ let default_term =
       init_cache cache cache_verify;
       List.iter
         (plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective)
-        (S.Registry.all ());
+        (S.Registry.all () @ S.Registry.extras ());
       report_store_stats ();
       `Ok ()
     end

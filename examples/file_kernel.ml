@@ -33,9 +33,11 @@ let () =
   (* find the nest and report what the analyses see *)
   let nest =
     match Uas_analysis.Loop_nest.find program with
-    | n :: _ -> n
+    | n :: _ ->
+      Uas_analysis.Loop_nest.find_by_outer_index program
+        (List.hd n.Uas_analysis.Loop_nest.levels).Uas_analysis.Loop_nest.l_index
     | [] ->
-      Fmt.epr "no 2-deep loop nest in %s@." path;
+      Fmt.epr "no loop nest in %s@." path;
       exit 1
   in
   let outer = nest.Uas_analysis.Loop_nest.outer_index in

@@ -95,8 +95,8 @@ let live_after_each ~(live_out : Sset.t) (stmts : Stmt.t list) :
 (** Scalars of the nest that are read by the rest of the program after
     the nest completes.  Conservative: any scalar used anywhere outside
     the given outer loop (we do not track control flow past the nest). *)
-let used_outside_nest (p : Stmt.program) (nest : Loop_nest.t) : Sset.t =
-  let nest_stmt = Loop_nest.to_stmt nest in
+let used_outside_nest (p : Stmt.program) (nest : Loop_nest.pair) : Sset.t =
+  let nest_stmt = Loop_nest.pair_to_stmt nest in
   let rec strip stmts =
     List.concat_map
       (fun s ->

@@ -30,7 +30,7 @@ val live_after_each :
 
 (** Scalars read by the program after the nest completes
     (conservative). *)
-val used_outside_nest : Uas_ir.Stmt.program -> Loop_nest.t -> Sset.t
+val used_outside_nest : Uas_ir.Stmt.program -> Loop_nest.pair -> Sset.t
 
 (** Maximum number of simultaneously live scalars in a straight-line
     loop body. *)

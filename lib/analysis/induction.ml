@@ -38,7 +38,7 @@ let count_defs v stmts =
     0 stmts
 
 (** Induction variables of the nest's outer loop. *)
-let find (nest : Loop_nest.t) : t list =
+let find (nest : Loop_nest.pair) : t list =
   let candidates_in in_pre stmts =
     List.filter_map
       (function
@@ -61,7 +61,7 @@ let find (nest : Loop_nest.t) : t list =
 
 (* Closed forms of the IV at outer iteration number t = (i - lo)/step:
    [before] the update it holds v0 + t*c, [after] it v0 + (t+1)*c. *)
-let closed_forms (nest : Loop_nest.t) (iv : t) ~base : Expr.t * Expr.t =
+let closed_forms (nest : Loop_nest.pair) (iv : t) ~base : Expr.t * Expr.t =
   let i = Expr.Var nest.Loop_nest.outer_index in
   let iter_no =
     Expr.simplify
@@ -84,7 +84,7 @@ let closed_forms (nest : Loop_nest.t) (iv : t) ~base : Expr.t * Expr.t =
     (pre-update uses see iteration [t]'s value, later uses see the
     updated value) and the update statement is removed.  [base] is the
     scalar holding the IV's value at loop entry. *)
-let rewrite_nest (nest : Loop_nest.t) (iv : t) ~base : Loop_nest.t =
+let rewrite_nest (nest : Loop_nest.pair) (iv : t) ~base : Loop_nest.pair =
   let before, after = closed_forms nest iv ~base in
   let subst form stmts =
     Stmt.map_exprs_list
@@ -114,8 +114,8 @@ let rewrite_nest (nest : Loop_nest.t) (iv : t) ~base : Loop_nest.t =
 (** Rewrite the induction variable inside a whole program: capture the
     entry value, rewrite the nest, and restore the exit value after the
     loop.  Returns the modified program with the rewritten nest. *)
-let rewrite (p : Stmt.program) (nest : Loop_nest.t) (iv : t) :
-    Stmt.program * Loop_nest.t =
+let rewrite (p : Stmt.program) (nest : Loop_nest.pair) (iv : t) :
+    Stmt.program * Loop_nest.pair =
   let base = Stmt.fresh_var p (iv.iv_var ^ "@ivbase") in
   let nest' = rewrite_nest nest iv ~base in
   let trips =
@@ -137,7 +137,7 @@ let rewrite (p : Stmt.program) (nest : Loop_nest.t) (iv : t) :
   in
   let replacement =
     [ Stmt.Assign (base, Expr.Var iv.iv_var);
-      Loop_nest.to_stmt nest';
+      Loop_nest.pair_to_stmt nest';
       Stmt.Assign (iv.iv_var, exit_value) ]
   in
   let p = Loop_nest.replace p ~outer_index:nest.outer_index replacement in

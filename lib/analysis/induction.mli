@@ -20,17 +20,17 @@ val as_increment : Types.var -> Expr.t -> int option
 val count_defs : Types.var -> Stmt.t list -> int
 
 (** Induction variables of the nest's outer loop. *)
-val find : Loop_nest.t -> t list
+val find : Loop_nest.pair -> t list
 
 (** Closed forms of the IV (before-update, after-update) at the current
     outer iteration, in terms of [base] (its value at loop entry). *)
-val closed_forms : Loop_nest.t -> t -> base:string -> Expr.t * Expr.t
+val closed_forms : Loop_nest.pair -> t -> base:string -> Expr.t * Expr.t
 
 (** Rewrite only the nest: substitute every use by its closed form and
     drop the update. *)
-val rewrite_nest : Loop_nest.t -> t -> base:string -> Loop_nest.t
+val rewrite_nest : Loop_nest.pair -> t -> base:string -> Loop_nest.pair
 
 (** Rewrite inside a whole program: capture the entry value, rewrite
     the nest, restore the exit value.  Returns the program and the
     rewritten nest. *)
-val rewrite : Stmt.program -> Loop_nest.t -> t -> Stmt.program * Loop_nest.t
+val rewrite : Stmt.program -> Loop_nest.pair -> t -> Stmt.program * Loop_nest.pair

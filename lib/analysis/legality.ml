@@ -74,7 +74,7 @@ let pp_verdict ppf v =
    exposed by its own loop ([Def_use.of_stmt]); it only shows up here
    when pre-code genuinely reads its value from the previous outer
    iteration, which is a real carried dependence. *)
-let outer_carried_scalars (nest : Loop_nest.t) : Sset.t =
+let outer_carried_scalars (nest : Loop_nest.pair) : Sset.t =
   let body =
     nest.Loop_nest.pre
     @ [ Stmt.For
@@ -87,7 +87,7 @@ let outer_carried_scalars (nest : Loop_nest.t) : Sset.t =
   in
   Def_use.loop_carried body
 
-let check_arrays (nest : Loop_nest.t) ~ds : violation list =
+let check_arrays (nest : Loop_nest.pair) ~ds : violation list =
   List.filter_map
     (fun (x, _y, d) ->
       match d with
@@ -107,7 +107,7 @@ let check_arrays (nest : Loop_nest.t) ~ds : violation list =
 
 (** Check the §4.1/§4.2 requirements for unrolling the outer loop of
     [nest] by [ds] with parallel data sets (shared by squash and jam). *)
-let check (nest : Loop_nest.t) ~ds : verdict =
+let check (nest : Loop_nest.pair) ~ds : verdict =
   let violations = ref [] in
   let add v = violations := v :: !violations in
   if not (Stmt.is_straight_line nest.inner_body) then add Inner_not_straight_line;
@@ -161,4 +161,4 @@ let check (nest : Loop_nest.t) ~ds : verdict =
 (** Convenience: is the nest transformable at factor [ds] after the
     automatic enabling rewrites (induction-variable elimination and
     peeling)? *)
-let transformable (nest : Loop_nest.t) ~ds : bool = (check nest ~ds).ok
+let transformable (nest : Loop_nest.pair) ~ds : bool = (check nest ~ds).ok

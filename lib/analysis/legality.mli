@@ -30,12 +30,12 @@ val pp_verdict : verdict Fmt.t
 
 (** Scalars carrying values across outer iterations (upward-exposed and
     defined over the whole outer body). *)
-val outer_carried_scalars : Loop_nest.t -> Sset.t
+val outer_carried_scalars : Loop_nest.pair -> Sset.t
 
 (** The full §4.1/§4.2 check at unroll factor [ds].  Scalar and array
     checks run on the nest as it will look after the induction-variable
     rewrites reported in [induction_rewrites]. *)
-val check : Loop_nest.t -> ds:int -> verdict
+val check : Loop_nest.pair -> ds:int -> verdict
 
 (** [(check nest ~ds).ok]. *)
-val transformable : Loop_nest.t -> ds:int -> bool
+val transformable : Loop_nest.pair -> ds:int -> bool

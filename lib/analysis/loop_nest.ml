@@ -1,18 +1,38 @@
-(* Discovery and manipulation of the inner-outer loop pairs that
-   unroll-and-squash / unroll-and-jam operate on (§4.1).
+(* Discovery and manipulation of the loop nests the transforms operate
+   on (§4.1), at any depth.
 
-   A nest is an outer FOR loop whose body is
+   A nest is a maximal chain of counted FOR loops: each level's body is
 
-     pre ; inner-FOR ; post
+     pre ; next-level-FOR ; post
 
-   where [pre] and [post] are statement lists that do not themselves
-   contain the inner loop.  The transformation requirements (straight-
-   line pre/post/body, invariant inner bounds, ...) are checked
-   separately by [Legality]; this module only captures the shape. *)
+   where [pre] and [post] are loop-free statement bands, and the
+   innermost level's body is loop-free.  The adjacent-pair transforms
+   (unroll-and-squash, unroll-and-jam, flatten, interchange) address a
+   nest through the {!pair} view at one level; the transformation
+   requirements (straight-line pre/post/body, invariant inner bounds,
+   ...) are checked separately by [Legality] — this module only
+   captures the shape. *)
 
 open Uas_ir
 
+type level = {
+  l_index : Types.var;
+  l_lo : Expr.t;
+  l_hi : Expr.t;
+  l_step : int;
+  l_pre : Stmt.t list;  (* band before the next-deeper loop *)
+  l_post : Stmt.t list;  (* band after it; both empty at the innermost *)
+}
+
 type t = {
+  levels : level list;  (* outermost first; length >= 2 *)
+  body : Stmt.t list;  (* loop-free body of the innermost level *)
+}
+
+(* The adjacent-pair view: the shape unroll-and-squash / unroll-and-jam
+   operate on, with the outer level's bands as pre/post and everything
+   below the inner level folded into [inner_body]. *)
+type pair = {
   outer_index : Types.var;
   outer_lo : Expr.t;
   outer_hi : Expr.t;
@@ -26,61 +46,128 @@ type t = {
   post : Stmt.t list;
 }
 
-(** Rebuild the loop-nest statement from its parts. *)
-let to_stmt (n : t) : Stmt.t =
-  Stmt.For
-    { index = n.outer_index;
-      lo = n.outer_lo;
-      hi = n.outer_hi;
-      step = n.outer_step;
-      body =
-        n.pre
-        @ [ Stmt.For
-              { index = n.inner_index;
-                lo = n.inner_lo;
-                hi = n.inner_hi;
-                step = n.inner_step;
-                body = n.inner_body } ]
-        @ n.post }
+let depth (n : t) = List.length n.levels
 
-(** Try to view an outer loop as a 2-deep nest: its body must contain
-    exactly one loop (at the top level of the body). *)
-let of_loop (l : Stmt.loop) : t option =
-  let contains_loop stmts =
-    List.exists
-      (fun s ->
-        Stmt.fold
-          (fun acc s -> acc || match s with Stmt.For _ -> true | _ -> false)
-          false s)
-      stmts
-  in
-  let rec split pre = function
+(* The loop statement rooted at level [k] of the nest. *)
+let rec loop_at (n : t) k : Stmt.loop =
+  let lv = List.nth n.levels k in
+  { Stmt.index = lv.l_index;
+    lo = lv.l_lo;
+    hi = lv.l_hi;
+    step = lv.l_step;
+    body = body_at n k }
+
+(* The body of the loop at level [k]: the innermost level owns the
+   nest body; every other level wraps the next loop in its bands. *)
+and body_at (n : t) k : Stmt.t list =
+  let lv = List.nth n.levels k in
+  if k = depth n - 1 then n.body
+  else lv.l_pre @ [ Stmt.For (loop_at n (k + 1)) ] @ lv.l_post
+
+(** Rebuild the whole nest as a statement. *)
+let to_stmt (n : t) : Stmt.t = Stmt.For (loop_at n 0)
+
+(** The adjacent-pair view at levels [k]/[k+1].
+    @raise Invalid_argument when [k] has no level below it. *)
+let pair_at (n : t) k : pair =
+  if k < 0 || k > depth n - 2 then
+    invalid_arg
+      (Printf.sprintf "Loop_nest.pair_at: level %d of a %d-deep nest" k
+         (depth n));
+  let outer = List.nth n.levels k and inner = List.nth n.levels (k + 1) in
+  { outer_index = outer.l_index;
+    outer_lo = outer.l_lo;
+    outer_hi = outer.l_hi;
+    outer_step = outer.l_step;
+    pre = outer.l_pre;
+    inner_index = inner.l_index;
+    inner_lo = inner.l_lo;
+    inner_hi = inner.l_hi;
+    inner_step = inner.l_step;
+    inner_body = body_at n (k + 1);
+    post = outer.l_post }
+
+(** Rebuild a pair view as a statement. *)
+let pair_to_stmt (p : pair) : Stmt.t =
+  Stmt.For
+    { index = p.outer_index;
+      lo = p.outer_lo;
+      hi = p.outer_hi;
+      step = p.outer_step;
+      body =
+        p.pre
+        @ [ Stmt.For
+              { index = p.inner_index;
+                lo = p.inner_lo;
+                hi = p.inner_hi;
+                step = p.inner_step;
+                body = p.inner_body } ]
+        @ p.post }
+
+let contains_loop stmts =
+  List.exists
+    (fun s ->
+      Stmt.fold
+        (fun acc s -> acc || match s with Stmt.For _ -> true | _ -> false)
+        false s)
+    stmts
+
+(* Split a loop body into [pre; For inner; post] with loop-free bands;
+   [None] when the body holds no loop, more than one top-level loop, or
+   a loop buried inside a band. *)
+let split_body body =
+  let rec go pre = function
     | [] -> None
     | Stmt.For inner :: post ->
       if
         List.exists (function Stmt.For _ -> true | _ -> false) post
-        || contains_loop (pre @ post)
-        || contains_loop inner.body  (* the inner loop must be innermost *)
+        || contains_loop (List.rev_append pre post)
       then None
-      else
-        Some
-          { outer_index = l.index;
-            outer_lo = l.lo;
-            outer_hi = l.hi;
-            outer_step = l.step;
-            pre = List.rev pre;
-            inner_index = inner.index;
-            inner_lo = inner.lo;
-            inner_hi = inner.hi;
-            inner_step = inner.step;
-            inner_body = inner.body;
-            post }
-    | s :: rest -> split (s :: pre) rest
+      else Some (List.rev pre, inner, post)
+    | s :: rest -> go (s :: pre) rest
   in
-  split [] l.body
+  go [] body
 
-(** All 2-deep nests in a program, outermost first, paired with the
-    outer-loop index that identifies them for [replace]. *)
+(* The maximal level chain rooted at [l]: [None] when some body on the
+   spine contains loops that do not fit the nest shape. *)
+let rec chain (l : Stmt.loop) : (level list * Stmt.t list) option =
+  match split_body l.body with
+  | None ->
+    if contains_loop l.body then None
+    else
+      Some
+        ( [ { l_index = l.index;
+              l_lo = l.lo;
+              l_hi = l.hi;
+              l_step = l.step;
+              l_pre = [];
+              l_post = [] } ],
+          l.body )
+  | Some (pre, inner, post) -> (
+    match chain inner with
+    | None -> None
+    | Some (levels, body) ->
+      Some
+        ( { l_index = l.index;
+            l_lo = l.lo;
+            l_hi = l.hi;
+            l_step = l.step;
+            l_pre = pre;
+            l_post = post }
+          :: levels,
+          body ))
+
+(** View an outer loop as a maximal nest (depth >= 2), if every body on
+    its spine fits the [pre; FOR; post] shape with the innermost body
+    loop-free. *)
+let of_loop (l : Stmt.loop) : t option =
+  match chain l with
+  | Some (levels, body) when List.length levels >= 2 -> Some { levels; body }
+  | _ -> None
+
+(** All maximal nests in a program, outermost first.  A loop whose body
+    breaks the nest shape is not a nest itself, but nests inside it are
+    still found. *)
 let find (p : Stmt.program) : t list =
   let rec scan acc stmts =
     List.fold_left
@@ -96,17 +183,54 @@ let find (p : Stmt.program) : t list =
   in
   List.rev (scan [] p.body)
 
-(** The nest whose outer index is [index], if any. *)
-let find_by_outer_index_opt (p : Stmt.program) index : t option =
-  List.find_opt (fun n -> String.equal n.outer_index index) (find p)
+(* The position of [index] among a nest's addressable levels (every
+   level but the innermost can head a pair). *)
+let level_position (n : t) index : int option =
+  let rec go k = function
+    | [] | [ _ ] -> None
+    | lv :: rest ->
+      if String.equal lv.l_index index then Some k else go (k + 1) rest
+  in
+  go 0 n.levels
 
-(** The nest whose outer index is [index].  @raise Not_found *)
-let find_by_outer_index (p : Stmt.program) index : t =
+(** The pair view whose outer index is [index], if any: levels [k]/[k+1]
+    of the nest holding a non-innermost level named [index]. *)
+let find_by_outer_index_opt (p : Stmt.program) index : pair option =
+  List.find_map
+    (fun n -> Option.map (pair_at n) (level_position n index))
+    (find p)
+
+(** The pair view whose outer index is [index].  @raise Not_found *)
+let find_by_outer_index (p : Stmt.program) index : pair =
   match find_by_outer_index_opt p index with
   | Some n -> n
   | None -> raise Not_found
 
-(** Replace the (first) outer loop with index [outer_index] by the given
+(** The maximal nest holding a non-innermost level named [index]. *)
+let find_nest_opt (p : Stmt.program) index : t option =
+  List.find_opt
+    (fun n -> Option.is_some (level_position n index))
+    (find p)
+
+(** The depth of the nest suffix rooted at the level named [index]
+    (e.g. the middle level of a 3-deep nest has suffix depth 2). *)
+let depth_at (p : Stmt.program) index : int option =
+  List.find_map
+    (fun n -> Option.map (fun k -> depth n - k) (level_position n index))
+    (find p)
+
+(** Every addressable (index, suffix depth) of every maximal nest, in
+    program order, outermost level first — the catalog a driver prints
+    when a requested target names no nest. *)
+let summary (p : Stmt.program) : (string * int) list =
+  List.concat_map
+    (fun n ->
+      let d = depth n in
+      List.filteri (fun k _ -> k <= d - 2) n.levels
+      |> List.mapi (fun k lv -> (lv.l_index, d - k)))
+    (find p)
+
+(** Replace the (first) loop with index [outer_index] by the given
     statements.  @raise Not_found when no such loop exists. *)
 let replace (p : Stmt.program) ~outer_index (replacement : Stmt.t list) :
     Stmt.program =
@@ -127,24 +251,29 @@ let replace (p : Stmt.program) ~outer_index (replacement : Stmt.t list) :
   if not !replaced then raise Not_found;
   { p with body }
 
-(** Constant trip count of the outer loop, when bounds are constants. *)
-let outer_trip_count (n : t) : int option =
-  match (Expr.simplify n.outer_lo, Expr.simplify n.outer_hi) with
+let trip_count lo hi step =
+  match (Expr.simplify lo, Expr.simplify hi) with
   | Expr.Int lo, Expr.Int hi ->
-    Some (if hi <= lo then 0 else (hi - lo + n.outer_step - 1) / n.outer_step)
+    Some (if hi <= lo then 0 else (hi - lo + step - 1) / step)
   | _ -> None
 
-let inner_trip_count (n : t) : int option =
-  match (Expr.simplify n.inner_lo, Expr.simplify n.inner_hi) with
-  | Expr.Int lo, Expr.Int hi ->
-    Some (if hi <= lo then 0 else (hi - lo + n.inner_step - 1) / n.inner_step)
-  | _ -> None
+(** Constant trip count of the pair's outer loop, when bounds are
+    constants. *)
+let outer_trip_count (n : pair) : int option =
+  trip_count n.outer_lo n.outer_hi n.outer_step
 
-(** All statements of the nest body (pre, inner body, post). *)
-let all_stmts (n : t) : Stmt.t list = n.pre @ n.inner_body @ n.post
+let inner_trip_count (n : pair) : int option =
+  trip_count n.inner_lo n.inner_hi n.inner_step
 
-(** Scalars referenced anywhere in the nest (bounds included). *)
-let scalars (n : t) =
+(** Constant trip count of one nest level. *)
+let level_trip_count (lv : level) : int option =
+  trip_count lv.l_lo lv.l_hi lv.l_step
+
+(** All statements of the pair body (pre, inner body, post). *)
+let all_stmts (n : pair) : Stmt.t list = n.pre @ n.inner_body @ n.post
+
+(** Scalars referenced anywhere in the pair (bounds included). *)
+let scalars (n : pair) =
   let s = Stmt.scalars (all_stmts n) in
   let add_expr e acc = Stmt.Sset.union acc (Expr.var_set e) in
   s

@@ -1,0 +1,28 @@
+(** A 3-deep lifting-wavelet-style kernel (the Table 1.1 cascade
+    shape): 4 bands × 8 rows × 8 taps, folding each row through an
+    integer lifting recurrence.  The raw squash on the (b, r) pair is
+    illegal — the candidate inner body contains the taps loop — so the
+    enabling route is flatten then squash, which is what the deep-nest
+    planner and sweep exercise end to end. *)
+
+open Uas_ir
+
+val bands : int
+val rows_per_band : int
+val taps : int
+
+(** [bands * rows_per_band], the number of row signatures produced. *)
+val rows : int
+
+(** [rows * taps], the image length. *)
+val img_len : int
+
+(** Host reference, mirroring the IR operation-for-operation. *)
+val transform : int array -> int array -> int array
+
+(** The 3-deep IR nest ([b]/[r]/[c] with row pointer [p]). *)
+val wavelet3 : unit -> Stmt.program
+
+val random_image : seed:int -> int array
+val random_coeffs : seed:int -> int array
+val workload : int array -> int array -> Interp.workload

@@ -192,8 +192,21 @@ let skip_of_failure v (tf : Parallel.Task_failure.t) : skip =
     [tier] picks the verification interpreter (default: the
     process-wide {!Fast_interp.default_tier}). *)
 let run_benchmark ?(target = Datapath.default) ?(verify = true) ?tier
-    ?(validate = false) ?exact ?(versions = Nimble.paper_versions) ?jobs
-    ?timeout_s ?retries ?after (b : Registry.benchmark) : bench_row =
+    ?(validate = false) ?exact ?versions ?jobs ?timeout_s ?retries ?after
+    (b : Registry.benchmark) : bench_row =
+  let versions =
+    match versions with
+    | Some vs -> vs
+    | None ->
+      (* default to the depth-appropriate set: the Table 6.2 versions
+         on a 2-deep kernel, flatten+squash on deeper nests *)
+      let depth =
+        Option.value ~default:2
+          (Uas_analysis.Loop_nest.depth_at b.Registry.b_program
+             b.Registry.b_outer_index)
+      in
+      Nimble.versions_for ~depth
+  in
   let tier =
     match tier with Some t -> t | None -> Fast_interp.default_tier ()
   in

@@ -35,6 +35,10 @@ type version =
       (* jam by the first factor, then squash the result by the second
          (the §2 composition: operators scale with the jam factor only,
          the squash on top fills their idle slots) *)
+  | Flat_squashed of int
+      (* flatten the kernel pair first, then squash the flattened loop
+         against the next level down — the enabling-rewrite route that
+         makes a 3-deep nest squashable *)
 
 let version_name = function
   | Original -> "original"
@@ -42,12 +46,22 @@ let version_name = function
   | Squashed ds -> Printf.sprintf "squash(%d)" ds
   | Jammed ds -> Printf.sprintf "jam(%d)" ds
   | Combined (j, s) -> Printf.sprintf "jam(%d)+squash(%d)" j s
+  | Flat_squashed ds -> Printf.sprintf "flatten+squash(%d)" ds
 
 (** The version set of Table 6.2. *)
 let paper_versions : version list =
   [ Original; Pipelined;
     Squashed 2; Squashed 4; Squashed 8; Squashed 16;
     Jammed 2; Jammed 4; Jammed 8; Jammed 16 ]
+
+(** The default version set for a kernel nest of the given depth: the
+    Table 6.2 set at depth 2; at deeper depths the squash/jam factors
+    target the pair left by one flatten (squash needs a loop-free inner
+    body, which the raw deep pair does not have). *)
+let versions_for ~depth : version list =
+  if depth <= 2 then paper_versions
+  else
+    [ Original; Pipelined; Flat_squashed 2; Flat_squashed 4; Flat_squashed 8 ]
 
 type built = {
   bv_version : version;
@@ -77,7 +91,12 @@ let transform_passes ?validate (version : version) : Pass.t list =
     (* the squash pass re-analyzes the jammed program: the jam pass
        invalidated the loop-nest cache along with the program *)
     [ Rewrite.pass ~factor:jam_ds ?validate "jam";
-      Rewrite.pass ~factor:squash_ds ?validate "squash" ])
+      Rewrite.pass ~factor:squash_ds ?validate "squash" ]
+  | Flat_squashed ds ->
+    (* flatten re-points the kernel onto the fresh flat loop; the
+       squash pass then re-analyzes and targets it *)
+    [ Rewrite.pass ?validate "flatten";
+      Rewrite.pass ~factor:ds ?validate "squash" ])
 
 (** The quick-synthesis pipeline of a version (§5.2): DFG, schedule,
     the optional exact-II oracle, estimate report. *)

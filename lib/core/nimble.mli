@@ -16,11 +16,18 @@ type version =
   | Jammed of int
   | Combined of int * int
       (** jam by the first factor, then squash by the second (§2) *)
+  | Flat_squashed of int
+      (** flatten the kernel pair, then squash the flattened loop — the
+          enabling route for nests deeper than 2 *)
 
 val version_name : version -> string
 
 (** original, pipelined, squash 2/4/8/16, jam 2/4/8/16. *)
 val paper_versions : version list
+
+(** {!paper_versions} at depth 2; original, pipelined and
+    flatten+squash 2/4/8 at deeper depths. *)
+val versions_for : depth:int -> version list
 
 type built = {
   bv_version : version;

@@ -58,11 +58,17 @@ let label_of sequence ds =
   | prefix ->
     Printf.sprintf "%s+squash(%d)" (String.concat "+" prefix) ds
 
-let candidates ?(factors = default_factors) () : candidate list =
+(** The search space for a kernel nest of the given depth (default 2).
+    Deeper nests prepend one flatten per extra level to every prefix:
+    squash needs an adjacent pair with a loop-free inner body, and each
+    flatten collapses the top pair, so depth d takes d-2 of them. *)
+let candidates ?(factors = default_factors) ?(depth = 2) () : candidate list =
+  let flatten_prefix = List.init (max 0 (depth - 2)) (fun _ -> "flatten") in
   { c_label = "original"; c_sequence = []; c_ds = 1; c_pipelined = false }
   :: { c_label = "pipelined"; c_sequence = []; c_ds = 1; c_pipelined = true }
   :: List.concat_map
        (fun prefix ->
+         let prefix = flatten_prefix @ prefix in
          List.map
            (fun ds ->
              { c_label = label_of prefix ds;
@@ -331,7 +337,13 @@ let rank_key objective ~base (row : row) =
 let plan ?(target = Datapath.default) ?jobs ?(objective = Ratio)
     ?(factors = default_factors) ?validate ?exact ?timeout_s ?retries
     (p : Uas_ir.Stmt.program) ~outer_index ~inner_index ~benchmark : plan =
-  let cands = candidates ~factors () in
+  let cands =
+    let depth =
+      Option.value ~default:2
+        (Uas_analysis.Loop_nest.depth_at p outer_index)
+    in
+    candidates ~factors ~depth ()
+  in
   let rows =
     Parallel.map_results ?jobs ?timeout_s ?retries
       (fun c ->

@@ -35,8 +35,11 @@ val enabling_prefixes : string list list
 val default_factors : int list
 
 (** The full search space: the [original]/[pipelined] baselines plus
-    every enabling prefix × factor, squash last. *)
-val candidates : ?factors:int list -> unit -> candidate list
+    every enabling prefix × factor, squash last.  For a kernel nest of
+    [depth] > 2 (default 2), every prefix is preceded by [depth - 2]
+    flattens, which collapse the nest to the adjacent-pair shape squash
+    requires. *)
+val candidates : ?factors:int list -> ?depth:int -> unit -> candidate list
 
 type row = {
   r_candidate : candidate;

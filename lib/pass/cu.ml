@@ -33,7 +33,7 @@ type t = {
   cu_program : Stmt.program;
   cu_outer : string;
   cu_inner : string;
-  mutable c_nest : Loop_nest.t option;
+  mutable c_nest : Loop_nest.pair option;
   mutable c_def_use : def_use option;
   mutable c_liveness : liveness option;
   mutable c_induction : Induction.t list option;

@@ -68,9 +68,10 @@ val with_program :
 
 (** {2 Memoized analyses} *)
 
-(** The kernel nest.  @raise Not_found when the outer index matches no
-    2-deep nest. *)
-val nest : t -> Loop_nest.t
+(** The kernel nest, as the adjacent-pair view headed by the unit's
+    outer index.  @raise Not_found when the outer index heads no nest
+    level. *)
+val nest : t -> Loop_nest.pair
 
 val def_use : t -> def_use
 val liveness : t -> liveness

@@ -75,7 +75,7 @@ let of_exn ~pass ?loop (exn : exn) : t option =
       (Uas_runtime.Fault.kind_name kind)
   | Uas_hw.Estimate.Not_a_kernel m -> err "not a hardware kernel: %s" m
   | Uas_ir.Types.Ir_error m -> err "%s" m
-  | Not_found -> err "no 2-deep loop nest with the requested outer index"
+  | Not_found -> err "no loop nest with the requested outer index"
   | Failure m -> err "%s" m
   | Invalid_argument m -> err "%s" m
   | exn -> ( match translate exn with Some m -> err "%s" m | None -> None)

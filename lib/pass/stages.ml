@@ -19,7 +19,7 @@ let analyze =
       | None ->
         Error
           (Diag.errorf ~pass:"loop-nest" ~loop:(Cu.outer_index cu)
-             "no 2-deep loop nest with outer index %s" (Cu.outer_index cu))
+             "no loop nest with outer index %s" (Cu.outer_index cu))
       | Some _ ->
         (* warm the caches the downstream passes consult *)
         ignore (Cu.nest cu);

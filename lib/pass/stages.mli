@@ -10,7 +10,7 @@ module Datapath = Uas_hw.Datapath
 
 (** ["loop-nest"]: locate the kernel nest and warm the def/use,
     liveness, and induction caches.  Fails with a diagnostic when the
-    outer index matches no 2-deep nest. *)
+    outer index heads no nest level. *)
 val analyze : Pass.t
 
 (** ["legality"]: the §4.1/§4.2 check at factor [ds]; fails with the

@@ -50,7 +50,7 @@ let copy_decls (p : Stmt.program) (set : Sset.t)
 (** The scalars a nest transformation must version: everything the nest
     writes, plus both loop indices (each data set owns its own index
     values). *)
-let versioned_scalars (nest : Uas_analysis.Loop_nest.t) : Sset.t =
+let versioned_scalars (nest : Uas_analysis.Loop_nest.pair) : Sset.t =
   Stmt.defs (Uas_analysis.Loop_nest.all_stmts nest)
   |> Sset.add nest.Uas_analysis.Loop_nest.outer_index
   |> Sset.add nest.inner_index

@@ -35,7 +35,7 @@ val copy_decls :
 
 (** Scalars a nest transformation must version: everything the nest
     writes plus both loop indices. *)
-val versioned_scalars : Uas_analysis.Loop_nest.t -> Sset.t
+val versioned_scalars : Uas_analysis.Loop_nest.pair -> Sset.t
 
 (** Exit value of a loop index after the loop, constant-folded when the
     bounds are static. *)

@@ -1,7 +1,11 @@
 (* Loop flattening (coalescing), one of the Nimble front-end
-   transformations listed in §5.2: a perfect 2-deep nest with static
-   bounds collapses into a single loop over the combined iteration
-   space, with the original indices recomputed by division/modulus.
+   transformations listed in §5.2: a perfect adjacent loop pair with
+   static bounds collapses into a single loop over the combined
+   iteration space, with the original indices recomputed by
+   division/modulus.  The pair may sit at any level of a deeper nest
+   (the deeper loops ride along inside [inner_body]), so repeated
+   flattening reduces any perfect nest to the adjacent-pair shape squash
+   needs.
 
      for (i = lo_i; i < hi_i; i++)
        for (j = lo_j; j < hi_j; j++) S(i, j);

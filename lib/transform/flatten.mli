@@ -1,7 +1,10 @@
 (** Loop flattening (coalescing, §5.2): collapse a perfect static
-    2-deep nest into one loop over the combined iteration space, the
-    original indices recomputed by division/modulus.  Always legal for
-    perfect nests (traversal order unchanged). *)
+    adjacent loop pair — at any level of a nest — into one loop over
+    the combined iteration space, the original indices recomputed by
+    division/modulus.  Always legal for perfect pairs (traversal order
+    unchanged); on a deeper nest, flattening the top pair reduces the
+    depth by one, so repeated flattening reaches the loop-pair shape
+    squash needs. *)
 
 open Uas_ir
 

@@ -1,6 +1,8 @@
-(** Loop interchange (§3.3/§3.4): swap the loops of a perfectly nested
-    pair.  Conservative legality via the affine dependence tests on
-    both orientations. *)
+(** Loop interchange (§3.3/§3.4): swap two adjacent loops of a
+    perfectly nested pair, at any level of a nest.  Conservative
+    legality via the affine dependence tests on both orientations for a
+    loop-free pair, and via the direction-vector test for a pair buried
+    in a deeper nest. *)
 
 open Uas_ir
 module Loop_nest = Uas_analysis.Loop_nest
@@ -14,7 +16,13 @@ val pp_failure : failure Fmt.t
 
 exception Interchange_error of failure
 
-val check : Loop_nest.t -> failure option
+(** Legality for a pair whose inner body is loop-free; {!apply_res}
+    picks the direction-vector test instead for deeper pairs. *)
+val check : Loop_nest.pair -> failure option
+
+(** Depth-aware legality at the pair headed by [outer_index].
+    @raise Not_found when absent. *)
+val check_at : Stmt.program -> outer_index:string -> failure option
 
 (** Interchange the nest with this outer index, the failure as data —
     the entry point the {!Rewrite} registry builds on.

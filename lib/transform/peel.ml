@@ -11,8 +11,8 @@ module Loop_nest = Uas_analysis.Loop_nest
 
 (** Peel the last [iterations] outer iterations of [nest] inside [p].
     Returns the updated program and the shrunken nest. *)
-let peel_back (p : Stmt.program) (nest : Loop_nest.t) ~iterations :
-    Stmt.program * Loop_nest.t =
+let peel_back (p : Stmt.program) (nest : Loop_nest.pair) ~iterations :
+    Stmt.program * Loop_nest.pair =
   if iterations < 0 then Types.ir_error "cannot peel %d iterations" iterations;
   if iterations = 0 then (p, nest)
   else
@@ -45,7 +45,7 @@ let peel_back (p : Stmt.program) (nest : Loop_nest.t) ~iterations :
         (* the zero-trip loop is kept when everything peels away, so
            callers can still locate and rewrite the nest; the final
            assignment restores the index exit value of the full loop *)
-        (Loop_nest.to_stmt nest' :: List.concat (List.init iterations copy))
+        (Loop_nest.pair_to_stmt nest' :: List.concat (List.init iterations copy))
         @ [ Stmt.Assign
               (nest.outer_index, Expr.Int (lo + (trips * nest.outer_step))) ]
       in
@@ -54,8 +54,8 @@ let peel_back (p : Stmt.program) (nest : Loop_nest.t) ~iterations :
 
 (** [peel_back] with the [Ir_error] message surfaced as data — the
     entry point the {!Rewrite} registry builds on. *)
-let peel_back_res (p : Stmt.program) (nest : Loop_nest.t) ~iterations :
-    (Stmt.program * Loop_nest.t, string) result =
+let peel_back_res (p : Stmt.program) (nest : Loop_nest.pair) ~iterations :
+    (Stmt.program * Loop_nest.pair, string) result =
   match peel_back p nest ~iterations with
   | r -> Ok r
   | exception Types.Ir_error m -> Error m

@@ -108,24 +108,25 @@ let check_via_apply apply p cu =
 let interchange =
   let apply p cu =
     let t = outer_target cu p in
-    let* () =
-      match Interchange.check (nest_of cu ~outer_index:t) with
-      | Some f -> Error (errf "interchange" cu "%a" Interchange.pp_failure f)
-      | None -> Ok ()
-    in
+    let pr = nest_of cu ~outer_index:t in
     match Interchange.apply_res (Cu.program cu) ~outer_index:t with
     | Error f -> Error (errf "interchange" cu "%a" Interchange.pp_failure f)
     | Ok q ->
-      (* the nest's loops swapped: re-point the kernel when it was the
-         rewritten nest *)
-      if String.equal t (Cu.outer_index cu) then
-        Ok
-          (Cu.with_program cu q ~outer_index:(Cu.inner_index cu)
-             ~inner_index:(Cu.outer_index cu))
-      else Ok (Cu.with_program cu q)
+      (* the pair's loops swapped: re-point whichever kernel index
+         named one of them *)
+      let outer' =
+        if String.equal t (Cu.outer_index cu) then
+          pr.Loop_nest.inner_index
+        else Cu.outer_index cu
+      in
+      let inner' =
+        if String.equal pr.Loop_nest.inner_index (Cu.inner_index cu) then t
+        else Cu.inner_index cu
+      in
+      Ok (Cu.with_program cu q ~outer_index:outer' ~inner_index:inner')
   in
   { rw_name = "interchange";
-    rw_summary = "swap the two loops of a perfect 2-deep nest";
+    rw_summary = "swap two adjacent loops of a perfect nest";
     rw_section = "§3.3/§3.4";
     rw_legality =
       "perfect nest, bounds independent of the other index, no dependence \
@@ -136,7 +137,9 @@ let interchange =
        dependence";
     rw_check =
       (fun p cu ->
-        match Interchange.check (nest_of cu ~outer_index:(outer_target cu p)) with
+        let t = outer_target cu p in
+        ignore (nest_of cu ~outer_index:t);
+        match Interchange.check_at (Cu.program cu) ~outer_index:t with
         | Some f -> Some (errf "interchange" cu "%a" Interchange.pp_failure f)
         | None -> None);
     rw_apply = apply }
@@ -236,15 +239,23 @@ let distribute =
 let flatten =
   let apply p cu =
     let t = outer_target cu p in
-    ignore (nest_of cu ~outer_index:t);
+    let pr = nest_of cu ~outer_index:t in
     match Flatten.apply_res (Cu.program cu) ~outer_index:t with
     | Error f -> Error (errf "flatten" cu "%a" Flatten.pp_failure f)
     | Ok (q, flat_index) ->
-      (* both original loops collapsed onto the fresh flat loop: the
-         kernel, when it was this nest, is now that single loop *)
-      if String.equal t (Cu.outer_index cu) then
-        Ok (Cu.with_program cu q ~outer_index:flat_index ~inner_index:flat_index)
-      else Ok (Cu.with_program cu q)
+      (* the pair's two loops collapsed onto the fresh flat loop: any
+         kernel index that named one of them now names the flat loop
+         (on a deeper nest only one of them may be a kernel index) *)
+      let outer' =
+        if String.equal t (Cu.outer_index cu) then flat_index
+        else Cu.outer_index cu
+      in
+      let inner' =
+        if String.equal pr.Loop_nest.inner_index (Cu.inner_index cu) then
+          flat_index
+        else Cu.inner_index cu
+      in
+      Ok (Cu.with_program cu q ~outer_index:outer' ~inner_index:inner')
   in
   { rw_name = "flatten";
     rw_summary = "collapse a perfect static nest into one loop";

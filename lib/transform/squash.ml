@@ -1,7 +1,8 @@
 (* Unroll-and-squash (Chapter 4), the paper's contribution.
 
-   Given a 2-deep nest, outer trip count M (a multiple of DS), inner
-   trip count N (static, >= 1), and unroll factor DS:
+   Given an adjacent loop pair (any level of a nest, via the pair
+   view), outer trip count M (a multiple of DS), inner trip count N
+   (static, >= 1), and unroll factor DS:
 
    - the inner body is cut into DS contiguous stage slices, balanced by
      estimated delay (Stage.partition — the "pipeline the DFG ignoring
@@ -73,7 +74,7 @@ let on_copy (w : Sset.t) (s : int) (stmts : Stmt.t list) : Stmt.t list =
   Expand.rename_in w (fun v -> Expand.stage_copy v s) stmts
 
 let apply ?(delay_of = Opinfo.default_delay) (p : Stmt.program)
-    (nest : Loop_nest.t) ~ds : outcome =
+    (nest : Loop_nest.pair) ~ds : outcome =
   if ds <= 0 then Types.ir_error "unroll factor must be positive";
   (* 1. legality, after automatic enabling rewrites *)
   let verdict = Legality.check nest ~ds in
@@ -261,7 +262,7 @@ let apply ?(delay_of = Opinfo.default_delay) (p : Stmt.program)
 (* The non-raising entry point the pass pipeline builds on: same
    transformation, with the §4.1/§4.2 failure modes surfaced as data
    instead of an exception. *)
-let apply_res ?delay_of (p : Stmt.program) (nest : Loop_nest.t) ~ds :
+let apply_res ?delay_of (p : Stmt.program) (nest : Loop_nest.pair) ~ds :
     (outcome, error) result =
   match apply ?delay_of p nest ~ds with
   | out -> Ok out

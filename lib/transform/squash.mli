@@ -1,6 +1,7 @@
 (** Unroll-and-squash (Chapter 4), the paper's contribution.
 
-    For a 2-deep nest and unroll factor DS: the inner body is cut into
+    For an adjacent loop pair and unroll factor DS: the inner body is
+    cut into
     DS balanced stage slices; every scalar the body touches gets DS
     rotating copies; stage s always executes on copy s and a rotation
     hands each data set's whole scalar state to the next stage (copy
@@ -44,7 +45,7 @@ type outcome = {
 val apply :
   ?delay_of:(Opinfo.op_kind -> int) ->
   Stmt.program ->
-  Loop_nest.t ->
+  Loop_nest.pair ->
   ds:int ->
   outcome
 
@@ -53,6 +54,6 @@ val apply :
 val apply_res :
   ?delay_of:(Opinfo.op_kind -> int) ->
   Stmt.program ->
-  Loop_nest.t ->
+  Loop_nest.pair ->
   ds:int ->
   (outcome, error) result

@@ -30,7 +30,7 @@ let () =
     | Jam_error v -> Some (Fmt.str "%a" Legality.pp_verdict v)
     | _ -> None)
 
-let apply (p : Stmt.program) (nest : Loop_nest.t) ~ds : outcome =
+let apply (p : Stmt.program) (nest : Loop_nest.pair) ~ds : outcome =
   if ds <= 0 then Types.ir_error "unroll factor must be positive";
   let verdict = Legality.check nest ~ds in
   if not verdict.Legality.ok then raise (Jam_error verdict);
@@ -101,7 +101,7 @@ let apply (p : Stmt.program) (nest : Loop_nest.t) ~ds : outcome =
 
 (* Non-raising entry point for the pass pipeline, as for
    {!Squash.apply_res}. *)
-let apply_res (p : Stmt.program) (nest : Loop_nest.t) ~ds :
+let apply_res (p : Stmt.program) (nest : Loop_nest.pair) ~ds :
     (outcome, Legality.verdict) result =
   match apply p nest ~ds with
   | out -> Ok out

@@ -17,9 +17,9 @@ exception Jam_error of Legality.verdict
 
 (** Apply unroll-and-jam by [ds]; enabling rewrites are automatic, as
     for {!Squash.apply}.  @raise Jam_error when illegal. *)
-val apply : Stmt.program -> Loop_nest.t -> ds:int -> outcome
+val apply : Stmt.program -> Loop_nest.pair -> ds:int -> outcome
 
 (** [apply] with the illegality verdict as data instead of an
     exception, as for {!Squash.apply_res}. *)
 val apply_res :
-  Stmt.program -> Loop_nest.t -> ds:int -> (outcome, Legality.verdict) result
+  Stmt.program -> Loop_nest.pair -> ds:int -> (outcome, Legality.verdict) result

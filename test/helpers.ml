@@ -235,3 +235,45 @@ let gen_perfect_nest_program = gen_perfect_nest_program_sized ~m_max:5 ~n_max:5
 
 let arbitrary_perfect_nest_program =
   QCheck.make gen_perfect_nest_program ~print:Pp.program_to_string
+
+(* 3-deep variant for the depth-general paths: the outer (i, j) pair
+   walks independent cells through the row pointer p (a genuine
+   cross-iteration induction variable, so flatten + induction analysis
+   keeps the accesses affine), the innermost k loop is random
+   straight-line code.  About a third of the programs get an i-level
+   band, making the (i, j) pair imperfect — flatten must then reject
+   it cleanly rather than transform it. *)
+let gen_nest3_program_sized ~m_max ~n_max ~k_max : Stmt.program QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let m = int_range 1 m_max st in
+  let n = int_range 1 n_max st in
+  let k = int_range 1 k_max st in
+  let defined = ref [ "a"; "b" ] in
+  let body = gen_straightline ~defined ~n_stmts:(int_range 1 5 st) st in
+  let i_band =
+    if int_range 0 2 st = 0 then [ B.("c" <-- v "i" * B.int n) ] else []
+  in
+  B.program "gen_nest3"
+    ~locals:
+      [ ("i", Types.Tint); ("j", Types.Tint); ("k", Types.Tint);
+        ("p", Types.Tint); ("a", Types.Tint); ("b", Types.Tint);
+        ("c", Types.Tint); ("d", Types.Tint) ]
+    ~arrays:
+      [ B.input "src" (m * n); B.input "tab" 64; B.output "dst" (m * n) ]
+    [ B.("p" <-- int 0);
+      B.for_ "i" ~hi:(B.int m)
+        (i_band
+        @ [ B.for_ "j" ~hi:(B.int n)
+              [ B.("a" <-- load "src" (v "p"));
+                B.("b" <-- bxor (v "a") (int 5));
+                B.for_ "k" ~hi:(B.int k) body;
+                B.store "dst" (B.v "p") (B.v "a");
+                B.("p" <-- v "p" + int 1) ]
+          ])
+    ]
+
+let gen_nest3_program = gen_nest3_program_sized ~m_max:4 ~n_max:4 ~k_max:6
+
+let arbitrary_nest3_program =
+  QCheck.make gen_nest3_program ~print:Pp.program_to_string

@@ -46,7 +46,8 @@ let test_find_nest () =
   let p = Helpers.fg_loop ~m:4 ~n:2 in
   let nests = A.Loop_nest.find p in
   Alcotest.(check int) "one nest" 1 (List.length nests);
-  let n = List.hd nests in
+  Alcotest.(check int) "depth 2" 2 (A.Loop_nest.depth (List.hd nests));
+  let n = A.Loop_nest.pair_at (List.hd nests) 0 in
   Alcotest.(check string) "outer" "i" n.A.Loop_nest.outer_index;
   Alcotest.(check string) "inner" "j" n.A.Loop_nest.inner_index;
   Alcotest.(check int) "pre size" 1 (List.length n.A.Loop_nest.pre);
@@ -59,13 +60,15 @@ let test_find_nest () =
 let test_nest_roundtrip () =
   let p = Helpers.ch4_loop ~m:4 ~n:3 in
   let n = A.Loop_nest.find_by_outer_index p "i" in
-  let q = A.Loop_nest.replace p ~outer_index:"i" [ A.Loop_nest.to_stmt n ] in
+  let q =
+    A.Loop_nest.replace p ~outer_index:"i" [ A.Loop_nest.pair_to_stmt n ]
+  in
   Alcotest.(check bool) "roundtrip equal" true
     (Stmt.equal_list p.Stmt.body q.Stmt.body)
 
-let test_triple_nest_skipped () =
-  (* a 3-deep nest is not a 2-nest at the outer level; [find] descends
-     and reports the inner pair *)
+let test_triple_nest_found () =
+  (* a 3-deep nest is one maximal nest headed at the outer level; the
+     summary catalogs every addressable level with its suffix depth *)
   let p =
     B.program "deep"
       ~locals:
@@ -79,8 +82,24 @@ let test_triple_nest_skipped () =
   in
   let nests = A.Loop_nest.find p in
   Alcotest.(check int) "one nest found" 1 (List.length nests);
-  Alcotest.(check string) "it is j/k" "j"
-    (List.hd nests).A.Loop_nest.outer_index
+  let n = List.hd nests in
+  Alcotest.(check int) "depth 3" 3 (A.Loop_nest.depth n);
+  Alcotest.(check string) "headed at i" "i"
+    (List.hd n.A.Loop_nest.levels).A.Loop_nest.l_index;
+  Alcotest.(check (list (pair string int)))
+    "summary catalogs i and j" [ ("i", 3); ("j", 2) ] (A.Loop_nest.summary p);
+  (* the pair views: (i, j) wraps the k loop; (j, k) is loop-free *)
+  let pij = A.Loop_nest.pair_at n 0 in
+  Alcotest.(check string) "pair 0 inner" "j" pij.A.Loop_nest.inner_index;
+  let has_loop =
+    List.exists (function Stmt.For _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "pair 0 inner body holds the k loop" true
+    (has_loop pij.A.Loop_nest.inner_body);
+  let pjk = A.Loop_nest.pair_at n 1 in
+  Alcotest.(check string) "pair 1 outer" "j" pjk.A.Loop_nest.outer_index;
+  Alcotest.(check bool) "pair 1 inner body loop-free" false
+    (has_loop pjk.A.Loop_nest.inner_body)
 
 (* --- induction variables --- *)
 
@@ -311,7 +330,7 @@ let base_suite =
     Alcotest.test_case "block liveness" `Quick test_liveness_block;
     Alcotest.test_case "find nest" `Quick test_find_nest;
     Alcotest.test_case "nest roundtrip" `Quick test_nest_roundtrip;
-    Alcotest.test_case "triple nest" `Quick test_triple_nest_skipped;
+    Alcotest.test_case "triple nest" `Quick test_triple_nest_found;
     Alcotest.test_case "induction rewrite" `Quick
       test_induction_found_and_rewritten;
     Alcotest.test_case "induction enables squash" `Quick

@@ -54,7 +54,7 @@ let test_reference_outputs () =
       match S.Registry.check_against_reference b b.S.Registry.b_program with
       | Ok () -> ()
       | Error m -> Alcotest.failf "%s: %s" b.S.Registry.b_name m)
-    (S.Registry.all ())
+    (S.Registry.all () @ S.Registry.extras ())
 
 let test_benchmarks_validate () =
   List.iter
@@ -64,7 +64,7 @@ let test_benchmarks_validate () =
       | errs ->
         Alcotest.failf "%s: %a" b.S.Registry.b_name
           (Fmt.list Validate.pp_error) errs)
-    (S.Registry.all ())
+    (S.Registry.all () @ S.Registry.extras ())
 
 (* --- every paper version of every benchmark stays correct --- *)
 
@@ -136,6 +136,55 @@ let test_versions_with_peeling () =
       | Error m -> Alcotest.failf "%s: %s" (N.version_name version) m)
     rows
 
+(* --- the 3-deep extra: every deep-nest version stays correct --- *)
+
+let test_wavelet3_versions_verified () =
+  let b = S.Registry.wavelet3 () in
+  let rows =
+    N.sweep b.S.Registry.b_program
+      ~versions:(N.versions_for ~depth:3)
+      ~outer_index:b.S.Registry.b_outer_index
+      ~inner_index:b.S.Registry.b_inner_index
+    |> N.successes
+  in
+  Alcotest.(check int)
+    "all deep-nest versions built"
+    (List.length (N.versions_for ~depth:3))
+    (List.length rows);
+  List.iter
+    (fun (version, built, _report) ->
+      (match S.Registry.check_against_reference b built.N.bv_program with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "wavelet3 %s: %s" (N.version_name version) m);
+      let detail =
+        Uas_hw.Estimate.kernel_detail built.N.bv_program
+          ~index:built.N.bv_kernel_index
+      in
+      let s =
+        Uas_hw.Estimate.kernel_schedule ~pipelined:(N.pipelined version) detail
+      in
+      match Uas_dfg.Sched.check_schedule detail.Uas_dfg.Build.d_graph s with
+      | Ok () -> ()
+      | Error msgs ->
+        Alcotest.failf "wavelet3 %s: invalid schedule: %s"
+          (N.version_name version)
+          (String.concat "; " msgs))
+    rows
+
+(* the raw squash on the deep pair must be rejected with the inner-loop
+   diagnostic, not mis-applied: the whole reason the flatten route
+   exists *)
+let test_wavelet3_raw_squash_rejected () =
+  let b = S.Registry.wavelet3 () in
+  match
+    N.build_version_result b.S.Registry.b_program
+      ~outer_index:b.S.Registry.b_outer_index
+      ~inner_index:b.S.Registry.b_inner_index (N.Squashed 4)
+  with
+  | Ok _ -> Alcotest.fail "raw squash on the 3-deep nest must be rejected"
+  | Error d ->
+    Alcotest.(check string) "rejecting pass" "squash" d.Uas_pass.Diag.d_pass
+
 (* --- profiling study --- *)
 
 let test_profile_hot_loops_dominate () =
@@ -175,6 +224,10 @@ let suite =
       test_all_versions_verified;
     Alcotest.test_case "versions with peeling" `Slow
       test_versions_with_peeling;
+    Alcotest.test_case "wavelet3 deep-nest versions verified" `Slow
+      test_wavelet3_versions_verified;
+    Alcotest.test_case "wavelet3 raw squash rejected" `Quick
+      test_wavelet3_raw_squash_rejected;
     Alcotest.test_case "profile hot loops dominate" `Quick
       test_profile_hot_loops_dominate;
     Alcotest.test_case "profile few loops hot" `Quick

@@ -1,7 +1,8 @@
-(* Differential hardening of the parallel sweep engine: random 2-deep
-   loop nests where (1) every generated version must compute the exact
-   outputs of the original in the interpreter, and (2) the parallel
-   sweep must equal the sequential sweep cell-for-cell.  Parallel
+(* Differential hardening of the parallel sweep engine: random loop
+   nests (2-deep and 3-deep) where (1) every generated version must
+   compute the exact outputs of the original in the interpreter, and
+   (2) the parallel sweep must equal the sequential sweep
+   cell-for-cell.  Parallel
    correctness claims are cheap to break silently — a pass that grows
    shared mutable state, or a pool that reorders results, changes
    nothing on the happy path until it flips a Table 6.2 cell — so this
@@ -109,8 +110,96 @@ let test_sweep_failure_surfaces () =
   Alcotest.(check bool) "sequential skips with diagnostic" true (attempt 1);
   Alcotest.(check bool) "parallel skips with diagnostic" true (attempt 4)
 
+(* --- the 3-deep generator: depth-general versions and rewrites ----- *)
+
+(* the deep-nest version set: flatten the (i, j) pair, then squash the
+   flat loop against k.  On the ~third of generated programs where an
+   i-level band makes the pair imperfect, flatten must reject cleanly
+   (a dropped version, like an illegal factor) — never diverge. *)
+let diff_versions3 = [ N.Original; N.Flat_squashed 2; N.Flat_squashed 4 ]
+
+let build_opt3 p v =
+  match N.build_version_result p ~outer_index:"i" ~inner_index:"k" v with
+  | Ok b -> Some b
+  | Error _ -> None
+
+let test_qcheck_nest3_versions_bit_identical =
+  QCheck.Test.make
+    ~name:"interp outputs bit-identical across original/flatten+squash"
+    ~count:40 Helpers.arbitrary_nest3_program
+    (fun p ->
+      let w = Helpers.random_workload ~seed:13 p in
+      let reference = Interp.run p w in
+      List.iter
+        (fun v ->
+          match build_opt3 p v with
+          | None -> ()
+          | Some b -> (
+            let r = Interp.run b.N.bv_program w in
+            match Interp.diff_outputs reference r with
+            | None -> ()
+            | Some d ->
+              QCheck.Test.fail_reportf "%s diverges: %s@\n%a"
+                (N.version_name v) d Pp.pp_program b.N.bv_program))
+        diff_versions3;
+      true)
+
+(* every registered rewrite, pointed at every level of a random 3-deep
+   nest, must come back Ok or Error from Pass.run — a raw exception out
+   of a depth-general code path is the regression this guards *)
+let test_qcheck_nest3_no_exception_escapes =
+  let module Rw = Uas_transform.Rewrite in
+  let module Pass = Uas_pass.Pass in
+  let module Cu = Uas_pass.Cu in
+  QCheck.Test.make
+    ~name:"no rewrite escapes Pass.run on a 3-deep nest" ~count:20
+    Helpers.arbitrary_nest3_program
+    (fun p ->
+      List.iter
+        (fun target ->
+          let params = { Rw.default_params with Rw.target = Some target } in
+          List.iter
+            (fun rw ->
+              let cu = Cu.make p ~outer_index:"i" ~inner_index:"k" in
+              match Pass.run cu [ Rw.to_pass ~params rw ] with
+              | Ok _ | Error _ -> ()
+              | exception e ->
+                QCheck.Test.fail_reportf
+                  "%s at %s: exception escaped Pass.run: %s@\n%a" (Rw.name rw)
+                  target (Printexc.to_string e) Pp.pp_program p)
+            (Rw.all ()))
+        [ "i"; "j"; "k"; "ghost" ];
+      true)
+
+let test_qcheck_nest3_parallel_sweep_equals_sequential =
+  QCheck.Test.make
+    ~name:"3-deep parallel sweep = sequential sweep (cell-for-cell)"
+    ~count:20 Helpers.arbitrary_nest3_program
+    (fun p ->
+      let sweep jobs =
+        N.sweep ~versions:diff_versions3 ~jobs p ~outer_index:"i"
+          ~inner_index:"k"
+      in
+      let seq = sweep 1 and par = sweep 4 in
+      let outcome_equal o1 o2 =
+        match (o1, o2) with
+        | N.Built (b1, r1), N.Built (b2, r2) ->
+          b1.N.bv_program = b2.N.bv_program
+          && b1.N.bv_kernel_index = b2.N.bv_kernel_index
+          && r1 = r2
+        | N.Skipped d1, N.Skipped d2 -> d1 = d2
+        | _ -> false
+      in
+      List.length seq = List.length par
+      && List.for_all2
+           (fun (v1, o1) (v2, o2) -> v1 = v2 && outcome_equal o1 o2)
+           seq par)
+
 let suite =
   [ QCheck_alcotest.to_alcotest test_qcheck_versions_bit_identical;
+    QCheck_alcotest.to_alcotest test_qcheck_nest3_versions_bit_identical;
+    QCheck_alcotest.to_alcotest test_qcheck_nest3_no_exception_escapes;
+    QCheck_alcotest.to_alcotest test_qcheck_nest3_parallel_sweep_equals_sequential;
     QCheck_alcotest.to_alcotest test_qcheck_parallel_sweep_equals_sequential;
     Alcotest.test_case "run_benchmark: 1 domain = 4 domains" `Slow
       test_run_benchmark_parallel_equals_sequential;

@@ -167,7 +167,7 @@ let test_registry_benchmarks_identical () =
   List.iter
     (fun (b : R.benchmark) ->
       check_parity ~msg:b.R.b_name b.R.b_program b.R.b_workload)
-    (R.all ())
+    (R.all () @ R.extras ())
 
 let test_registry_check_fast_tier () =
   List.iter
@@ -175,7 +175,7 @@ let test_registry_check_fast_tier () =
       match R.check_against_reference ~tier:Fast_interp.Fast b b.R.b_program with
       | Ok () -> ()
       | Error e -> Alcotest.failf "%s: fast-tier check failed: %s" b.R.b_name e)
-    (R.all ())
+    (R.all () @ R.extras ())
 
 (* --- Stuck parity -------------------------------------------------- *)
 

@@ -93,7 +93,7 @@ let test_registry_benchmarks_identical () =
   List.iter
     (fun (b : R.benchmark) ->
       check_parity ~msg:b.R.b_name b.R.b_program b.R.b_workload)
-    (R.all ())
+    (R.all () @ R.extras ())
 
 let test_registry_check_native_tier () =
   List.iter
@@ -104,7 +104,7 @@ let test_registry_check_native_tier () =
       | Ok () -> ()
       | Error e ->
         Alcotest.failf "%s: native-tier check failed: %s" b.R.b_name e)
-    (R.all ())
+    (R.all () @ R.extras ())
 
 (* --- Stuck parity -------------------------------------------------- *)
 

@@ -101,7 +101,7 @@ let test_registry_canonical_text_fixpoint () =
         (b.S.Registry.b_name ^ ": canonical text is a fixpoint")
         text
         (Pp.program_to_string reparsed))
-    (S.Registry.all ())
+    (S.Registry.all () @ S.Registry.extras ())
 
 let test_transformed_roundtrips () =
   (* squashed output (with its generated '@' names) also round-trips *)

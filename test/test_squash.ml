@@ -77,11 +77,12 @@ let test_steady_trip_count () =
       let nest = Helpers.nest_of p "i" in
       let out = Squash.apply p nest ~ds in
       let steady =
-        Loop_nest.find out.Squash.program
-        |> List.find_map (fun nst ->
-               if String.equal nst.Loop_nest.inner_index out.Squash.new_inner_index
-               then Loop_nest.inner_trip_count nst
-               else None)
+        match Loop_nest.find_by_outer_index_opt out.Squash.program "i" with
+        | Some nst
+          when String.equal nst.Loop_nest.inner_index
+                 out.Squash.new_inner_index ->
+          Loop_nest.inner_trip_count nst
+        | _ -> None
       in
       Alcotest.(check (option int))
         (Printf.sprintf "steady trips n=%d ds=%d" n ds)
