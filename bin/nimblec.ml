@@ -260,16 +260,55 @@ let cache_verify_arg =
           "Recompute every artifact and compare it against the cached \
            copy; a mismatch is an incident and the entry is replaced")
 
-(* --task-timeout / --retries bounds checked once, up front *)
+(* --task-timeout / --retries bounds checked once, up front, through
+   the shared validator (Uas_runtime.Budget) — same ranges and the
+   same diagnostic as bench/main.exe and nimbled *)
 let check_supervision timeout_s retries =
   (match timeout_s with
-  | Some t when t <= 0.0 ->
-    runtime_error "--task-timeout expects positive seconds, got %g" t
-  | _ -> ());
+  | Some t -> (
+    match Uas_runtime.Budget.check_timeout ~flag:"--task-timeout" t with
+    | Ok _ -> ()
+    | Error m -> runtime_error "%s" m)
+  | None -> ());
   match retries with
-  | Some n when n < 0 ->
-    runtime_error "--retries expects a non-negative integer, got %d" n
-  | _ -> ()
+  | Some n -> (
+    match Uas_runtime.Budget.check_retries ~flag:"--retries" n with
+    | Ok _ -> ()
+    | Error m -> runtime_error "%s" m)
+  | None -> ()
+
+(* --server ADDR: serve the request from a nimbled daemon.  When the
+   daemon is unreachable (bounded retries with exponential backoff and
+   deterministic jitter exhausted) or rejects the request, nimblec
+   falls back to local in-process compilation with an incident
+   footnote on stderr — the stdout bytes are identical either way. *)
+let server_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server" ] ~docv:"ADDR"
+        ~doc:
+          "Unix-domain socket of a $(b,nimbled) daemon to serve this \
+           request; unreachable or failing daemons degrade to local \
+           in-process compilation with an incident footnote (see \
+           docs/SERVICE.md)")
+
+(* The incident footnote: stderr only, so stdout stays byte-identical
+   to the daemon-served output. *)
+let service_incident addr msg =
+  Fmt.epr "nimblec: %a@." Diag.pp
+    (Diag.errorf ~pass:"service"
+       "daemon at %s unavailable (%s); falling back to local compilation"
+       addr msg)
+
+(* Serve one work request from the daemon, or run [local] as the
+   degraded path. *)
+let serve_or_local ~addr work ~local =
+  match Uas_service.Client.serve_work addr work with
+  | Uas_service.Client.Served payload -> print_string payload
+  | Uas_service.Client.Rejected m | Uas_service.Client.Unreachable m ->
+    service_incident addr m;
+    local ()
 
 let interp_arg =
   let tier_conv =
@@ -337,24 +376,38 @@ let show_cmd =
 
 let estimate_cmd =
   let run name verify jobs timings dump_after interp validate exact timeout_s
-      retries fault cache cache_verify =
+      retries fault cache cache_verify server =
     set_interp interp;
     check_supervision timeout_s retries;
     arm_fault fault;
-    init_cache cache cache_verify;
-    if timings then Uas_runtime.Instrument.set_enabled true;
-    let b = find_benchmark name in
-    let after = dump_hook_of dump_after in
-    (* dumping from pool domains would interleave: force sequential *)
-    let jobs = if Option.is_some after then Some 1 else jobs in
-    let row =
-      E.run_benchmark ~verify ~validate ~exact ?jobs ?timeout_s ?retries
-        ?after b
+    let local () =
+      init_cache cache cache_verify;
+      if timings then Uas_runtime.Instrument.set_enabled true;
+      let b = find_benchmark name in
+      let after = dump_hook_of dump_after in
+      (* dumping from pool domains would interleave: force sequential *)
+      let jobs = if Option.is_some after then Some 1 else jobs in
+      let row =
+        E.run_benchmark ~verify ~validate ~exact ?jobs ?timeout_s ?retries
+          ?after b
+      in
+      Fmt.pr "%a@." E.pp_table_6_2 [ row ];
+      Fmt.pr "%a@." E.pp_table_6_3 [ row ];
+      if timings then Fmt.pr "%a" Uas_runtime.Instrument.pp_summary ();
+      report_store_stats ()
     in
-    Fmt.pr "%a@." E.pp_table_6_2 [ row ];
-    Fmt.pr "%a@." E.pp_table_6_3 [ row ];
-    if timings then Fmt.pr "%a" Uas_runtime.Instrument.pp_summary ();
-    report_store_stats ()
+    match server with
+    | None -> local ()
+    | Some addr ->
+      serve_or_local ~addr
+        (Uas_service.Handler.W_estimate
+           { Uas_service.Handler.e_bench = name;
+             e_verify = verify;
+             e_tier = interp;
+             e_validate = validate;
+             e_exact = exact;
+             e_budget_s = None })
+        ~local
   in
   let verify =
     Arg.(
@@ -370,7 +423,7 @@ let estimate_cmd =
       const run $ bench_arg $ verify $ jobs_arg $ timings_arg
       $ dump_after_arg $ interp_arg $ validate_arg $ exact_arg
       $ task_timeout_arg $ retries_arg $ fault_arg $ cache_arg
-      $ cache_verify_arg)
+      $ cache_verify_arg $ server_arg)
 
 (* --- run --- *)
 
@@ -581,19 +634,39 @@ let plan_benchmark ?jobs ?(validate = false) ?exact ?timeout_s ?retries
 
 let plan_cmd =
   let run name objective jobs validate exact timeout_s retries fault cache
-      cache_verify =
+      cache_verify server =
     check_supervision timeout_s retries;
     arm_fault fault;
-    init_cache cache cache_verify;
+    let cache_ready = ref false in
+    let local_cache () =
+      if not !cache_ready then begin
+        cache_ready := true;
+        init_cache cache cache_verify
+      end
+    in
+    (* one request (or local fallback) per benchmark, so a daemon that
+       fails mid-list degrades only the affected benchmark *)
+    let plan_one b =
+      let local () =
+        local_cache ();
+        plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective b
+      in
+      match server with
+      | None -> local ()
+      | Some addr ->
+        serve_or_local ~addr
+          (Uas_service.Handler.W_plan
+             { Uas_service.Handler.p_bench = b.S.Registry.b_name;
+               p_objective = objective;
+               p_validate = validate;
+               p_exact = exact;
+               p_budget_s = None })
+          ~local
+    in
     (match name with
-    | Some name ->
-      plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective
-        (find_benchmark name)
-    | None ->
-      List.iter
-        (plan_benchmark ?jobs ~validate ~exact ?timeout_s ?retries ~objective)
-        (S.Registry.all () @ S.Registry.extras ()));
-    report_store_stats ()
+    | Some name -> plan_one (find_benchmark name)
+    | None -> List.iter plan_one (S.Registry.all () @ S.Registry.extras ()));
+    if !cache_ready then report_store_stats ()
   in
   let bench_opt =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
@@ -605,7 +678,56 @@ let plan_cmd =
     Term.(
       const run $ bench_opt $ objective_arg $ jobs_arg $ validate_arg
       $ exact_arg $ task_timeout_arg $ retries_arg $ fault_arg $ cache_arg
-      $ cache_verify_arg)
+      $ cache_verify_arg $ server_arg)
+
+(* --- daemon: control verbs against a nimbled instance --- *)
+
+let daemon_cmd =
+  let run action server attempts =
+    let addr =
+      match server with
+      | Some addr -> addr
+      | None -> runtime_error "daemon %s requires --server ADDR" action
+    in
+    let request =
+      match action with
+      | "hello" -> Uas_service.Handler.Hello "nimblec"
+      | "health" -> Uas_service.Handler.Health
+      | "stats" -> Uas_service.Handler.Stats
+      | "drain" -> Uas_service.Handler.Drain
+      | other ->
+        runtime_error "unknown daemon action %s (hello|health|stats|drain)"
+          other
+    in
+    match
+      Uas_service.Client.call ?attempts addr
+        (Uas_service.Handler.to_frame request)
+    with
+    | Uas_service.Client.Served payload -> Fmt.pr "%s@." payload
+    | Uas_service.Client.Rejected m ->
+      Fmt.epr "nimblec: daemon at %s rejected %s: %s@." addr action m;
+      exit 1
+    | Uas_service.Client.Unreachable m ->
+      Fmt.epr "nimblec: daemon at %s unreachable: %s@." addr m;
+      exit 1
+  in
+  let action_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION")
+  in
+  let attempts_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"Connection attempts before giving up (default 4)")
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Control a nimbled daemon: $(b,hello) (handshake), $(b,health), \
+          $(b,stats) (the v7 daemon counters + store), or $(b,drain) \
+          (graceful shutdown; returns once in-flight work finishes)")
+    Term.(const run $ action_arg $ server_arg $ attempts_arg)
 
 (* --- profile --- *)
 
@@ -681,4 +803,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_term info
           [ list_cmd; show_cmd; estimate_cmd; run_cmd; dfg_cmd; plan_cmd;
-            profile_cmd; compile_cmd; export_cmd ]))
+            profile_cmd; compile_cmd; export_cmd; daemon_cmd ]))

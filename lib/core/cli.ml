@@ -61,24 +61,27 @@ let parse ~available args =
                m))
       | [] -> Error "--exact-ii expects off, check or report")
     | "--task-timeout" :: rest -> (
+      (* shared validator (Uas_runtime.Budget): same ranges and the
+         same diagnostic as nimblec and nimbled *)
       match rest with
       | s :: rest' -> (
-        match float_of_string_opt s with
-        | Some t when t > 0.0 -> go { acc with o_task_timeout = Some t } rest'
-        | Some _ | None ->
-          Error
-            (Printf.sprintf "--task-timeout expects positive seconds, got %s" s))
-      | [] -> Error "--task-timeout expects positive seconds")
+        match Uas_runtime.Budget.timeout_of_string ~flag:"--task-timeout" s with
+        | Ok t -> go { acc with o_task_timeout = Some t } rest'
+        | Error m -> Error m)
+      | [] ->
+        Error
+          (Printf.sprintf "--task-timeout expects %s"
+             Uas_runtime.Budget.timeout_range))
     | "--retries" :: rest -> (
       match rest with
       | n :: rest' -> (
-        match int_of_string_opt n with
-        | Some n when n >= 0 -> go { acc with o_retries = Some n } rest'
-        | Some _ | None ->
-          Error
-            (Printf.sprintf "--retries expects a non-negative integer, got %s"
-               n))
-      | [] -> Error "--retries expects a non-negative integer")
+        match Uas_runtime.Budget.retries_of_string ~flag:"--retries" n with
+        | Ok n -> go { acc with o_retries = Some n } rest'
+        | Error m -> Error m)
+      | [] ->
+        Error
+          (Printf.sprintf "--retries expects %s"
+             Uas_runtime.Budget.retries_range))
     | "--fault" :: rest -> (
       match rest with
       | p :: rest' -> go { acc with o_fault = Some p } rest'

@@ -1,5 +1,5 @@
 (* keep in sync with (version ...) in dune-project *)
-let package_version = "0.7.0"
+let package_version = "0.8.0"
 
 let version_string =
   Printf.sprintf "unroll_and_squash %s (trajectory schema v%d)"

@@ -27,7 +27,18 @@
    4. Bounded size.  An atomic running total (seeded by a scan at
       open) triggers a mutex-guarded eviction sweep when a write pushes
       the store past its budget; the sweep deletes oldest-mtime objects
-      until the store is back under 7/8 of the budget. *)
+      until the store is back under 7/8 of the budget.
+
+   5. Multi-process safe.  A daemon and a concurrent CLI may share one
+      store directory, so eviction and write-publish are serialized
+      across processes by an advisory fcntl lock on <dir>/lock: the
+      publisher holds it (blocking, briefly) around rename+accounting,
+      the sweeper tries it non-blocking and — losing the race — skips
+      the sweep with an incident counter instead of racing a foreign
+      eviction into a half-removed entry.  fcntl locks are per-process,
+      so all lockf calls additionally run under one in-process mutex
+      (one thread's unlock must not drop a lock another thread of this
+      process still relies on). *)
 
 let env_var = "UAS_CACHE"
 let max_bytes_env_var = "UAS_CACHE_MAX_BYTES"
@@ -43,13 +54,18 @@ type t = {
   bad : int Atomic.t;
   writes : int Atomic.t;
   evicted : int Atomic.t;
+  evict_skipped : int Atomic.t;
+      (** sweeps abandoned because another process held the store lock *)
   read_us : int Atomic.t;  (** cumulative read latency, microseconds *)
   write_us : int Atomic.t;
   evict_lock : Mutex.t;
+  lock_fd : Unix.file_descr option;  (** <dir>/lock; [None] degrades *)
+  lockf_mutex : Mutex.t;  (** serializes every lockf on [lock_fd] *)
   tmp_counter : int Atomic.t;
 }
 
 let dir t = t.s_dir
+let lock_file t = Filename.concat t.s_dir "lock"
 let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
 (* ---- paths ---- *)
@@ -116,6 +132,16 @@ let open_dir ?max_bytes dir =
       let initial = ref 0 in
       walk_files (Filename.concat dir "objects") (fun _ size _ ->
           initial := !initial + size);
+      let lock_fd =
+        (* a store that cannot open its lock file still works — it just
+           skips every eviction sweep (counted) instead of risking a
+           cross-process race *)
+        try
+          Some
+            (Unix.openfile (Filename.concat dir "lock")
+               [ Unix.O_CREAT; Unix.O_RDWR ] 0o644)
+        with Unix.Unix_error _ | Sys_error _ -> None
+      in
       Ok
         { s_dir = dir;
           s_max_bytes;
@@ -125,9 +151,12 @@ let open_dir ?max_bytes dir =
           bad = Atomic.make 0;
           writes = Atomic.make 0;
           evicted = Atomic.make 0;
+          evict_skipped = Atomic.make 0;
           read_us = Atomic.make 0;
           write_us = Atomic.make 0;
           evict_lock = Mutex.create ();
+          lock_fd;
+          lockf_mutex = Mutex.create ();
           tmp_counter = Atomic.make 0 }
     | exception Unix.Unix_error (e, _, p) ->
       Error
@@ -238,40 +267,83 @@ let read t ~kind ~key =
   ignore (Atomic.fetch_and_add t.read_us us);
   result
 
+(* ---- cross-process store lock ---- *)
+
+(* [with_file_lock t ~block f] runs [f] under the advisory lock on
+   <dir>/lock.  [block = true] (publish path) waits for the lock and,
+   with no usable lock fd, degrades to running [f] unlocked — a write
+   must never be lost to lock trouble.  [block = false] (eviction
+   path) returns [None] instead of waiting: the caller skips the sweep
+   and counts the incident.  fcntl locks are per-process, so every
+   lockf call is serialized by [lockf_mutex] — otherwise one thread's
+   unlock would drop a lock a sibling thread still holds. *)
+let with_file_lock t ~block f =
+  match t.lock_fd with
+  | None -> if block then Some (f ()) else None
+  | Some fd ->
+    Mutex.lock t.lockf_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lockf_mutex)
+      (fun () ->
+        let cmd = if block then Unix.F_LOCK else Unix.F_TLOCK in
+        match Unix.lockf fd cmd 0 with
+        | () ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.lockf fd Unix.F_ULOCK 0
+              with Unix.Unix_error _ -> ())
+            (fun () -> Some (f ()))
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _)
+          when not block ->
+          None
+        | exception Unix.Unix_error _ ->
+          (* lock machinery itself broken: publishes proceed unlocked,
+             sweeps skip — same degradation as a missing lock fd *)
+          if block then Some (f ()) else None)
+
 (* ---- eviction ---- *)
+
+let sweep_locked t =
+  (* re-walk under the lock: the atomic total is only a trigger; the
+     sweep works from ground truth *)
+  let files = ref [] in
+  walk_files (objects_dir t) (fun path size mtime ->
+      files := (path, size, mtime) :: !files);
+  let files =
+    List.sort
+      (fun (p1, _, m1) (p2, _, m2) ->
+        match Float.compare m1 m2 with
+        | 0 -> String.compare p1 p2 (* deterministic ties *)
+        | c -> c)
+      !files
+  in
+  let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 files in
+  let low_water = t.s_max_bytes / 8 * 7 in
+  let remaining = ref total in
+  List.iter
+    (fun (path, size, _) ->
+      if !remaining > low_water then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        remaining := !remaining - size;
+        Atomic.incr t.evicted
+      end)
+    files;
+  Atomic.set t.total_bytes !remaining
 
 let evict_sweep t =
   Mutex.lock t.evict_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.evict_lock)
     (fun () ->
-      (* re-walk under the lock: the atomic total is only a trigger;
-         the sweep works from ground truth *)
-      let files = ref [] in
-      walk_files (objects_dir t) (fun path size mtime ->
-          files := (path, size, mtime) :: !files);
-      let files =
-        List.sort
-          (fun (p1, _, m1) (p2, _, m2) ->
-            match Float.compare m1 m2 with
-            | 0 -> String.compare p1 p2 (* deterministic ties *)
-            | c -> c)
-          !files
-      in
-      let total =
-        List.fold_left (fun acc (_, size, _) -> acc + size) 0 files
-      in
-      let low_water = t.s_max_bytes / 8 * 7 in
-      let remaining = ref total in
-      List.iter
-        (fun (path, size, _) ->
-          if !remaining > low_water then begin
-            (try Sys.remove path with Sys_error _ -> ());
-            remaining := !remaining - size;
-            Atomic.incr t.evicted
-          end)
-        files;
-      Atomic.set t.total_bytes !remaining)
+      match with_file_lock t ~block:false (fun () -> sweep_locked t) with
+      | Some () -> ()
+      | None ->
+        (* another process holds the store lock (its own sweep or
+           publish in flight): racing it could tear an entry out from
+           under a reader, so skip this sweep — the next over-budget
+           write retries — and record the incident *)
+        Atomic.incr t.evict_skipped;
+        Instrument.incr "store.evict-skipped")
 
 (* ---- write ---- *)
 
@@ -306,7 +378,9 @@ let write t ~kind ~key payload =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc entry);
-        Sys.rename tmp dst
+        (* publish under the cross-process lock so a foreign eviction
+           sweep never interleaves with the rename *)
+        ignore (with_file_lock t ~block:true (fun () -> Sys.rename tmp dst))
       with
       | () ->
         Atomic.incr t.writes;
@@ -335,6 +409,7 @@ type stats = {
   st_bad : int;
   st_writes : int;
   st_evicted : int;
+  st_evict_skipped : int;
   st_read_s : float;
   st_write_s : float;
 }
@@ -345,8 +420,23 @@ let stats t =
     st_bad = Atomic.get t.bad;
     st_writes = Atomic.get t.writes;
     st_evicted = Atomic.get t.evicted;
+    st_evict_skipped = Atomic.get t.evict_skipped;
     st_read_s = float_of_int (Atomic.get t.read_us) /. 1e6;
     st_write_s = float_of_int (Atomic.get t.write_us) /. 1e6 }
+
+(* Run one sweep through the same cross-process trylock as the
+   over-budget write path: a maintenance entry point, and the
+   deterministic way to exercise the lock-held degradation. *)
+let evict_now t = evict_sweep t
+
+(* ---- restart verification ---- *)
+
+let scan t =
+  let count = ref 0 and bytes = ref 0 in
+  walk_files (objects_dir t) (fun _ size _ ->
+      incr count;
+      bytes := !bytes + size);
+  (!count, !bytes)
 
 let hit_rate st =
   let lookups = st.st_hits + st.st_misses + st.st_bad in
@@ -356,9 +446,9 @@ let hit_rate st =
 let stats_json t =
   let st = stats t in
   Printf.sprintf
-    "{\"hits\":%d,\"misses\":%d,\"bad\":%d,\"writes\":%d,\"evicted\":%d,\"hit_rate\":%.4f,\"read_s\":%.6f,\"write_s\":%.6f}"
-    st.st_hits st.st_misses st.st_bad st.st_writes st.st_evicted (hit_rate st)
-    st.st_read_s st.st_write_s
+    "{\"hits\":%d,\"misses\":%d,\"bad\":%d,\"writes\":%d,\"evicted\":%d,\"evict_skipped\":%d,\"hit_rate\":%.4f,\"read_s\":%.6f,\"write_s\":%.6f}"
+    st.st_hits st.st_misses st.st_bad st.st_writes st.st_evicted
+    st.st_evict_skipped (hit_rate st) st.st_read_s st.st_write_s
 
 let pp_stats ppf t =
   let st = stats t in
@@ -373,7 +463,10 @@ let pp_stats ppf t =
     (100.0 *. hit_rate st)
     st.st_bad st.st_writes st.st_evicted
     (mean_us st.st_read_s lookups)
-    (mean_us st.st_write_s st.st_writes)
+    (mean_us st.st_write_s st.st_writes);
+  if st.st_evict_skipped > 0 then
+    Format.fprintf ppf ", %d eviction sweep(s) skipped (store lock held)"
+      st.st_evict_skipped
 
 (* ---- the installed store ---- *)
 

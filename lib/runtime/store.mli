@@ -24,6 +24,14 @@
     torn entry.  When the store grows past its byte budget an eviction
     sweep deletes oldest-modified objects first.
 
+    Multi-process use (a daemon plus concurrent CLIs on one directory)
+    is serialized by an advisory fcntl lock on [<dir>/lock]: publishes
+    hold it briefly (blocking) around the rename, eviction tries it
+    non-blocking and — losing the race to another process — degrades to
+    skipping the sweep with an incident
+    ({!stats.st_evict_skipped}, counter [store.evict-skipped]), never
+    an error and never a half-removed entry.
+
     Fault injection: the [store.read] and [store.write] sites (label =
     artifact kind) are handled {e inside} this module — an injected
     read fault surfaces as {!Bad}, an injected write fault as [Error],
@@ -52,6 +60,11 @@ val open_dir : ?max_bytes:int -> string -> (t, string) result
 
 (** The store directory. *)
 val dir : t -> string
+
+(** The advisory lock file serializing eviction and publish across
+    processes: [<dir>/lock].  Exposed so tests (and external tooling)
+    can contend for it. *)
+val lock_file : t -> string
 
 (** [key parts] is the content hash (MD5, hex) of the parts joined with
     a NUL separator — the one key-construction function, so every
@@ -86,16 +99,31 @@ type stats = {
   st_bad : int;  (** entries that failed validation *)
   st_writes : int;
   st_evicted : int;
+  st_evict_skipped : int;
+      (** eviction sweeps skipped because another process held the
+          store lock — each is an incident, never an error *)
   st_read_s : float;  (** cumulative wall-clock spent in {!read} *)
   st_write_s : float;  (** cumulative wall-clock spent in {!write} *)
 }
 
 val stats : t -> stats
 
+(** Walk the object tree and return [(entries, bytes)] — the restart
+    verification pass [nimbled] runs after reopening a store. *)
+val scan : t -> int * int
+
+(** Run one eviction sweep right now, through the same cross-process
+    trylock as the over-budget write path: when another process holds
+    the store lock the sweep is skipped with an incident
+    ([st_evict_skipped], counter ["store.evict-skipped"]), never an
+    error. *)
+val evict_now : t -> unit
+
 (** Hits over all lookups ([hits + misses + bad]); [0.] when none. *)
 val hit_rate : stats -> float
 
-(** The stats as a JSON object (trajectory schema v5 ["store"] key). *)
+(** The stats as a JSON object (trajectory ["store"] key; the
+    [evict_skipped] field arrived with schema v7). *)
 val stats_json : t -> string
 
 (** One human line for stderr: hit rate, lookups, mean latencies. *)

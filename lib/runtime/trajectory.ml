@@ -21,8 +21,13 @@ let schema = "uas-bench-trajectory"
    v6: the native JIT tier — "interp_tier" may now be "native",
    micro targets gain per-tier interp-native rows, and the counter
    dump gains the jit.* family (compile/memo/store traffic) with the
-   jit.compile span. *)
-let version = 6
+   jit.compile span.
+   v7: the "daemon" key (nimbled service counters — admitted, shed,
+   timed-out, degraded, drained, queue depth, request latency — when
+   the document comes from a daemon run; null otherwise), and the
+   "store" object gains "evict_skipped" (cross-process eviction sweeps
+   skipped because another process held the store lock). *)
+let version = 7
 
 type target = { t_name : string; t_wall_s : float }
 type metric = { m_name : string; m_value : float; m_unit : string }
@@ -65,6 +70,9 @@ type gap_row = {
 type t = {
   interp_tier : string;
   jobs : int option;
+  mutable daemon_json : string option;
+      (** pre-rendered daemon counter object (the [Store.stats_json]
+          precedent); [None] renders as [null] *)
   mutable rev_targets : target list;
   mutable rev_metrics : metric list;
   mutable rev_plans : plan list;
@@ -75,11 +83,14 @@ type t = {
 let make ~interp_tier ~jobs () =
   { interp_tier;
     jobs;
+    daemon_json = None;
     rev_targets = [];
     rev_metrics = [];
     rev_plans = [];
     rev_incidents = [];
     rev_gaps = [] }
+
+let set_daemon_json t json = t.daemon_json <- Some json
 
 let add_target t ~name ~wall_s =
   t.rev_targets <- { t_name = name; t_wall_s = wall_s } :: t.rev_targets
@@ -162,10 +173,13 @@ let to_json t =
     | None -> "null"
     | Some s -> Store.stats_json s
   in
+  let daemon_json =
+    match t.daemon_json with None -> "null" | Some j -> j
+  in
   Printf.sprintf
-    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"fault_plan\":%s,\"store\":%s,\"targets\":[%s],\"metrics\":[%s],\"plans\":[%s],\"gaps\":[%s],\"incidents\":[%s],\"instrumentation\":%s}"
+    "{\"schema\":\"%s\",\"version\":%d,\"interp_tier\":\"%s\",\"jobs\":%s,\"fault_plan\":%s,\"store\":%s,\"daemon\":%s,\"targets\":[%s],\"metrics\":[%s],\"plans\":[%s],\"gaps\":[%s],\"incidents\":[%s],\"instrumentation\":%s}"
     (esc schema) version (esc t.interp_tier) jobs_json fault_plan_json
-    store_json
+    store_json daemon_json
     (String.concat "," (List.map target_json (targets t)))
     (String.concat "," (List.map metric_json (metrics t)))
     (String.concat "," (List.map plan_json (plans t)))

@@ -4,16 +4,21 @@
     planner tables, the interpreter tier and pool size, and the
     {!Instrument} span/counter breakdown.
 
-    Schema (version 5; no timestamps, so snapshots diff cleanly):
+    Schema (version 7; no timestamps, so snapshots diff cleanly):
     {v
     { "schema": "uas-bench-trajectory",
-      "version": 5,
+      "version": 7,
       "interp_tier": "fast",
       "jobs": null | N,
       "fault_plan": null | "site:kind:nth,...",
       "store": null | {"hits": n, "misses": n, "bad": n, "writes": n,
-                       "evicted": n, "hit_rate": x,
+                       "evicted": n, "evict_skipped": n, "hit_rate": x,
                        "read_s": s, "write_s": s},
+      "daemon": null | {"admitted": n, "shed": n, "timed_out": n,
+                        "degraded": n, "drained": n,
+                        "protocol_errors": n, "disconnects": n,
+                        "requests": n, "request_s": s,
+                        "queue_depth": n, "inflight": n},
       "targets": [ {"name": "...", "wall_s": s}, ... ],
       "metrics": [ {"name": "...", "value": x, "unit": "..."}, ... ],
       "plans": [ { "benchmark": "...", "objective": "...",
@@ -37,7 +42,9 @@
     so clean snapshots are unchanged by-key from v2 apart from the
     version bump and the empty [incidents] array).  [store] echoes the
     installed {!Store}'s counters — null when no artifact cache is
-    configured, and never the cache directory path.  Incidents record
+    configured, and never the cache directory path.  [daemon] (v7)
+    echoes the [nimbled] service counters when the document comes from
+    a daemon run — null from the plain CLIs.  Incidents record
     every cell the run degraded or skipped non-fatally.  Gaps record
     the second II oracle's verdict per benchmark × version
     ([--exact-ii report]): [gap] is [heuristic_ii - optimal_ii] when
@@ -50,6 +57,11 @@ val version : int
 type t
 
 val make : interp_tier:string -> jobs:int option -> unit -> t
+
+(** Attach the daemon counter object (a pre-rendered JSON object, the
+    [Store.stats_json] convention) to the document's ["daemon"] key.
+    Never called by the plain CLIs — their documents render [null]. *)
+val set_daemon_json : t -> string -> unit
 
 (** Record a completed harness target and its wall-clock seconds. *)
 val add_target : t -> name:string -> wall_s:float -> unit

@@ -1,0 +1,116 @@
+(* The nimblec --server side: connect to a nimbled socket with bounded
+   retry, exponential backoff and deterministic jitter, send one
+   request frame, validate the reply.
+
+   Failure policy (the degradation matrix's client column):
+
+   - connect refused / socket gone / I/O error / truncated or
+     corrupted reply  -> retry with backoff, then give up with the
+     last error (the caller falls back to local compilation with an
+     incident footnote);
+   - BUSY              -> retry after max(backoff, the daemon's
+     retry-after hint); still BUSY after the attempt budget -> give up
+     as above;
+   - ERR               -> no retry: the daemon is alive and has
+     rejected or failed this request deterministically; the caller
+     falls back (or reports) immediately.
+
+   The jitter is a pure function of (seed, attempt): tests pin the
+   seed and assert the whole schedule; production callers default the
+   seed to the pid so a stampede of clients decorrelates. *)
+
+let default_attempts = 4
+let default_base_s = 0.05
+
+(* delay before retry k (0-based): base * 2^k * (1 + j), j in [0, 0.5)
+   — deterministic in (seed, k) *)
+let backoff_schedule ~attempts ~base_s ~seed =
+  List.init (max 0 (attempts - 1)) (fun k ->
+      let j =
+        float_of_int (Hashtbl.hash (seed, k) land 0xffff)
+        /. float_of_int 0x20000
+      in
+      base_s *. (2. ** float_of_int k) *. (1.0 +. j))
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect addr : (conn, string) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX addr) with
+  | () ->
+    Ok
+      { fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" addr (Unix.error_message e))
+
+let close conn =
+  (* the channels share conn.fd; flush what we can, close the fd once *)
+  (try flush conn.oc with Sys_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* One request/reply exchange on an open connection. *)
+let request conn (f : Protocol.frame) : (Protocol.frame, string) result =
+  match Protocol.write_frame conn.oc f with
+  | () -> (
+    match Protocol.read_frame conn.ic with
+    | Ok reply -> Ok reply
+    | Error e -> Error (Protocol.error_message e))
+  | exception Sys_error m -> Error (Printf.sprintf "send failed: %s" m)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+(* The daemon's BUSY hint: "retry-after=<secs> ..." *)
+let retry_after_hint body =
+  String.split_on_char ' ' body
+  |> List.find_map (fun part ->
+         match String.split_on_char '=' part with
+         | [ "retry-after"; v ] -> float_of_string_opt v
+         | _ -> None)
+
+type outcome =
+  | Served of string  (** OK payload *)
+  | Rejected of string  (** ERR body: daemon alive, request failed *)
+  | Unreachable of string  (** no usable daemon after all attempts *)
+
+let call ?(attempts = default_attempts) ?(base_s = default_base_s) ?seed addr
+    (f : Protocol.frame) : outcome =
+  let seed = match seed with Some s -> s | None -> Unix.getpid () in
+  let delays = backoff_schedule ~attempts ~base_s ~seed in
+  let rec go k last_err =
+    if k >= attempts then Unreachable last_err
+    else
+      let retry err =
+        (match List.nth_opt delays k with
+        | Some d -> Thread.delay d
+        | None -> ());
+        go (k + 1) err
+      in
+      match connect addr with
+      | Error m -> retry m
+      | Ok conn -> (
+        let r = request conn f in
+        close conn;
+        match r with
+        | Error m -> retry m
+        | Ok { Protocol.tag = Protocol.Reply_ok; body } -> Served body
+        | Ok { Protocol.tag = Protocol.Reply_err; body } -> Rejected body
+        | Ok { Protocol.tag = Protocol.Reply_busy; body } ->
+          (* honor the daemon's hint when it is longer than our own
+             backoff for this attempt *)
+          (match (List.nth_opt delays k, retry_after_hint body) with
+          | Some d, Some hint when hint > d -> Thread.delay (hint -. d)
+          | None, Some hint -> Thread.delay hint
+          | _ -> ());
+          retry (Printf.sprintf "daemon busy (%s)" body)
+        | Ok { Protocol.tag; _ } ->
+          retry
+            (Printf.sprintf "unexpected reply tag %s" (Protocol.tag_name tag)))
+  in
+  go 0 "no attempts made"
+
+let serve_work ?attempts ?base_s ?seed addr (w : Handler.work) : outcome =
+  call ?attempts ?base_s ?seed addr (Handler.to_frame (Handler.Work w))

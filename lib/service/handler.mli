@@ -1,0 +1,99 @@
+(** Typed nimbled requests: body grammar, parsing, rendering and
+    execution — shared by the daemon, the [nimblec --server] client
+    and its local fallback, so daemon-served output is byte-identical
+    to in-process output by construction.
+
+    A work body is line-oriented:
+    {v
+    <benchmark>
+    key=value ...     tier|verify|validate|exact|objective|budget
+    v}
+    Unknown keys and malformed values are one-line parse errors (the
+    daemon replies ERR), never exceptions. *)
+
+type estimate_opts = {
+  e_bench : string;
+  e_verify : bool;
+  e_tier : Uas_ir.Fast_interp.tier option;
+      (** verification tier; [None] follows the daemon's default *)
+  e_validate : bool;
+  e_exact : Uas_dfg.Sched.exact_mode;
+  e_budget_s : float option;  (** per-request wall budget override *)
+}
+
+type sweep_opts = {
+  s_bench : string;
+  s_validate : bool;
+  s_tier : Uas_ir.Fast_interp.tier option;
+      (** accepted for request symmetry; the sweep pipeline is
+          execution-free, so the tier cannot change its output — which
+          is exactly what the byte-identity property demonstrates *)
+  s_budget_s : float option;
+}
+
+type plan_opts = {
+  p_bench : string;
+  p_objective : Uas_core.Planner.objective;
+  p_validate : bool;
+  p_exact : Uas_dfg.Sched.exact_mode;
+  p_budget_s : float option;
+}
+
+type work =
+  | W_estimate of estimate_opts
+  | W_sweep of sweep_opts
+  | W_plan of plan_opts
+
+type request = Hello of string | Work of work | Stats | Health | Drain
+
+val work_name : work -> string
+val bench_name : work -> string
+val budget_s : work -> float option
+
+(** Render a request as its wire frame (the client side). *)
+val to_frame : request -> Protocol.frame
+
+(** Parse a received frame's body into a typed request (the daemon
+    side); [Error] is the one-line ERR message. *)
+val parse : Protocol.frame -> (request, string) result
+
+(** {2 Rendering}
+
+    The exact bytes the daemon serves — and the exact bytes the local
+    paths print, which is what makes the CI goldens one set. *)
+
+(** nimblec's estimate output: Table 6.2 then Table 6.3. *)
+val render_estimate : Uas_core.Experiments.bench_row -> string
+
+(** nimblec's plan output. *)
+val render_plan : Uas_core.Planner.plan -> string
+
+(** One line per (version, outcome), in sweep order — the rendering
+    the daemon-vs-[Nimble.sweep] byte-identity property pins. *)
+val render_sweep :
+  (Uas_core.Nimble.version * Uas_core.Nimble.outcome) list -> string
+
+(** {2 Execution} *)
+
+(** The daemon-wide execution limits threaded into every request's
+    nested {!Uas_runtime.Parallel} pool. *)
+type limits = {
+  l_jobs : int option;
+  l_timeout_s : float option;  (** per-cell wall budget (PR 5 watchdog) *)
+  l_retries : int option;
+}
+
+val no_limits : limits
+
+(** The version set a [SWEEP] explores: depth-aware, mirroring
+    [Experiments.run_benchmark] (a deep nest adds the flatten+squash
+    route) — what the byte-identity property compares against. *)
+val sweep_versions :
+  Uas_bench_suite.Registry.benchmark -> Uas_core.Nimble.version list
+
+(** Run one work request through the Cu pipeline and render its reply
+    payload, returning the payload with the request's incident count
+    (skipped or degraded cells — the daemon's [degraded] counter).
+    [Error] is a one-line message: unknown benchmark, a structured
+    diagnostic, or an injected fault.  Never raises. *)
+val execute : ?limits:limits -> work -> (string * int, string) result

@@ -1,0 +1,12 @@
+(* Helper for test_store's multi-process locking tests: takes the
+   fcntl lock on argv.(1), signals readiness on stdout, and holds the
+   lock until stdin reaches EOF.  A real child process is required
+   because fcntl locks are per-process and [Unix.fork] is unavailable
+   once other suites have spawned domains. *)
+let () =
+  let fd = Unix.openfile Sys.argv.(1) [ Unix.O_RDWR ] 0o644 in
+  Unix.lockf fd Unix.F_LOCK 0;
+  print_string "locked\n";
+  flush stdout;
+  (try ignore (input_line stdin) with End_of_file -> ());
+  exit 0

@@ -24,4 +24,5 @@ let () =
       ("bitwidth", Test_bitwidth.suite);
       ("c-export", Test_c_export.suite);
       ("goldens", Test_goldens.suite);
-      ("misc", Test_misc.suite) ]
+      ("misc", Test_misc.suite);
+      ("service", Test_service.suite) ]

@@ -447,6 +447,46 @@ let test_cli_parse_fault_flags () =
   ignore (check_error "--retries -1" [ "--retries"; "-1" ]);
   ignore (check_error "--fault without value" [ "--fault" ])
 
+(* The shared budget-flag validator behind nimblec, bench/main.exe and
+   nimbled: nonsensical values are structured diagnostics that name
+   the valid range. *)
+let test_budget_validator () =
+  let module Budget = Uas_runtime.Budget in
+  (match Budget.timeout_of_string ~flag:"--task-timeout" "2.5" with
+  | Ok t -> Alcotest.(check (float 0.0)) "valid timeout" 2.5 t
+  | Error m -> Alcotest.failf "valid timeout rejected: %s" m);
+  (match Budget.retries_of_string ~flag:"--retries" "0" with
+  | Ok n -> Alcotest.(check int) "zero retries is valid" 0 n
+  | Error m -> Alcotest.failf "zero retries rejected: %s" m);
+  let reject_timeout name s =
+    match Budget.timeout_of_string ~flag:"--task-timeout" s with
+    | Ok _ -> Alcotest.failf "%s: accepted %s" name s
+    | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s names the flag and range" name)
+        true
+        (Astring_contains.contains ~sub:"--task-timeout" m
+        && Astring_contains.contains ~sub:Budget.timeout_range m)
+  in
+  List.iter
+    (fun (name, s) -> reject_timeout name s)
+    [ ("zero", "0"); ("negative", "-3"); ("nan", "nan");
+      ("infinite", "inf"); ("beyond the cap", "1e9"); ("noise", "soon") ];
+  let reject_retries name s =
+    match Budget.retries_of_string ~flag:"--retries" s with
+    | Ok _ -> Alcotest.failf "%s: accepted %s" name s
+    | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s names the flag and range" name)
+        true
+        (Astring_contains.contains ~sub:"--retries" m
+        && Astring_contains.contains ~sub:Budget.retries_range m)
+  in
+  List.iter
+    (fun (name, s) -> reject_retries name s)
+    [ ("negative", "-1"); ("beyond the cap", "1000"); ("noise", "many");
+      ("fractional", "1.5") ]
+
 let test_cli_parse_cache_flags () =
   check_ok "--cache dir"
     [ "--cache"; "/tmp/uas-store" ]
@@ -497,6 +537,8 @@ let suite =
     Alcotest.test_case "bench CLI: unknown target" `Quick
       test_cli_rejects_unknown_target;
     Alcotest.test_case "bench CLI: bad -j" `Quick test_cli_rejects_bad_jobs;
+    Alcotest.test_case "shared budget-flag validator" `Quick
+      test_budget_validator;
     Alcotest.test_case "bench CLI: fault-tolerance flags" `Quick
       test_cli_parse_fault_flags;
     Alcotest.test_case "bench CLI: cache flags" `Quick

@@ -404,6 +404,98 @@ let test_verify_mode_catches_poisoned_entry () =
                c.E.c_incidents)
            row.E.br_cells))
 
+(* --- multi-process locking --- *)
+
+(* Spawn a child process that takes the store's advisory file lock
+   (fcntl locks are per-process, so same-process contention cannot
+   exercise this path, and [Unix.fork] is unavailable once other
+   suites have spawned domains).  The child signals readiness on its
+   stdout and holds the lock until its stdin reaches EOF. *)
+let spawn_lock_holder lock_path =
+  let helper =
+    Filename.concat (Filename.dirname Sys.executable_name) "lock_holder.exe"
+  in
+  (* cloexec: the child must not inherit the parent ends, or closing
+     [in_w] here would never deliver its stdin EOF ([create_process]
+     dup2s the two ends it is given, which clears cloexec) *)
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process helper [| helper; lock_path |] in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  ignore (Unix.read out_r (Bytes.create 1) 0 1);
+  Unix.close out_r;
+  let release () =
+    (try Unix.close in_w with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid)
+  in
+  release
+
+let test_evict_skips_under_foreign_lock () =
+  let s = open_fresh ~max_bytes:4096 () in
+  Instrument.set_enabled true;
+  Instrument.reset ();
+  Fun.protect ~finally:(fun () ->
+      Instrument.reset ();
+      Instrument.set_enabled false)
+  @@ fun () ->
+  let payload = String.make 200 'x' in
+  for i = 1 to 40 do
+    match
+      Store.write s ~kind:"demo" ~key:(Store.key [ string_of_int i ]) payload
+    with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "write %d: %s" i m
+  done;
+  let before = (Store.stats s).Store.st_evict_skipped in
+  let release = spawn_lock_holder (Store.lock_file s) in
+  Fun.protect ~finally:release (fun () ->
+      Store.evict_now s;
+      let st = Store.stats s in
+      Alcotest.(check int) "sweep skipped, not an error" (before + 1)
+        st.Store.st_evict_skipped;
+      Alcotest.(check bool) "skip is an incident counter" true
+        (counter "store.evict-skipped" > 0);
+      let rendered = Format.asprintf "%a" Store.pp_stats s in
+      Alcotest.(check bool) "pp_stats reports the skip" true
+        (Helpers.contains ~sub:"skipped" rendered));
+  (* lock released: the next sweep proceeds without another skip *)
+  Store.evict_now s;
+  Alcotest.(check int) "freed lock sweeps again" (before + 1)
+    (Store.stats s).Store.st_evict_skipped
+
+let test_write_waits_for_foreign_lock () =
+  let s = open_fresh () in
+  let release = spawn_lock_holder (Store.lock_file s) in
+  let releaser = Thread.create (fun () -> Thread.delay 0.4; release ()) () in
+  let t0 = Unix.gettimeofday () in
+  (match Store.write s ~kind:"demo" ~key:(Store.key [ "held" ]) "payload" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "write under a foreign lock errored: %s" m);
+  let dt = Unix.gettimeofday () -. t0 in
+  Thread.join releaser;
+  Alcotest.(check bool)
+    (Printf.sprintf "publish waited for the lock (%.3fs)" dt)
+    true (dt >= 0.3);
+  match Store.read s ~kind:"demo" ~key:(Store.key [ "held" ]) with
+  | Store.Hit p -> Alcotest.(check string) "entry intact" "payload" p
+  | Store.Miss | Store.Bad _ -> Alcotest.fail "entry lost under contention"
+
+let test_scan_reports_contents () =
+  let s = open_fresh () in
+  Alcotest.(check (pair int int)) "fresh store is empty" (0, 0) (Store.scan s);
+  List.iter
+    (fun k ->
+      match Store.write s ~kind:"demo" ~key:(Store.key [ k ]) ("v-" ^ k) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "write %s: %s" k m)
+    [ "a"; "b"; "c" ];
+  let count, bytes = Store.scan s in
+  Alcotest.(check int) "one object per write" 3 count;
+  Alcotest.(check bool) "bytes accounted" true (bytes > 0)
+
 let suite =
   [ Alcotest.test_case "write/read round-trip" `Quick
       test_write_read_roundtrip;
@@ -434,4 +526,10 @@ let suite =
     Alcotest.test_case "verify mode: clean cache, no incidents" `Quick
       test_verify_mode_clean;
     Alcotest.test_case "verify mode: poisoned entry flagged" `Quick
-      test_verify_mode_catches_poisoned_entry ]
+      test_verify_mode_catches_poisoned_entry;
+    Alcotest.test_case "eviction skips under a foreign lock" `Quick
+      test_evict_skips_under_foreign_lock;
+    Alcotest.test_case "publish waits for a foreign lock" `Quick
+      test_write_waits_for_foreign_lock;
+    Alcotest.test_case "scan reports the store contents" `Quick
+      test_scan_reports_contents ]
